@@ -1,0 +1,63 @@
+// Ablation: aggregation buffer size and MTU. em3d's 8-byte remote reads are
+// the extreme fine-grained case: per-message overhead dominates, so the
+// aggregation factor translates almost directly into phase time — until
+// messages hit the MTU and segment.
+#include <cstdio>
+
+#include "apps/em3d/em3d.h"
+#include "common.h"
+#include "support/options.h"
+
+int main(int argc, char** argv) {
+  std::int64_t procs = 16;
+  std::int64_t e_per_node = 2048;
+  dpa::Options options;
+  options.i64("procs", &procs, "node count")
+      .i64("per-node", &e_per_node, "graph nodes per processor and side");
+  if (!options.parse(argc, argv)) return 0;
+
+  using namespace dpa;
+
+  apps::em3d::Em3dConfig em;
+  em.e_per_node = std::uint32_t(e_per_node);
+  em.h_per_node = std::uint32_t(e_per_node);
+  em.remote_prob = 0.4;
+  apps::em3d::Em3dApp app(em, std::uint32_t(procs));
+
+  std::printf("=== Ablation: aggregation buffer size (em3d, %lld nodes) ===\n\n",
+              (long long)procs);
+  Table table({"agg max refs", "time(s)", "agg factor", "request msgs",
+               "wire msgs", "bytes"});
+  for (const std::uint32_t cap : {1u, 4u, 16u, 64u, 256u}) {
+    auto cfg = rt::RuntimeConfig::dpa(256);
+    cfg.agg_max_refs = cap;
+    const auto run = app.run(bench::t3d_params(), cfg);
+    const auto& p = run.steps[0].phase;
+    table.add_row({std::to_string(cap),
+                   Table::num(run.total_parallel_seconds(), 3),
+                   Table::num(p.rt.aggregation_factor(), 1),
+                   std::to_string(p.rt.request_msgs),
+                   std::to_string(p.net.messages),
+                   std::to_string(p.net.bytes)});
+  }
+  table.print();
+
+  std::printf("\n=== Ablation: MTU (agg max 256) ===\n\n");
+  Table mtu_table({"mtu bytes", "time(s)", "wire msgs (fragments)"});
+  for (const std::uint32_t mtu : {256u, 1024u, 4096u, 16384u}) {
+    auto net = bench::t3d_params();
+    net.mtu_bytes = mtu;
+    auto cfg = rt::RuntimeConfig::dpa(256);
+    cfg.agg_max_refs = 256;
+    const auto run = app.run(net, cfg);
+    mtu_table.add_row({std::to_string(mtu),
+                       Table::num(run.total_parallel_seconds(), 3),
+                       std::to_string(run.steps[0].phase.net.messages)});
+  }
+  mtu_table.print();
+  std::printf(
+      "\nexpected shape: time falls steeply as the aggregation cap grows\n"
+      "(per-message overhead amortized), then flattens; tiny MTUs re-inflate\n"
+      "wire messages and give some of the win back.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: network-parameter sensitivity. Scales the T3D latency/overhead
+// terms to see where DPA's advantage over caching comes from and where the
+// schemes cross over; the zero-cost network isolates DPA as a pure
+// tiling/scheduling optimization (the single-address-space "cache
+// optimization" direction the paper's Section 6 sketches).
+#include <cstdio>
+
+#include "apps/barnes/app.h"
+#include "common.h"
+#include "support/options.h"
+
+int main(int argc, char** argv) {
+  std::int64_t bodies = 4096;
+  std::int64_t procs = 16;
+  dpa::Options options;
+  options.i64("bodies", &bodies, "Barnes-Hut bodies")
+      .i64("procs", &procs, "node count");
+  if (!options.parse(argc, argv)) return 0;
+
+  using namespace dpa;
+
+  apps::barnes::BarnesConfig bh;
+  bh.nbodies = std::uint32_t(bodies);
+  apps::barnes::BarnesApp app(bh);
+  const double seq = app.run_sequential()[0].seconds;
+
+  std::printf(
+      "=== Ablation: network sensitivity (Barnes-Hut, %lld nodes) ===\n"
+      "sequential (modeled): %.3f s\n\n",
+      (long long)procs, seq);
+
+  Table table({"network", "DPA(50) (s)", "Caching (s)", "Prefetch (s)",
+               "DPA/Caching"});
+  auto row = [&](const std::string& name, const sim::NetParams& net) {
+    const double dpa = app.run(std::uint32_t(procs), net,
+                               rt::RuntimeConfig::dpa(50))
+                           .total_parallel_seconds();
+    const double caching = app.run(std::uint32_t(procs), net,
+                                   rt::RuntimeConfig::caching())
+                               .total_parallel_seconds();
+    const double prefetch = app.run(std::uint32_t(procs), net,
+                                    rt::RuntimeConfig::prefetching(8))
+                                .total_parallel_seconds();
+    table.add_row({name, Table::num(dpa, 3), Table::num(caching, 3),
+                   Table::num(prefetch, 3), Table::num(dpa / caching, 2)});
+  };
+
+  row("zero-cost (pure tiling)", sim::NetParams::zero());
+  for (const double scale : {0.25, 1.0, 4.0, 16.0}) {
+    auto net = bench::t3d_params();
+    net.latency = sim::Time(double(net.latency) * scale);
+    net.send_overhead = sim::Time(double(net.send_overhead) * scale);
+    net.recv_overhead = sim::Time(double(net.recv_overhead) * scale);
+    char label[64];
+    std::snprintf(label, sizeof(label), "T3D x %.2f", scale);
+    row(label, net);
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: DPA's edge widens as latency/overhead scale up\n"
+      "(more to hide, more to amortize). Even on the zero-cost network DPA\n"
+      "keeps an edge at P>1: the baselines' *synchronous* fetches still\n"
+      "wait for the home processor to service them (occupancy, not wire\n"
+      "time) and pay a hash probe per access, while DPA overlaps service\n"
+      "time like any other latency — the pure-tiling single-address-space\n"
+      "mode the paper's Section 6 sketches.\n");
+  return 0;
+}

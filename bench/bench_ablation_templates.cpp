@@ -1,0 +1,73 @@
+// Ablation: scheduling templates (the paper's Figure-14 choice). The
+// create-all-then-run template exposes the whole strip's requests before
+// executing (maximal aggregation); the interleaved template prefers running
+// ready tiles and creates new threads only when idle (minimal outstanding
+// state). This bench quantifies that trade on Barnes-Hut and em3d.
+#include <cstdio>
+
+#include "apps/barnes/app.h"
+#include "apps/em3d/em3d.h"
+#include "common.h"
+#include "support/options.h"
+
+int main(int argc, char** argv) {
+  std::int64_t bodies = 4096;
+  std::int64_t procs = 16;
+  std::int64_t strip = 100;
+  dpa::Options options;
+  options.i64("bodies", &bodies, "Barnes-Hut bodies")
+      .i64("procs", &procs, "node count")
+      .i64("strip", &strip, "strip size");
+  if (!options.parse(argc, argv)) return 0;
+
+  using namespace dpa;
+
+  std::printf("=== Ablation: scheduling templates (strip %lld, %lld nodes) ===\n\n",
+              (long long)strip, (long long)procs);
+  Table table({"app", "template", "time(s)", "agg factor", "max outstanding",
+               "request msgs"});
+
+  auto cfg_for = [&](rt::SchedTemplate t) {
+    auto cfg = rt::RuntimeConfig::dpa(std::uint32_t(strip));
+    cfg.sched_template = t;
+    return cfg;
+  };
+
+  apps::barnes::BarnesConfig bh;
+  bh.nbodies = std::uint32_t(bodies);
+  apps::barnes::BarnesApp bh_app(bh);
+  apps::em3d::Em3dConfig em;
+  em.e_per_node = 1024;
+  em.h_per_node = 1024;
+  em.remote_prob = 0.3;
+  apps::em3d::Em3dApp em_app(em, std::uint32_t(procs));
+
+  for (const auto t : {rt::SchedTemplate::kCreateAllThenRun,
+                       rt::SchedTemplate::kInterleaved}) {
+    const auto bh_run =
+        bh_app.run(std::uint32_t(procs), bench::t3d_params(), cfg_for(t));
+    const auto& bp = bh_run.steps[0].phase;
+    table.add_row({"barnes-hut", rt::to_string(t),
+                   Table::num(bh_run.total_parallel_seconds(), 3),
+                   Table::num(bp.rt.aggregation_factor(), 1),
+                   std::to_string(bp.rt.max_outstanding_threads),
+                   std::to_string(bp.rt.request_msgs)});
+    const auto em_run = em_app.run(bench::t3d_params(), cfg_for(t));
+    const auto& ep = em_run.steps[0].phase;
+    table.add_row({"em3d", rt::to_string(t),
+                   Table::num(em_run.total_parallel_seconds(), 3),
+                   Table::num(ep.rt.aggregation_factor(), 1),
+                   std::to_string(ep.rt.max_outstanding_threads),
+                   std::to_string(ep.rt.request_msgs)});
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: the templates trade batching against latency.\n"
+      "create-all issues each strip's requests as soon as the strip is\n"
+      "created (earlier transfers, smaller batches); interleaved keeps\n"
+      "running ready tiles and flushes only when idle (bigger batches,\n"
+      "fewer messages, and less outstanding state on flat workloads like\n"
+      "em3d). Total time is usually close — the paper's point is that the\n"
+      "template is a tunable policy, not a fixed schedule.\n");
+  return 0;
+}

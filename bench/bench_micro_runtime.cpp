@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark, real host time): the per-primitive
+// costs of the simulation substrate and the DPA runtime. These measure the
+// *host* cost of simulating one unit — useful for knowing how big a
+// simulated machine the harness can afford — not the modeled T3D costs.
+#include <benchmark/benchmark.h>
+
+#include "apps/barnes/plummer.h"
+#include "apps/barnes/tree.h"
+#include "gas/heap.h"
+#include "runtime/phase.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace dpa;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < 1000; ++i) engine.schedule_at(i, [] {});
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_MortonKey(benchmark::State& state) {
+  const apps::Vec3 c{0, 0, 0};
+  apps::Vec3 p{0.3, -0.2, 0.7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::barnes::morton_key(p, c, 1.0));
+    p.x += 1e-9;
+  }
+}
+BENCHMARK(BM_MortonKey);
+
+void BM_TreeBuild(benchmark::State& state) {
+  const auto bodies =
+      apps::barnes::plummer_model(std::uint32_t(state.range(0)), 42);
+  for (auto _ : state) {
+    auto tree = apps::barnes::BhTree::build(bodies);
+    benchmark::DoNotOptimize(tree.num_cells());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TreeBuild)->Arg(1024)->Arg(8192);
+
+// One simulated remote fetch end to end: thread create, M insert, request,
+// reply, tile dispatch, thread run.
+void BM_DpaRemoteFetch(benchmark::State& state) {
+  struct Obj {
+    double v;
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    rt::Cluster cluster(2, sim::NetParams{});
+    std::vector<gas::GPtr<Obj>> objs;
+    for (int i = 0; i < 512; ++i)
+      objs.push_back(cluster.heap.make<Obj>(1, Obj{double(i)}));
+    rt::PhaseRunner runner(cluster, rt::RuntimeConfig::dpa(64));
+    std::vector<rt::NodeWork> work(2);
+    work[0].count = 512;
+    work[0].item = [&objs](rt::Ctx& ctx, std::uint64_t i) {
+      ctx.require(objs[std::size_t(i)], [](rt::Ctx&, const Obj&) {});
+    };
+    state.ResumeTiming();
+    const auto result = runner.run(std::move(work));
+    benchmark::DoNotOptimize(result.elapsed);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_DpaRemoteFetch);
+
+// Local thread creation + dispatch only.
+void BM_DpaLocalThreads(benchmark::State& state) {
+  struct Obj {
+    double v;
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    rt::Cluster cluster(1, sim::NetParams{});
+    std::vector<gas::GPtr<Obj>> objs;
+    for (int i = 0; i < 2048; ++i)
+      objs.push_back(cluster.heap.make<Obj>(0, Obj{double(i)}));
+    rt::PhaseRunner runner(cluster, rt::RuntimeConfig::dpa(256));
+    std::vector<rt::NodeWork> work(1);
+    work[0].count = 2048;
+    work[0].item = [&objs](rt::Ctx& ctx, std::uint64_t i) {
+      ctx.require(objs[std::size_t(i)], [](rt::Ctx&, const Obj&) {});
+    };
+    state.ResumeTiming();
+    const auto result = runner.run(std::move(work));
+    benchmark::DoNotOptimize(result.elapsed);
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_DpaLocalThreads);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Cross-suite comparison: the three Olden-style kernels (treeadd, power,
+// perimeter) under every engine. These are the workloads the caching
+// comparator (Carlisle & Rogers' Olden) was designed around; the suite
+// shows where DPA's reordering wins, where subtree locality makes engines
+// tie, and what the remote-accumulation extension buys.
+#include <cstdio>
+
+#include "apps/olden/perimeter.h"
+#include "apps/olden/power.h"
+#include "apps/olden/treeadd.h"
+#include "common.h"
+#include "support/options.h"
+
+int main(int argc, char** argv) {
+  std::int64_t procs = 16;
+  dpa::Options options;
+  options.i64("procs", &procs, "simulated nodes");
+  if (!options.parse(argc, argv)) return 0;
+
+  using namespace dpa;
+  const auto net = bench::t3d_params();
+  const auto nodes = std::uint32_t(procs);
+
+  struct EngineRow {
+    const char* name;
+    rt::RuntimeConfig cfg;
+  };
+  const EngineRow engines[] = {
+      {"dpa", rt::RuntimeConfig::dpa(64)},
+      {"dpa-base", rt::RuntimeConfig::dpa_base(64)},
+      {"caching", rt::RuntimeConfig::caching()},
+      {"prefetch", rt::RuntimeConfig::prefetching(8)},
+      {"blocking", rt::RuntimeConfig::blocking()},
+  };
+
+  std::printf("=== Olden-style PBDS suite on %u nodes ===\n\n", nodes);
+  Table table({"app", "engine", "time(ms)", "msgs", "agg", "remote refs"});
+
+  apps::olden::TreeAddApp treeadd({.depth = 14, .seed = 3, .cost_visit = 150},
+                                  nodes);
+  apps::olden::PowerApp power({}, nodes);
+  apps::olden::PerimeterApp perimeter(
+      {.log_size = 7, .blobs = 6, .seed = 5}, nodes);
+
+  for (const auto& e : engines) {
+    {
+      const auto r = treeadd.run(net, e.cfg);
+      table.add_row({"treeadd", e.name,
+                     Table::num(r.phase.seconds() * 1e3, 2),
+                     std::to_string(r.phase.rt.request_msgs),
+                     Table::num(r.phase.rt.aggregation_factor(), 1),
+                     std::to_string(r.phase.rt.refs_requested)});
+    }
+    {
+      const auto r = power.run(net, e.cfg);
+      double ms = 0;
+      std::uint64_t msgs = 0, refs = 0;
+      double agg = 0;
+      for (const auto& p : r.phases) {
+        ms += p.seconds() * 1e3;
+        msgs += p.rt.request_msgs + p.rt.accum_msgs;
+        refs += p.rt.refs_requested;
+        agg = p.rt.aggregation_factor();
+      }
+      table.add_row({"power", e.name, Table::num(ms, 2),
+                     std::to_string(msgs), Table::num(agg, 1),
+                     std::to_string(refs)});
+    }
+    {
+      const auto r = perimeter.run(net, e.cfg);
+      table.add_row({"perimeter", e.name,
+                     Table::num(r.phase.seconds() * 1e3, 2),
+                     std::to_string(r.phase.rt.request_msgs),
+                     Table::num(r.phase.rt.aggregation_factor(), 1),
+                     std::to_string(r.phase.rt.refs_requested)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nexpected shape: power shows DPA's largest win (fine-grained reads\n"
+      "AND updates, both batched); perimeter is reuse-dominated — the\n"
+      "unbounded whole-phase cache keeps the tree top resident, so caching\n"
+      "runs close to DPA while blocking (no reuse at all) is an order of\n"
+      "magnitude off; treeadd's subtree ownership keeps most work local,\n"
+      "with the scattered allocations separating the engines mildly.\n");
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Reproduces the thread-statistics table (Table 1 analogue): the paper
+// reports, per application, the number of STATIC threads the compiler
+// extracts, and the runtime's MAX number of outstanding threads / memory.
+//
+// The static half runs our partitioner on IR models of the three kernels
+// (tree walk, FMM-style multi-dependency update, em3d update); the dynamic
+// half runs the real applications and reads the runtime gauges.
+#include <cstdio>
+
+#include "apps/barnes/app.h"
+#include "apps/em3d/em3d.h"
+#include "apps/fmm/app.h"
+#include "common.h"
+#include "compiler/interp.h"
+#include "compiler/partition.h"
+#include "support/options.h"
+
+namespace {
+
+using namespace dpa;
+using compiler::ClassDef;
+using E = compiler::Expr;
+using S = compiler::Stmt;
+
+// Barnes-Hut force walk, as the compiler sees it.
+compiler::Module barnes_ir() {
+  compiler::Module m;
+  m.classes.push_back(ClassDef{"Cell",
+                               {"mass", "comx", "comy", "comz", "size",
+                                "is_leaf"},
+                               {{"c0", "Cell"},
+                                {"c1", "Cell"},
+                                {"c2", "Cell"},
+                                {"c3", "Cell"},
+                                {"c4", "Cell"},
+                                {"c5", "Cell"},
+                                {"c6", "Cell"},
+                                {"c7", "Cell"}}});
+  compiler::Function walk;
+  walk.name = "walk";
+  walk.param = "c";
+  walk.param_class = "Cell";
+  walk.body = {
+      S::read_scalar("m", "c", "mass"),
+      S::read_scalar("leaf", "c", "is_leaf"),
+      S::read_scalar("sz", "c", "size"),
+      S::let("far", E::less(E::v("sz"), E::c(1.0))),  // opening criterion
+      S::if_(E::v("leaf"),
+             {S::accum("force", E::v("m")), S::charge(E::c(3600))},
+             {S::if_(E::v("far"),
+                     {S::accum("force", E::v("m")), S::charge(E::c(3600))},
+                     {S::charge(E::c(350)),
+                      S::spawn_children("walk", "c")})}),
+  };
+  m.functions.push_back(std::move(walk));
+  return m;
+}
+
+// FMM interaction: visit a target cell, read its list (modeled as two
+// source pointers), translate each source expansion.
+compiler::Module fmm_ir() {
+  compiler::Module m;
+  m.classes.push_back(ClassDef{
+      "FCell", {"a0", "a1", "a2"}, {{"s0", "FCell"}, {"s1", "FCell"}}});
+  compiler::Function inter;
+  inter.name = "interact";
+  inter.param = "t";
+  inter.param_class = "FCell";
+  inter.body = {
+      S::read_ptr("p0", "t", "s0"),
+      S::read_ptr("p1", "t", "s1"),
+      S::read_scalar("m0", "p0", "a0"),
+      S::accum("local", E::v("m0")),
+      S::charge(E::c(10000)),
+      S::read_scalar("m1", "p1", "a0"),
+      S::accum("local", E::v("m1")),
+      S::charge(E::c(10000)),
+  };
+  m.functions.push_back(std::move(inter));
+  return m;
+}
+
+// em3d update: four dependencies, each with a coefficient.
+compiler::Module em3d_ir() {
+  compiler::Module m;
+  m.classes.push_back(ClassDef{"ENode",
+                               {"c0", "c1", "c2", "c3"},
+                               {{"d0", "ENode"},
+                                {"d1", "ENode"},
+                                {"d2", "ENode"},
+                                {"d3", "ENode"}}});
+  compiler::Function f;
+  f.name = "update";
+  f.param = "e";
+  f.param_class = "ENode";
+  std::vector<compiler::StmtPtr> body;
+  for (int d = 0; d < 4; ++d) {
+    const std::string i = std::to_string(d);
+    body.push_back(S::read_scalar("c" + i, "e", "c" + i));
+    body.push_back(S::read_ptr("p" + i, "e", "d" + i));
+  }
+  for (int d = 0; d < 4; ++d) {
+    const std::string i = std::to_string(d);
+    body.push_back(S::read_scalar("v" + i, "p" + i, "c0"));
+    body.push_back(
+        S::accum("acc", E::mul(E::v("c" + i), E::v("v" + i))));
+    body.push_back(S::charge(E::c(120)));
+  }
+  f.body = std::move(body);
+  m.functions.push_back(std::move(f));
+  return m;
+}
+
+void print_static(const char* name, const compiler::Module& module) {
+  const auto program = compiler::partition(module);
+  const auto stats = program.stats();
+  std::printf("%-12s static threads %2zu   hoisted reads %2zu (max %zu per "
+              "thread)   spawn sites %zu\n",
+              name, stats.num_templates, stats.total_hoisted_reads,
+              stats.max_reads_per_thread, stats.total_spawn_sites);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t bodies = 4096;
+  std::int64_t particles = 4096;
+  std::int64_t procs = 16;
+  dpa::Options options;
+  options.i64("bodies", &bodies, "Barnes-Hut bodies")
+      .i64("particles", &particles, "FMM particles")
+      .i64("procs", &procs, "node count for the dynamic half");
+  if (!options.parse(argc, argv)) return 0;
+
+  std::printf("=== Table 1: thread statistics ===\n\n");
+  std::printf("-- static (compiler partitioner on kernel IR) --\n");
+  print_static("barnes-hut", barnes_ir());
+  print_static("fmm", fmm_ir());
+  print_static("em3d", em3d_ir());
+
+  std::printf("\n-- dynamic (runtime gauges, strip 50 vs 300, %lld nodes) --\n",
+              (long long)procs);
+  dpa::Table table({"app", "strip", "max outstanding threads", "max |M|",
+                    "thread mem (KB)"});
+
+  apps::barnes::BarnesConfig bh;
+  bh.nbodies = std::uint32_t(bodies);
+  apps::barnes::BarnesApp bh_app(bh);
+  apps::fmm::FmmConfig fm;
+  fm.nparticles = std::uint32_t(particles);
+  apps::fmm::FmmApp fmm_app(fm);
+
+  for (const std::uint32_t strip : {50u, 300u}) {
+    const auto bh_run = bh_app.run(std::uint32_t(procs),
+                                   dpa::bench::t3d_params(),
+                                   dpa::rt::RuntimeConfig::dpa(strip));
+    const auto& bp = bh_run.steps[0].phase.rt;
+    table.add_row({"barnes-hut", std::to_string(strip),
+                   std::to_string(bp.max_outstanding_threads),
+                   std::to_string(bp.max_m_entries),
+                   dpa::Table::num(
+                       double(bp.max_outstanding_threads) * 64.0 / 1024, 1)});
+    const auto fmm_run = fmm_app.run(std::uint32_t(procs),
+                                     dpa::bench::t3d_params(),
+                                     dpa::rt::RuntimeConfig::dpa(strip));
+    const auto& fp = fmm_run.steps[0].phase.rt;
+    table.add_row({"fmm", std::to_string(strip),
+                   std::to_string(fp.max_outstanding_threads),
+                   std::to_string(fp.max_m_entries),
+                   dpa::Table::num(
+                       double(fp.max_outstanding_threads) * 64.0 / 1024, 1)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Reproduces the paper's execution-time table (Table 2 analogue):
+// Barnes-Hut and FMM force-phase times under DPA(strip 50) vs the software
+// caching baseline, across 1..64 (BH) / 2..64 (FMM) nodes.
+//
+// Default workload is scaled down so the harness runs in seconds; pass
+// --paper for the full 16,384-body / 32,768-particle configuration.
+// Absolute seconds come from the calibrated cost model; the claims being
+// reproduced are the *shape*: caching edges out DPA at P=1 (nothing to
+// hash, cheaper bookkeeping), DPA wins everywhere P>=2, and DPA's speedup
+// exceeds 42x (BH) / 54x (FMM) on 64 nodes.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+
+#include "apps/barnes/app.h"
+#include "apps/fmm/app.h"
+#include "common.h"
+#include "support/json.h"
+#include "support/options.h"
+
+namespace dpa::bench {
+namespace {
+
+using apps::barnes::BarnesApp;
+using apps::barnes::BarnesConfig;
+using apps::fmm::FmmApp;
+using apps::fmm::FmmConfig;
+
+JsonWriter* g_json = nullptr;  // optional machine-readable output
+
+void run_barnes(const BarnesConfig& cfg, std::uint32_t max_procs) {
+  BarnesApp app(cfg);
+  std::printf("BARNES-HUT: %u bodies, %u steps, theta=%.2f\n", cfg.nbodies,
+              cfg.nsteps, cfg.theta);
+  const auto seq = app.run_sequential();
+  double seq_seconds = 0;
+  for (const auto& s : seq) seq_seconds += s.seconds;
+  std::printf("sequential (modeled): %.2f s   [paper: %.2f s]\n\n",
+              seq_seconds, PaperRef::bh_seq);
+
+  Table table({"P", "DPA(50)", "Caching", "paper DPA", "paper Caching",
+               "DPA speedup"});
+  auto json_rows = g_json ? std::optional(g_json->arr("barnes_hut"))
+                          : std::nullopt;
+  double dpa_p1 = 0;
+  for (int i = 0; i < 7; ++i) {
+    const auto procs = std::uint32_t(PaperRef::bh_procs[i]);
+    if (procs > max_procs) break;
+    const auto dpa =
+        app.run(procs, t3d_params(), rt::RuntimeConfig::dpa(50));
+    const auto caching =
+        app.run(procs, t3d_params(), rt::RuntimeConfig::caching());
+    const double dpa_s = dpa.total_parallel_seconds();
+    const double caching_s = caching.total_parallel_seconds();
+    if (procs == 1) dpa_p1 = dpa_s;
+    table.add_row({std::to_string(procs), Table::num(dpa_s, 2),
+                   Table::num(caching_s, 2),
+                   Table::num(PaperRef::bh_dpa50[i], 2),
+                   Table::num(PaperRef::bh_caching[i], 2),
+                   Table::num(dpa_p1 > 0 ? dpa_p1 / dpa_s : 1.0, 1) + "x"});
+    if (g_json) {
+      auto row = g_json->obj();
+      g_json->field("procs", std::uint64_t(procs))
+          .field("dpa_s", dpa_s)
+          .field("caching_s", caching_s)
+          .field("paper_dpa_s", PaperRef::bh_dpa50[i])
+          .field("paper_caching_s", PaperRef::bh_caching[i]);
+    }
+  }
+  json_rows.reset();
+  table.print();
+  std::printf("\n");
+}
+
+void run_fmm(const FmmConfig& cfg, std::uint32_t max_procs) {
+  FmmApp app(cfg);
+  std::printf("FMM: %u particles, %u terms, %u step(s)\n", cfg.nparticles,
+              cfg.terms, cfg.nsteps);
+  const auto seq = app.run_sequential();
+  std::printf("sequential (modeled): %.2f s   [paper: %.2f s]\n\n",
+              seq.seconds, PaperRef::fmm_seq);
+
+  Table table({"P", "DPA(50)", "Caching", "paper DPA", "DPA speedup"});
+  auto json_rows = g_json ? std::optional(g_json->arr("fmm"))
+                          : std::nullopt;
+  double first_dpa = 0;
+  std::uint32_t first_procs = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto procs = std::uint32_t(PaperRef::fmm_procs[i]);
+    if (procs > max_procs) break;
+    const auto dpa =
+        app.run(procs, t3d_params(), rt::RuntimeConfig::dpa(50));
+    const auto caching =
+        app.run(procs, t3d_params(), rt::RuntimeConfig::caching());
+    const double dpa_s = dpa.total_parallel_seconds();
+    if (first_dpa == 0) {
+      first_dpa = dpa_s;
+      first_procs = procs;
+    }
+    table.add_row(
+        {std::to_string(procs), Table::num(dpa_s, 2),
+         Table::num(caching.total_parallel_seconds(), 2),
+         maybe(PaperRef::fmm_dpa50[i]),
+         Table::num(first_dpa / dpa_s * double(first_procs), 1) + "x"});
+    if (g_json) {
+      auto row = g_json->obj();
+      g_json->field("procs", std::uint64_t(procs))
+          .field("dpa_s", dpa_s)
+          .field("caching_s", caching.total_parallel_seconds());
+    }
+  }
+  json_rows.reset();
+  table.print();
+  std::printf("(speedup column: relative to the %u-node DPA run, scaled)\n\n",
+              first_procs);
+}
+
+}  // namespace
+}  // namespace dpa::bench
+
+int main(int argc, char** argv) {
+  bool paper = false;
+  std::string json_path;
+  std::int64_t max_procs = 64;
+  std::int64_t bodies = 4096;
+  std::int64_t particles = 4096;
+  std::int64_t terms = 16;
+  std::int64_t steps = 1;
+  dpa::Options options;
+  options.flag("paper", &paper,
+               "run the full paper-scale workloads (minutes of host time)")
+      .i64("max-procs", &max_procs, "largest simulated node count")
+      .i64("bodies", &bodies, "Barnes-Hut bodies (ignored with --paper)")
+      .i64("particles", &particles, "FMM particles (ignored with --paper)")
+      .i64("terms", &terms, "FMM expansion terms (ignored with --paper)")
+      .i64("steps", &steps, "Barnes-Hut steps (ignored with --paper)")
+      .str("json", &json_path, "also write results to this JSON file");
+  if (!options.parse(argc, argv)) return 0;
+
+  dpa::apps::barnes::BarnesConfig bh_cfg;
+  dpa::apps::fmm::FmmConfig fmm_cfg;
+  if (paper) {
+    bh_cfg = dpa::apps::barnes::BarnesConfig::paper();
+    fmm_cfg = dpa::apps::fmm::FmmConfig::paper();
+  } else {
+    bh_cfg.nbodies = std::uint32_t(bodies);
+    bh_cfg.nsteps = std::uint32_t(steps);
+    fmm_cfg.nparticles = std::uint32_t(particles);
+    fmm_cfg.terms = std::uint32_t(terms);
+  }
+
+  std::printf("=== Table 2: execution times, DPA(50) vs software caching ===\n\n");
+  dpa::JsonWriter json;
+  std::optional<dpa::JsonWriter::Scope> root;
+  if (!json_path.empty()) {
+    dpa::bench::g_json = &json;
+    root.emplace(json.obj());
+  }
+  dpa::bench::run_barnes(bh_cfg, std::uint32_t(max_procs));
+  dpa::bench::run_fmm(fmm_cfg, std::uint32_t(max_procs));
+  if (!json_path.empty()) {
+    root.reset();
+    std::ofstream out(json_path);
+    out << json.str() << "\n";
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// The Olden-style PBDS kernels on the DPA runtime: treeadd (tree sum with
+// subtree ownership), power (price reads + demand accumulation), and
+// perimeter (quadtree neighbor probing) — each validated against its
+// oracle and reported with runtime statistics.
+//
+//   ./olden_suite --procs=16 --engine=dpa
+#include <cstdio>
+
+#include "apps/olden/perimeter.h"
+#include "apps/olden/power.h"
+#include "apps/olden/treeadd.h"
+#include "support/options.h"
+
+using namespace dpa;
+using namespace dpa::apps;
+
+int main(int argc, char** argv) {
+  std::int64_t procs = 16;
+  std::string engine = "dpa";
+  Options options;
+  options.i64("procs", &procs, "simulated nodes")
+      .str("engine", &engine, "dpa | caching | prefetch | blocking");
+  if (!options.parse(argc, argv)) return 0;
+
+  rt::RuntimeConfig rcfg;
+  if (engine == "dpa")
+    rcfg = rt::RuntimeConfig::dpa(64);
+  else if (engine == "caching")
+    rcfg = rt::RuntimeConfig::caching();
+  else if (engine == "prefetch")
+    rcfg = rt::RuntimeConfig::prefetching();
+  else if (engine == "blocking")
+    rcfg = rt::RuntimeConfig::blocking();
+  else {
+    std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
+    return 1;
+  }
+  const auto nodes = std::uint32_t(procs);
+  const sim::NetParams net{};
+  bool ok = true;
+
+  {
+    olden::TreeAddApp app({.depth = 14, .seed = 1, .cost_visit = 150}, nodes);
+    const auto r = app.run(net, rcfg);
+    const bool pass = r.phase.completed &&
+                      std::abs(r.sum - r.expected) < 1e-9;
+    ok = ok && pass;
+    std::printf("treeadd    sum %.4f (oracle %.4f)  %s  %.3f ms, %llu "
+                "threads, %.0f%% local\n",
+                r.sum, r.expected, pass ? "OK" : "MISMATCH",
+                r.phase.seconds() * 1e3,
+                (unsigned long long)r.phase.rt.threads_run,
+                100.0 * double(r.phase.rt.local_threads) /
+                    double(r.phase.rt.threads_run));
+  }
+  {
+    olden::PowerApp app({}, nodes);
+    const auto r = app.run(net, rcfg);
+    const auto seq = app.run_sequential();
+    const bool pass = r.all_completed() &&
+                      std::abs(r.final_root_demand - seq.final_root_demand) <
+                          1e-9;
+    ok = ok && pass;
+    double ms = 0;
+    std::uint64_t accums = 0;
+    for (const auto& p : r.phases) {
+      ms += p.seconds() * 1e3;
+      accums += p.rt.accums_issued + p.rt.accums_local;
+    }
+    std::printf("power      root demand %.4f (oracle %.4f)  %s  %.3f ms, "
+                "%llu demand updates\n",
+                r.final_root_demand, seq.final_root_demand,
+                pass ? "OK" : "MISMATCH", ms, (unsigned long long)accums);
+  }
+  {
+    olden::PerimeterApp app({.log_size = 7, .blobs = 6, .seed = 2}, nodes);
+    const auto r = app.run(net, rcfg);
+    const bool pass = r.phase.completed && r.perimeter == r.expected;
+    ok = ok && pass;
+    std::printf("perimeter  %llu edges (oracle %llu)  %s  %.3f ms, %llu "
+                "black leaves, %llu tree nodes\n",
+                (unsigned long long)r.perimeter,
+                (unsigned long long)r.expected, pass ? "OK" : "MISMATCH",
+                r.phase.seconds() * 1e3,
+                (unsigned long long)r.black_leaves,
+                (unsigned long long)r.tree_nodes);
+  }
+  return ok ? 0 : 1;
+}

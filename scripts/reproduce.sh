@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates every experiment in EXPERIMENTS.md and the final test/bench
+# logs. Run from the repository root.
+#
+#   scripts/reproduce.sh          # scaled workloads (about a minute)
+#   scripts/reproduce.sh --paper  # full paper-scale Table 2 (a few minutes)
+set -euo pipefail
+
+PAPER_FLAG=""
+if [[ "${1:-}" == "--paper" ]]; then
+  PAPER_FLAG="--paper"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+echo "== benches =="
+{
+  ./build/bench/bench_table2_exec_times ${PAPER_FLAG} \
+      --json=table2_results.json
+  ./build/bench/bench_table1_threads
+  ./build/bench/bench_fig_breakdown_bh
+  ./build/bench/bench_fig_breakdown_fmm
+  ./build/bench/bench_fig_stripsize
+  ./build/bench/bench_ablation_templates
+  ./build/bench/bench_ablation_aggregation
+  ./build/bench/bench_ablation_network
+  ./build/bench/bench_suite_olden
+  ./build/bench/bench_micro_runtime --benchmark_min_time=0.05
+} 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt, table2_results.json"

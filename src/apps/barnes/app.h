@@ -1,0 +1,63 @@
+// Barnes-Hut application driver: generates the Plummer system, then per
+// step builds/partitions/materializes the octree (untimed setup, as in the
+// paper) and runs the timed force-computation phase under a chosen runtime
+// engine. A sequential oracle provides the reference accelerations and the
+// modeled uniprocessor time (the paper's "sequential version": the program
+// with no parallel runtime in the loop).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/barnes/force.h"
+#include "apps/barnes/tree.h"
+#include "apps/barnes/types.h"
+#include "runtime/phase.h"
+
+namespace dpa::apps::barnes {
+
+struct BarnesStep {
+  rt::PhaseResult phase;
+  std::uint64_t interactions = 0;
+  std::uint64_t opens = 0;
+  double model_seq_seconds = 0;  // modeled sequential time for this step
+};
+
+struct BarnesRun {
+  std::vector<BarnesStep> steps;
+  std::vector<Body> final_bodies;
+
+  double total_parallel_seconds() const;
+  double total_model_seq_seconds() const;
+  std::uint64_t total_interactions() const;
+  bool all_completed() const;
+};
+
+class BarnesApp {
+ public:
+  explicit BarnesApp(BarnesConfig cfg);
+
+  // Runs cfg.nsteps force phases on `nodes` simulated nodes.
+  BarnesRun run(std::uint32_t nodes, const sim::NetParams& net,
+                const rt::RuntimeConfig& rcfg) const;
+
+  struct SeqStep {
+    std::vector<Vec3> acc;  // per body, this step
+    WalkCounts counts;
+    double seconds = 0;
+  };
+  // Sequential oracle over the same steps (also integrates).
+  std::vector<SeqStep> run_sequential() const;
+
+  const BarnesConfig& config() const { return cfg_; }
+  const std::vector<Body>& initial_bodies() const { return init_; }
+
+  // Modeled sequential seconds for given walk counts.
+  double model_seq_seconds(const WalkCounts& counts) const;
+
+ private:
+  BarnesConfig cfg_;
+  std::vector<Body> init_;
+};
+
+}  // namespace dpa::apps::barnes

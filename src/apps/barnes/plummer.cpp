@@ -1,0 +1,70 @@
+#include "apps/barnes/plummer.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace dpa::apps::barnes {
+
+namespace {
+
+// Uniform direction scaled to length `r`.
+Vec3 random_on_sphere(Rng& rng, double r) {
+  // Rejection from the unit ball, then project.
+  for (;;) {
+    Vec3 v{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const double n2 = v.norm2();
+    if (n2 > 1e-12 && n2 <= 1.0) return v * (r / std::sqrt(n2));
+  }
+}
+
+}  // namespace
+
+std::vector<Body> plummer_model(std::uint32_t nbodies, std::uint64_t seed) {
+  DPA_CHECK(nbodies > 0);
+  Rng rng(seed);
+  std::vector<Body> bodies(nbodies);
+
+  const double rsc = 3.0 * 3.14159265358979323846 / 16.0;  // radius scale
+  const double vsc = std::sqrt(1.0 / rsc);                 // velocity scale
+
+  for (std::uint32_t i = 0; i < nbodies; ++i) {
+    Body& b = bodies[i];
+    b.idx = std::int32_t(i);
+    b.mass = 1.0 / double(nbodies);
+
+    // Radius from the inverted cumulative mass profile, truncated at 9.
+    double r;
+    do {
+      const double x = rng.uniform(1e-10, 0.999);
+      r = 1.0 / std::sqrt(std::pow(x, -2.0 / 3.0) - 1.0);
+    } while (r > 9.0);
+    b.pos = random_on_sphere(rng, rsc * r);
+
+    // Speed by von Neumann rejection on g(q) = q^2 (1-q^2)^3.5.
+    double q, g;
+    do {
+      q = rng.uniform(0, 1);
+      g = rng.uniform(0, 0.1);
+    } while (g > q * q * std::pow(1.0 - q * q, 3.5));
+    const double v = q * std::sqrt(2.0) / std::pow(1.0 + r * r, 0.25);
+    b.vel = random_on_sphere(rng, vsc * v);
+
+    b.work = 1.0;  // uniform costzone weight until the first step measures
+  }
+
+  // Shift to the center-of-mass frame.
+  Vec3 cmp, cmv;
+  for (const Body& b : bodies) {
+    cmp += b.pos * b.mass;
+    cmv += b.vel * b.mass;
+  }
+  for (Body& b : bodies) {
+    b.pos -= cmp;  // total mass is 1
+    b.vel -= cmv;
+  }
+  return bodies;
+}
+
+}  // namespace dpa::apps::barnes

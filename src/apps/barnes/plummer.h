@@ -1,0 +1,16 @@
+// Plummer-model initial conditions, following the SPLASH-2 Barnes-Hut
+// generator (Aarseth's method): positions from the Plummer density profile
+// (truncated at r = 9), velocities by von Neumann rejection sampling, then a
+// shift to the center-of-mass frame.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/barnes/types.h"
+
+namespace dpa::apps::barnes {
+
+std::vector<Body> plummer_model(std::uint32_t nbodies, std::uint64_t seed);
+
+}  // namespace dpa::apps::barnes

@@ -1,0 +1,327 @@
+#include "apps/barnes/tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace dpa::apps::barnes {
+
+namespace {
+
+constexpr int kKeyBits = kMaxDepth;  // bits per dimension
+
+std::uint32_t quantize(double v, double lo, double span) {
+  const double n = (v - lo) / span;  // in [0, 1]
+  const auto max = double((1u << kKeyBits) - 1);
+  const double q = n * max;
+  if (q <= 0) return 0;
+  if (q >= max) return (1u << kKeyBits) - 1;
+  return std::uint32_t(q);
+}
+
+}  // namespace
+
+std::uint64_t morton_key(const Vec3& pos, const Vec3& center, double half) {
+  const double span = 2 * half;
+  const std::uint32_t xi = quantize(pos.x, center.x - half, span);
+  const std::uint32_t yi = quantize(pos.y, center.y - half, span);
+  const std::uint32_t zi = quantize(pos.z, center.z - half, span);
+  std::uint64_t key = 0;
+  for (int b = kKeyBits - 1; b >= 0; --b) {
+    const std::uint64_t octant = ((xi >> b) & 1u) | (((yi >> b) & 1u) << 1) |
+                                 (((zi >> b) & 1u) << 2);
+    key = (key << 3) | octant;
+  }
+  return key;
+}
+
+namespace {
+
+struct Builder {
+  std::span<const Body> bodies;
+  std::vector<std::uint64_t> keys;  // by body index
+  BhTree tree;
+
+  // Builds over tree.order[lo, hi) at `depth`; returns the cell index.
+  std::int32_t build_range(std::size_t lo, std::size_t hi, int depth,
+                           Vec3 center, double half) {
+    DPA_CHECK(hi > lo);
+    const auto idx = std::int32_t(tree.cells.size());
+    tree.cells.emplace_back();
+    {
+      BuildCell& cell = tree.cells.back();
+      cell.center = center;
+      cell.half = half;
+      cell.first_body = tree.order[lo];
+    }
+
+    if (hi - lo <= std::size_t(kLeafCap) || depth >= kMaxDepth) {
+      DPA_CHECK(hi - lo <= std::size_t(kLeafCap))
+          << "octree leaf overflow at max depth: " << (hi - lo)
+          << " coincident bodies";
+      BuildCell& cell = tree.cells[std::size_t(idx)];
+      cell.leaf = true;
+      cell.bodies.assign(tree.order.begin() + std::ptrdiff_t(lo),
+                         tree.order.begin() + std::ptrdiff_t(hi));
+      return idx;
+    }
+
+    tree.cells[std::size_t(idx)].leaf = false;
+    const int shift = 3 * (kKeyBits - 1 - depth);
+    std::size_t start = lo;
+    for (std::uint64_t oct = 0; oct < 8; ++oct) {
+      // Keys are sorted; the octant's range is contiguous.
+      std::size_t end = start;
+      while (end < hi &&
+             ((keys[std::size_t(tree.order[end])] >> shift) & 7u) == oct) {
+        ++end;
+      }
+      if (end > start) {
+        const double qh = half / 2;
+        Vec3 ccenter = center;
+        ccenter.x += (oct & 1u) ? qh : -qh;
+        ccenter.y += (oct & 2u) ? qh : -qh;
+        ccenter.z += (oct & 4u) ? qh : -qh;
+        const std::int32_t c =
+            build_range(start, end, depth + 1, ccenter, qh);
+        tree.cells[std::size_t(idx)].child[oct] = c;
+      }
+      start = end;
+    }
+    DPA_CHECK(start == hi) << "octant partition lost bodies";
+    return idx;
+  }
+};
+
+}  // namespace
+
+BhTree BhTree::build(std::span<const Body> bodies) {
+  DPA_CHECK(!bodies.empty());
+
+  // Cubic bounding box with a little slack so boundary bodies quantize
+  // strictly inside.
+  Vec3 lo = bodies[0].pos, hi = bodies[0].pos;
+  for (const Body& b : bodies) {
+    lo.x = std::min(lo.x, b.pos.x);
+    lo.y = std::min(lo.y, b.pos.y);
+    lo.z = std::min(lo.z, b.pos.z);
+    hi.x = std::max(hi.x, b.pos.x);
+    hi.y = std::max(hi.y, b.pos.y);
+    hi.z = std::max(hi.z, b.pos.z);
+  }
+  const Vec3 center = (lo + hi) * 0.5;
+  double half = 0.5 * std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z});
+  half = half > 0 ? half * 1.0001 : 1.0;
+
+  Builder b;
+  b.bodies = bodies;
+  b.keys.resize(bodies.size());
+  b.tree.order.resize(bodies.size());
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    b.keys[i] = morton_key(bodies[i].pos, center, half);
+    b.tree.order[i] = std::int32_t(i);
+  }
+  std::sort(b.tree.order.begin(), b.tree.order.end(),
+            [&](std::int32_t x, std::int32_t y) {
+              const auto kx = b.keys[std::size_t(x)];
+              const auto ky = b.keys[std::size_t(y)];
+              return kx != ky ? kx < ky : x < y;
+            });
+
+  b.tree.root_center = center;
+  b.tree.root_half = half;
+  b.tree.cells.reserve(bodies.size() / 2 + 16);
+  b.tree.root = b.build_range(0, bodies.size(), 0, center, half);
+  return std::move(b.tree);
+}
+
+void BhTree::compute_com(std::span<const Body> bodies) {
+  // Children have larger indices than parents (preorder creation), so a
+  // reverse sweep sees children before parents.
+  for (auto it = cells.rbegin(); it != cells.rend(); ++it) {
+    BuildCell& cell = *it;
+    Vec3 weighted;
+    double mass = 0;
+    if (cell.leaf) {
+      for (const std::int32_t bi : cell.bodies) {
+        const Body& b = bodies[std::size_t(bi)];
+        weighted += b.pos * b.mass;
+        mass += b.mass;
+      }
+    } else {
+      for (const std::int32_t ci : cell.child) {
+        if (ci < 0) continue;
+        const BuildCell& c = cells[std::size_t(ci)];
+        weighted += c.com * c.mass;
+        mass += c.mass;
+      }
+    }
+    DPA_CHECK(mass > 0) << "empty cell in octree";
+    cell.mass = mass;
+    cell.com = weighted * (1.0 / mass);
+  }
+}
+
+void BhTree::compute_quadrupoles(std::span<const Body> bodies) {
+  auto add_point = [](Quad& q, const Vec3& d, double m) {
+    const double r2 = d.norm2();
+    q.xx += m * (3 * d.x * d.x - r2);
+    q.xy += m * 3 * d.x * d.y;
+    q.xz += m * 3 * d.x * d.z;
+    q.yy += m * (3 * d.y * d.y - r2);
+    q.yz += m * 3 * d.y * d.z;
+    q.zz += m * (3 * d.z * d.z - r2);
+  };
+  // Children before parents: reverse sweep (preorder creation).
+  for (auto it = cells.rbegin(); it != cells.rend(); ++it) {
+    BuildCell& cell = *it;
+    cell.quad = Quad{};
+    if (cell.leaf) {
+      for (const std::int32_t bi : cell.bodies) {
+        const Body& b = bodies[std::size_t(bi)];
+        add_point(cell.quad, b.pos - cell.com, b.mass);
+      }
+    } else {
+      for (const std::int32_t ci : cell.child) {
+        if (ci < 0) continue;
+        const BuildCell& c = cells[std::size_t(ci)];
+        // Parallel-axis shift: the child's dipole about its own COM is
+        // zero, so only its monopole shifts.
+        cell.quad.xx += c.quad.xx;
+        cell.quad.xy += c.quad.xy;
+        cell.quad.xz += c.quad.xz;
+        cell.quad.yy += c.quad.yy;
+        cell.quad.yz += c.quad.yz;
+        cell.quad.zz += c.quad.zz;
+        add_point(cell.quad, c.com - cell.com, c.mass);
+      }
+    }
+  }
+}
+
+Vec3 quadrupole_acc(const Quad& q, const Vec3& com, const Vec3& pos) {
+  // phi_quad = (1/2) x^T Q x / r^5 with x = pos - com; a = +grad(psi) for
+  // the potential convention used in the monopole term (see force tests).
+  const Vec3 x = pos - com;
+  const double r2 = x.norm2();
+  const double r = std::sqrt(r2);
+  const double inv_r5 = 1.0 / (r2 * r2 * r);
+  const double inv_r7 = inv_r5 / r2;
+  const Vec3 qx{q.xx * x.x + q.xy * x.y + q.xz * x.z,
+                q.xy * x.x + q.yy * x.y + q.yz * x.z,
+                q.xz * x.x + q.yz * x.y + q.zz * x.z};
+  const double xqx = x.dot(qx);
+  return qx * inv_r5 - x * (2.5 * xqx * inv_r7);
+}
+
+std::vector<sim::NodeId> costzone_owners(const BhTree& tree,
+                                         std::span<const Body> bodies,
+                                         std::uint32_t nodes) {
+  DPA_CHECK(nodes > 0);
+  double total = 0;
+  for (const Body& b : bodies) total += std::max(b.work, 1.0);
+
+  std::vector<sim::NodeId> owner(bodies.size(), 0);
+  double prefix = 0;
+  for (const std::int32_t bi : tree.order) {
+    const double w = std::max(bodies[std::size_t(bi)].work, 1.0);
+    // Zone by the midpoint of this body's work interval.
+    const double mid = prefix + w / 2;
+    auto zone = sim::NodeId(mid / total * double(nodes));
+    if (zone >= nodes) zone = nodes - 1;
+    owner[std::size_t(bi)] = zone;
+    prefix += w;
+  }
+  return owner;
+}
+
+namespace {
+
+gas::GPtr<Cell> materialize_cell(const BhTree& tree, std::int32_t idx,
+                                 std::span<const Body> bodies,
+                                 std::span<const sim::NodeId> owner,
+                                 gas::GlobalHeap& heap) {
+  const BuildCell& src = tree.at(idx);
+  const sim::NodeId home = owner[std::size_t(src.first_body)];
+  gas::GPtr<Cell> p = heap.make<Cell>(home);
+  Cell* cell = gas::GlobalHeap::mutate(p);
+  cell->center = src.center;
+  cell->half = src.half;
+  cell->com = src.com;
+  cell->mass = src.mass;
+  cell->quad = src.quad;
+  cell->leaf = src.leaf;
+  if (src.leaf) {
+    cell->count = std::int32_t(src.bodies.size());
+    for (std::size_t i = 0; i < src.bodies.size(); ++i) {
+      const Body& b = bodies[std::size_t(src.bodies[i])];
+      cell->bpos[i] = b.pos;
+      cell->bmass[i] = b.mass;
+      cell->bidx[i] = b.idx;
+    }
+  } else {
+    for (int c = 0; c < 8; ++c) {
+      if (src.child[std::size_t(c)] >= 0) {
+        cell->child[std::size_t(c)] = materialize_cell(
+            tree, src.child[std::size_t(c)], bodies, owner, heap);
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+gas::GPtr<Cell> materialize(const BhTree& tree, std::span<const Body> bodies,
+                            std::span<const sim::NodeId> owner,
+                            gas::GlobalHeap& heap) {
+  DPA_CHECK(tree.root >= 0);
+  return materialize_cell(tree, tree.root, bodies, owner, heap);
+}
+
+WalkCounts walk_sequential(const BhTree& tree, std::span<const Body> bodies,
+                           const Body& body, double theta, double eps,
+                           Vec3* acc_out, bool use_quadrupole) {
+  WalkCounts counts;
+  Vec3 acc;
+  const double theta2 = theta * theta;
+  const double eps2 = eps * eps;
+
+  auto add_force = [&](const Vec3& target, double mass) {
+    const Vec3 d = target - body.pos;
+    const double denom = d.norm2() + eps2;
+    const double inv = 1.0 / std::sqrt(denom);
+    acc += d * (mass * inv * inv * inv);
+    ++counts.interactions;
+  };
+
+  // Explicit stack; same opening criterion as the parallel walk.
+  std::vector<std::int32_t> stack{tree.root};
+  while (!stack.empty()) {
+    const BuildCell& cell = tree.at(stack.back());
+    stack.pop_back();
+    if (cell.leaf) {
+      for (const std::int32_t bi : cell.bodies) {
+        if (bi == body.idx) continue;
+        add_force(bodies[std::size_t(bi)].pos, bodies[std::size_t(bi)].mass);
+      }
+      continue;
+    }
+    const Vec3 d = cell.com - body.pos;
+    const double r2 = d.norm2();
+    const double size = 2 * cell.half;
+    if (r2 * theta2 >= size * size) {
+      add_force(cell.com, cell.mass);
+      if (use_quadrupole) acc += quadrupole_acc(cell.quad, cell.com, body.pos);
+    } else {
+      ++counts.opens;
+      for (const std::int32_t ci : cell.child)
+        if (ci >= 0) stack.push_back(ci);
+    }
+  }
+  if (acc_out) *acc_out = acc;
+  return counts;
+}
+
+}  // namespace dpa::apps::barnes

@@ -1,0 +1,86 @@
+// Data model for the Barnes-Hut reproduction.
+//
+// The globally addressable objects are octree cells. Leaves carry their
+// bodies' positions and masses inline — the "inline allocation of objects to
+// enlarge object granularity" optimization the paper relies on (Dolby [13]):
+// one remote fetch delivers everything a visiting thread needs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "apps/common/vec.h"
+#include "gas/global_ptr.h"
+#include "sim/time.h"
+
+namespace dpa::apps::barnes {
+
+// Bodies a leaf cell carries inline.
+constexpr int kLeafCap = 8;
+// Octree recursion bound (Morton key resolution).
+constexpr int kMaxDepth = 20;
+
+// A body: owned (homed) by the node that integrates it. During the force
+// phase the owner updates acc/work; other nodes only see copies of body data
+// embedded in leaf cells.
+struct Body {
+  Vec3 pos;
+  Vec3 vel;
+  Vec3 acc;
+  double mass = 0;
+  std::int32_t idx = -1;   // global body index
+  double work = 1.0;       // interactions last step; costzone weight
+};
+
+// Symmetric traceless quadrupole tensor (6 unique components).
+struct Quad {
+  double xx = 0, xy = 0, xz = 0, yy = 0, yz = 0, zz = 0;
+};
+
+// An octree cell: the globally-shared pointer-based data structure. Either
+// an internal cell with up to 8 children, or a leaf with <= kLeafCap bodies
+// inlined.
+struct Cell {
+  Vec3 center;
+  double half = 0;  // half of side length
+  Vec3 com;         // center of mass
+  double mass = 0;
+  Quad quad;        // filled when BarnesConfig::use_quadrupole
+  bool leaf = true;
+  std::int32_t count = 0;  // inlined bodies if leaf
+  std::array<Vec3, kLeafCap> bpos;
+  std::array<double, kLeafCap> bmass;
+  std::array<std::int32_t, kLeafCap> bidx;
+  std::array<gas::GPtr<Cell>, 8> child;
+};
+
+struct BarnesConfig {
+  std::uint32_t nbodies = 4096;
+  std::uint32_t nsteps = 1;
+  double theta = 1.0;   // opening parameter (SPLASH-2 default regime)
+  double dt = 0.025;
+  double eps = 0.05;    // softening
+  std::uint64_t seed = 1234;
+  // Cell-body interactions use quadrupole moments in addition to the
+  // monopole (higher accuracy at the same theta; standard in production
+  // tree codes, and an "enlarged object granularity" case for the runtime:
+  // the same fetch carries more physics).
+  bool use_quadrupole = false;
+
+  // Application cost model in ns (see EXPERIMENTS.md for calibration
+  // against the paper's 97.84 s sequential baseline).
+  sim::Time cost_interaction = 3440;  // one body-body / body-COM interaction
+  sim::Time cost_interaction_quad = 7600;  // COM interaction incl. quadrupole
+  sim::Time cost_open = 350;          // decide + descend one cell
+  sim::Time cost_body_start = 900;    // begin one body's walk
+
+  // The paper's full-scale configuration (16,384 bodies, 4 steps).
+  static BarnesConfig paper() {
+    BarnesConfig c;
+    c.nbodies = 16384;
+    c.nsteps = 4;
+    return c;
+  }
+};
+
+}  // namespace dpa::apps::barnes

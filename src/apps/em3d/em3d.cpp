@@ -1,0 +1,175 @@
+#include "apps/em3d/em3d.h"
+
+#include <utility>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace dpa::apps::em3d {
+
+double Em3dRun::total_parallel_seconds() const {
+  double total = 0;
+  for (const auto& s : steps) total += s.phase.seconds();
+  return total;
+}
+
+bool Em3dRun::all_completed() const {
+  for (const auto& s : steps)
+    if (!s.phase.completed) return false;
+  return !steps.empty();
+}
+
+Em3dApp::Em3dApp(Em3dConfig cfg, std::uint32_t nodes)
+    : cfg_(cfg), nodes_(nodes) {
+  DPA_CHECK(nodes_ > 0);
+  DPA_CHECK(cfg_.degree > 0);
+  Rng rng(cfg_.seed);
+
+  auto build_side = [&](Side& side, std::uint32_t per_node,
+                        std::uint32_t other_per_node) {
+    const std::size_t total = std::size_t(per_node) * nodes_;
+    side.init_values.resize(total);
+    side.deps.resize(total);
+    side.coeffs.resize(total);
+    side.owner.resize(total);
+    for (std::uint32_t o = 0; o < nodes_; ++o) {
+      for (std::uint32_t s = 0; s < per_node; ++s) {
+        const std::size_t i = std::size_t(o) * per_node + s;
+        side.owner[i] = o;
+        side.init_values[i] = rng.uniform(-1, 1);
+        side.deps[i].reserve(cfg_.degree);
+        side.coeffs[i].reserve(cfg_.degree);
+        for (std::uint32_t d = 0; d < cfg_.degree; ++d) {
+          sim::NodeId dep_owner = o;
+          if (nodes_ > 1 && rng.chance(cfg_.remote_prob)) {
+            dep_owner = sim::NodeId(rng.next_below(nodes_ - 1));
+            if (dep_owner >= o) ++dep_owner;
+          }
+          const std::uint32_t slot =
+              std::uint32_t(rng.next_below(other_per_node));
+          side.deps[i].push_back(dep_owner * other_per_node + slot);
+          side.coeffs[i].push_back(rng.uniform(-0.1, 0.1));
+        }
+      }
+    }
+  };
+  build_side(e_, cfg_.e_per_node, cfg_.h_per_node);
+  build_side(h_, cfg_.h_per_node, cfg_.e_per_node);
+}
+
+std::uint64_t Em3dApp::total_edges() const {
+  return std::uint64_t(cfg_.degree) *
+         (e_.deps.size() + h_.deps.size());
+}
+
+double Em3dApp::remote_edge_fraction() const {
+  std::uint64_t remote = 0, total = 0;
+  auto count = [&](const Side& side, const Side& other,
+                   std::uint32_t other_per_node) {
+    (void)other;
+    for (std::size_t i = 0; i < side.deps.size(); ++i) {
+      for (const auto dep : side.deps[i]) {
+        ++total;
+        remote += (dep / other_per_node) != side.owner[i];
+      }
+    }
+  };
+  count(e_, h_, cfg_.h_per_node);
+  count(h_, e_, cfg_.e_per_node);
+  return total ? double(remote) / double(total) : 0.0;
+}
+
+Em3dRun Em3dApp::run(const sim::NetParams& net,
+                     const rt::RuntimeConfig& rcfg) const {
+  rt::Cluster cluster(nodes_, net);
+  rt::PhaseRunner runner(cluster, rcfg);
+
+  auto alloc_side = [&](const Side& side) {
+    std::vector<gas::GPtr<GNode>> ptrs;
+    ptrs.reserve(side.init_values.size());
+    for (std::size_t i = 0; i < side.init_values.size(); ++i)
+      ptrs.push_back(
+          cluster.heap.make<GNode>(side.owner[i], GNode{side.init_values[i]}));
+    return ptrs;
+  };
+  const auto e_ptrs = alloc_side(e_);
+  const auto h_ptrs = alloc_side(h_);
+
+  // One relaxation phase: each node updates its owned `to` nodes from the
+  // `from` side's current values.
+  auto relax_phase = [&](const Side& to_side,
+                         const std::vector<gas::GPtr<GNode>>& to_ptrs,
+                         const std::vector<gas::GPtr<GNode>>& from_ptrs,
+                         std::uint32_t per_node) {
+    std::vector<rt::NodeWork> work(nodes_);
+    for (std::uint32_t n = 0; n < nodes_; ++n) {
+      work[n].count = per_node;
+      work[n].item = [&, n](rt::Ctx& ctx, std::uint64_t s) {
+        const std::size_t i = std::size_t(n) * per_node + s;
+        ctx.charge(cfg_.cost_node_start);
+        GNode* mine = gas::GlobalHeap::mutate(to_ptrs[i]);
+        const auto& deps = to_side.deps[i];
+        const auto& coeffs = to_side.coeffs[i];
+        for (std::size_t d = 0; d < deps.size(); ++d) {
+          const double coeff = coeffs[d];
+          ctx.require(from_ptrs[std::size_t(deps[d])],
+                      [mine, coeff, this](rt::Ctx& ctx2, const GNode& dep) {
+                        ctx2.charge(cfg_.cost_per_dep);
+                        mine->value -= coeff * dep.value;
+                      });
+        }
+      };
+    }
+    return runner.run(std::move(work));
+  };
+
+  Em3dRun result;
+  for (std::uint32_t it = 0; it < cfg_.iters; ++it) {
+    Em3dStep e_step;
+    e_step.phase = relax_phase(e_, e_ptrs, h_ptrs, cfg_.e_per_node);
+    DPA_CHECK(e_step.phase.completed) << e_step.phase.diagnostics;
+    result.steps.push_back(std::move(e_step));
+
+    Em3dStep h_step;
+    h_step.phase = relax_phase(h_, h_ptrs, e_ptrs, cfg_.h_per_node);
+    DPA_CHECK(h_step.phase.completed) << h_step.phase.diagnostics;
+    result.steps.push_back(std::move(h_step));
+  }
+
+  result.e_values.reserve(e_ptrs.size());
+  for (const auto& p : e_ptrs) result.e_values.push_back(p.addr->value);
+  result.h_values.reserve(h_ptrs.size());
+  for (const auto& p : h_ptrs) result.h_values.push_back(p.addr->value);
+  return result;
+}
+
+Em3dApp::SeqResult Em3dApp::run_sequential() const {
+  SeqResult result;
+  result.e_values = e_.init_values;
+  result.h_values = h_.init_values;
+
+  auto relax = [&](const Side& to_side, std::vector<double>& to,
+                   const std::vector<double>& from) {
+    for (std::size_t i = 0; i < to.size(); ++i) {
+      double v = to[i];
+      for (std::size_t d = 0; d < to_side.deps[i].size(); ++d)
+        v -= to_side.coeffs[i][d] * from[std::size_t(to_side.deps[i][d])];
+      to[i] = v;
+    }
+  };
+
+  for (std::uint32_t it = 0; it < cfg_.iters; ++it) {
+    relax(e_, result.e_values, result.h_values);
+    relax(h_, result.h_values, result.e_values);
+  }
+  auto phase_ns = [&](const Side& side) {
+    return double(side.deps.size()) *
+               (double(cfg_.cost_node_start) +
+                double(cfg_.degree) * double(cfg_.cost_per_dep));
+  };
+  result.model_seconds =
+      double(cfg_.iters) * (phase_ns(e_) + phase_ns(h_)) / 1e9;
+  return result;
+}
+
+}  // namespace dpa::apps::em3d

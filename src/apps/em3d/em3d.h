@@ -1,0 +1,89 @@
+// em3d: electromagnetic wave propagation on an irregular bipartite graph
+// (from the Olden benchmark suite, the standard PBDS workload of the era —
+// and the caching comparator's home turf [Carlisle & Rogers]).
+//
+// Electric-field nodes depend on magnetic-field nodes and vice versa; one
+// iteration updates E from H, the next H from E:
+//     e.value -= sum_j coeff_j * h_j.value
+// Dependencies cross processor boundaries with configurable probability;
+// every remote read of a tiny 8-byte node is exactly the fine-grained
+// communication DPA's aggregation amortizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gas/heap.h"
+#include "runtime/phase.h"
+
+namespace dpa::apps::em3d {
+
+struct GNode {
+  double value = 0;
+};
+
+struct Em3dConfig {
+  std::uint32_t e_per_node = 512;   // E-field nodes per processor
+  std::uint32_t h_per_node = 512;   // H-field nodes per processor
+  std::uint32_t degree = 8;         // dependencies per node
+  double remote_prob = 0.2;         // P(dependency crosses processors)
+  std::uint32_t iters = 1;          // E/H update rounds
+  std::uint64_t seed = 77;
+
+  sim::Time cost_per_dep = 120;     // one multiply-add
+  sim::Time cost_node_start = 300;
+};
+
+struct Em3dStep {
+  rt::PhaseResult phase;
+};
+
+struct Em3dRun {
+  std::vector<Em3dStep> steps;  // 2 per iter: E update, then H update
+  std::vector<double> e_values;
+  std::vector<double> h_values;
+
+  double total_parallel_seconds() const;
+  bool all_completed() const;
+};
+
+class Em3dApp {
+ public:
+  // The graph is built per (nodes, seed): the same config on the same node
+  // count is reproducible.
+  Em3dApp(Em3dConfig cfg, std::uint32_t nodes);
+
+  Em3dRun run(const sim::NetParams& net, const rt::RuntimeConfig& rcfg) const;
+
+  // Host-only reference over the same graph.
+  struct SeqResult {
+    std::vector<double> e_values;
+    std::vector<double> h_values;
+    double model_seconds = 0;  // modeled time of all phases
+  };
+  SeqResult run_sequential() const;
+
+  std::uint32_t nodes() const { return nodes_; }
+  const Em3dConfig& config() const { return cfg_; }
+  std::uint64_t total_edges() const;
+  double remote_edge_fraction() const;
+
+ private:
+  struct Side {  // one half of the bipartite graph, grouped by owner
+    // Flattened per owner: index = owner * per_node + slot.
+    std::vector<double> init_values;
+    std::vector<std::vector<std::uint32_t>> deps;   // into the other side
+    std::vector<std::vector<double>> coeffs;
+    std::vector<sim::NodeId> owner;
+  };
+
+  void relax_host(const Side& from, std::vector<double>& to_values,
+                  const std::vector<double>& from_values) const;
+
+  Em3dConfig cfg_;
+  std::uint32_t nodes_;
+  Side e_;
+  Side h_;
+};
+
+}  // namespace dpa::apps::em3d

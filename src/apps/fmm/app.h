@@ -1,0 +1,61 @@
+// FMM application driver: builds the quadtree, interaction lists and
+// multipole expansions (untimed setup, as in the paper, which times the
+// force-computation phase), runs the interaction phase under a chosen
+// runtime engine, and completes with the untimed downward pass. A direct
+// O(N^2) oracle validates forces; a sequential host run provides the modeled
+// uniprocessor time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/fmm/phase.h"
+#include "apps/fmm/tree.h"
+#include "runtime/phase.h"
+
+namespace dpa::apps::fmm {
+
+struct FmmStep {
+  rt::PhaseResult phase;
+  std::uint64_t m2l = 0;
+  std::uint64_t p2p_pairs = 0;
+  std::uint64_t list_entries = 0;
+  double model_seq_seconds = 0;
+};
+
+struct FmmRun {
+  std::vector<FmmStep> steps;
+  std::vector<Particle> final_particles;
+
+  double total_parallel_seconds() const;
+  double total_model_seq_seconds() const;
+  bool all_completed() const;
+};
+
+class FmmApp {
+ public:
+  explicit FmmApp(FmmConfig cfg);
+
+  FmmRun run(std::uint32_t nodes, const sim::NetParams& net,
+             const rt::RuntimeConfig& rcfg) const;
+
+  struct SeqResult {
+    std::vector<Cmplx> forces;  // first step's forces
+    double seconds = 0;         // modeled interaction-phase time
+    std::uint64_t m2l = 0;
+    std::uint64_t p2p_pairs = 0;
+  };
+  SeqResult run_sequential() const;
+
+  const FmmConfig& config() const { return cfg_; }
+  const std::vector<Particle>& initial_particles() const { return init_; }
+
+  // Modeled sequential seconds of the interaction phase for a built tree.
+  double model_seq_seconds(const FmmTree& tree) const;
+
+ private:
+  FmmConfig cfg_;
+  std::vector<Particle> init_;
+};
+
+}  // namespace dpa::apps::fmm

@@ -1,0 +1,131 @@
+#include "apps/fmm/expansion.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace dpa::apps::fmm {
+
+namespace {
+
+// Binomial coefficients C(n, k) for n up to 2*kMaxTerms + 1.
+constexpr std::size_t kBinN = 2 * kMaxTerms + 2;
+
+const double* binomial_row(std::size_t n) {
+  static const auto table = [] {
+    auto t = new double[kBinN][kBinN]();
+    for (std::size_t i = 0; i < kBinN; ++i) {
+      t[i][0] = 1.0;
+      for (std::size_t j = 1; j <= i; ++j)
+        t[i][j] = t[i - 1][j - 1] + (j <= i - 1 ? t[i - 1][j] : 0.0);
+    }
+    return t;
+  }();
+  DPA_DCHECK(n < kBinN);
+  return table[n];
+}
+
+double binom(std::size_t n, std::size_t k) { return binomial_row(n)[k]; }
+
+}  // namespace
+
+void p2m(std::span<const Particle> particles, Cmplx z_m, std::uint32_t p,
+         std::span<Cmplx> a) {
+  DPA_DCHECK(a.size() >= p + 1);
+  for (const Particle& part : particles) {
+    a[0] += part.q;
+    const Cmplx d = part.z - z_m;
+    Cmplx dk = d;
+    for (std::uint32_t k = 1; k <= p; ++k) {
+      a[k] -= part.q * dk / double(k);
+      dk *= d;
+    }
+  }
+}
+
+void m2m(std::span<const Cmplx> a_child, Cmplx z_child, Cmplx z_parent,
+         std::uint32_t p, std::span<Cmplx> a_parent) {
+  const Cmplx d = z_child - z_parent;
+  // Powers of d up to p.
+  Cmplx dpow[kMaxTerms + 1];
+  dpow[0] = 1.0;
+  for (std::uint32_t i = 1; i <= p; ++i) dpow[i] = dpow[i - 1] * d;
+
+  a_parent[0] += a_child[0];
+  for (std::uint32_t k = 1; k <= p; ++k) {
+    Cmplx sum = -a_child[0] * dpow[k] / double(k);
+    for (std::uint32_t j = 1; j <= k; ++j)
+      sum += a_child[j] * binom(k - 1, j - 1) * dpow[k - j];
+    a_parent[k] += sum;
+  }
+}
+
+void m2l(std::span<const Cmplx> a, Cmplx z_m, Cmplx z_l, std::uint32_t p,
+         std::span<Cmplx> b) {
+  const Cmplx d = z_m - z_l;
+  const Cmplx inv_d = 1.0 / d;
+  // (-1)^k / d^k terms.
+  Cmplx neg_inv_pow[kMaxTerms + 1];
+  neg_inv_pow[0] = 1.0;
+  for (std::uint32_t i = 1; i <= p; ++i)
+    neg_inv_pow[i] = -neg_inv_pow[i - 1] * inv_d;
+
+  // b_0.
+  Cmplx b0 = a[0] * std::log(-d);
+  for (std::uint32_t k = 1; k <= p; ++k) b0 += a[k] * neg_inv_pow[k];
+  b[0] += b0;
+
+  // b_l for l >= 1:  -a0/(l d^l) + sum_k a_k (-1)^k C(l+k-1, k-1) d^-(k+l).
+  Cmplx inv_dl = 1.0;  // 1/d^l accumulator
+  for (std::uint32_t l = 1; l <= p; ++l) {
+    inv_dl *= inv_d;
+    Cmplx sum = -a[0] * inv_dl / double(l);
+    Cmplx tail = 0.0;
+    for (std::uint32_t k = 1; k <= p; ++k)
+      tail += a[k] * binom(l + k - 1, k - 1) * neg_inv_pow[k];
+    sum += tail * inv_dl;
+    b[l] += sum;
+  }
+}
+
+void l2l(std::span<const Cmplx> b_from, Cmplx z_from, Cmplx z_to,
+         std::uint32_t p, std::span<Cmplx> b_to) {
+  const Cmplx d = z_to - z_from;
+  Cmplx dpow[kMaxTerms + 1];
+  dpow[0] = 1.0;
+  for (std::uint32_t i = 1; i <= p; ++i) dpow[i] = dpow[i - 1] * d;
+
+  for (std::uint32_t l = 0; l <= p; ++l) {
+    Cmplx sum = 0.0;
+    for (std::uint32_t m = l; m <= p; ++m)
+      sum += b_from[m] * binom(m, l) * dpow[m - l];
+    b_to[l] += sum;
+  }
+}
+
+Cmplx m2p_field(std::span<const Cmplx> a, Cmplx z_m, std::uint32_t p,
+                Cmplx z) {
+  const Cmplx u = z - z_m;
+  const Cmplx inv_u = 1.0 / u;
+  Cmplx field = a[0] * inv_u;
+  Cmplx inv_uk1 = inv_u * inv_u;  // u^-(k+1)
+  for (std::uint32_t k = 1; k <= p; ++k) {
+    field -= double(k) * a[k] * inv_uk1;
+    inv_uk1 *= inv_u;
+  }
+  return field;
+}
+
+Cmplx l2p_field(std::span<const Cmplx> b, Cmplx z_l, std::uint32_t p,
+                Cmplx z) {
+  const Cmplx t = z - z_l;
+  Cmplx field = 0.0;
+  Cmplx tpow = 1.0;  // t^(l-1)
+  for (std::uint32_t l = 1; l <= p; ++l) {
+    field += double(l) * b[l] * tpow;
+    tpow *= t;
+  }
+  return field;
+}
+
+}  // namespace dpa::apps::fmm

@@ -1,0 +1,46 @@
+// 2D multipole/local expansion kernels (Greengard-Rokhlin).
+//
+// Multipole about z_M:  phi(z) = a_0 log(z - z_M) + sum_{k>=1} a_k (z-z_M)^-k
+// Local about z_L:      psi(z) = sum_{l>=0} b_l (z - z_L)^l
+//
+// All routines take the expansion order p (number of terms beyond a_0) and
+// operate on coefficient spans of length p+1.
+#pragma once
+
+#include <complex>
+#include <span>
+
+#include "apps/fmm/types.h"
+
+namespace dpa::apps::fmm {
+
+// a (length p+1) += multipole expansion of `particles` about z_m.
+void p2m(std::span<const Particle> particles, Cmplx z_m, std::uint32_t p,
+         std::span<Cmplx> a);
+
+// Translates a child multipole about z_child into the parent expansion
+// about z_parent: a_parent += T(a_child).
+void m2m(std::span<const Cmplx> a_child, Cmplx z_child, Cmplx z_parent,
+         std::uint32_t p, std::span<Cmplx> a_parent);
+
+// Converts a multipole about z_m into a local expansion about z_l:
+// b += T(a). Requires |z_m - z_l| larger than the source radius.
+void m2l(std::span<const Cmplx> a, Cmplx z_m, Cmplx z_l, std::uint32_t p,
+         std::span<Cmplx> b);
+
+// Shifts a local expansion about z_from to one about z_to: b_to += T(b).
+void l2l(std::span<const Cmplx> b_from, Cmplx z_from, Cmplx z_to,
+         std::uint32_t p, std::span<Cmplx> b_to);
+
+// Field (d phi / dz) of a multipole expansion at z.
+Cmplx m2p_field(std::span<const Cmplx> a, Cmplx z_m, std::uint32_t p, Cmplx z);
+
+// Field (d psi / dz) of a local expansion at z.
+Cmplx l2p_field(std::span<const Cmplx> b, Cmplx z_l, std::uint32_t p, Cmplx z);
+
+// Direct field at z from one source particle at z_j with charge q_j.
+inline Cmplx p2p_field(Cmplx z, Cmplx z_j, double q_j) {
+  return q_j / (z - z_j);
+}
+
+}  // namespace dpa::apps::fmm

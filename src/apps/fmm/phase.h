@@ -1,0 +1,35 @@
+// The FMM interaction phase (M2L + P2P over the interaction lists) in the
+// paper's non-blocking-thread form: each node's conc loop runs over its
+// owned target cells; every list entry becomes a thread labeled with the
+// source cell's global pointer. Local expansions and particle forces are
+// accumulated owner-side.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/fmm/tree.h"
+#include "runtime/engine.h"
+
+namespace dpa::apps::fmm {
+
+// Phase-lifetime shared state for the interaction threads.
+struct PhaseContext {
+  FmmTree* tree = nullptr;
+  std::vector<Particle>* particles = nullptr;
+  std::vector<gas::GPtr<FCell>> cells;  // global cell per host index
+  FmmConfig cfg;
+
+  // Marshalled size of a cell fetch: header + truncated expansion +
+  // (leaves) inlined particles.
+  std::uint32_t cell_bytes(std::int32_t src) const;
+
+  // Host-side accounting.
+  std::uint64_t m2l_done = 0;
+  std::uint64_t p2p_pairs_done = 0;
+};
+
+std::vector<rt::NodeWork> make_interaction_work(
+    PhaseContext* pc, const FmmTree::Partition& part);
+
+}  // namespace dpa::apps::fmm

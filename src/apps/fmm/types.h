@@ -1,0 +1,83 @@
+// Data model for the 2D fast multipole method reproduction.
+//
+// Potential theory convention: particles carry charges q_j at complex
+// positions z_j with potential phi(z) = sum_j q_j log(z - z_j). The complex
+// "force" on particle i is f_i = conj(sum_{j!=i} q_j / (z_i - z_j)), the
+// standard 2D FMM convention (SPLASH-2 FMM is this 2D formulation).
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstdint>
+
+#include "gas/global_ptr.h"
+#include "sim/time.h"
+
+namespace dpa::apps::fmm {
+
+using Cmplx = std::complex<double>;
+
+// Maximum expansion terms held inline in a cell object (paper runs 29).
+constexpr std::uint32_t kMaxTerms = 30;
+// Particles a leaf carries inline.
+constexpr int kLeafCap = 16;
+// Quadtree recursion bound.
+constexpr int kMaxDepth = 24;
+
+struct Particle {
+  Cmplx z;        // position
+  Cmplx vel;      // velocity (multi-step runs)
+  double q = 0;   // charge / mass
+  Cmplx force;    // accumulated complex force
+  std::int32_t idx = -1;
+};
+
+// The globally shared cell object: geometry + truncated multipole expansion
+// + (leaves) inlined particle data. One fetch serves both M2L and P2P.
+struct FCell {
+  Cmplx center;
+  double half = 0;
+  bool leaf = true;
+  std::int32_t count = 0;
+  std::array<Cmplx, kMaxTerms + 1> mpole;  // a_0 .. a_terms
+  std::array<Cmplx, kLeafCap> ppos;
+  std::array<double, kLeafCap> pq;
+  std::array<std::int32_t, kLeafCap> pidx;
+};
+
+struct FmmConfig {
+  std::uint32_t nparticles = 8192;
+  std::uint32_t terms = 12;  // expansion order p (paper: 29)
+  std::uint32_t nsteps = 1;
+  std::uint64_t seed = 4321;
+  // Well-separateness: accept M2L when the Chebyshev center distance is at
+  // least ws_ratio * max(half-width). 4.0 reproduces the classic
+  // "non-adjacent same-level" criterion.
+  double ws_ratio = 4.0;
+  double dt = 0.005;
+
+  // Application cost model (ns): an M2L is (p+1)^2 multiply-adds, a P2P
+  // pair is one complex reciprocal, an M2P/L2P evaluation is p+1 terms.
+  // Calibrated on a 150 MHz Alpha 21064 so the paper-scale run lands near
+  // the paper's 14.46 s sequential baseline (see EXPERIMENTS.md).
+  sim::Time cost_per_term_pair = 95;  // M2L inner op (~14 cycles)
+  sim::Time cost_p2p_pair = 900;      // softened complex reciprocal
+  sim::Time cost_per_term_eval = 60;
+  sim::Time cost_list_visit = 250;
+  sim::Time cost_cell_start = 1200;
+
+  sim::Time m2l_cost() const {
+    const auto p1 = sim::Time(terms + 1);
+    return p1 * p1 * cost_per_term_pair;
+  }
+
+  // The paper's full-scale configuration (32,768 particles, 29 terms).
+  static FmmConfig paper() {
+    FmmConfig c;
+    c.nparticles = 32768;
+    c.terms = 29;
+    return c;
+  }
+};
+
+}  // namespace dpa::apps::fmm

@@ -1,0 +1,59 @@
+// perimeter (Olden): perimeter of a raster region stored as a quadtree.
+//
+// A random bitmap of blobs is quantized into a region quadtree (uniform
+// regions collapse into leaves). The perimeter of the black region is
+// computed leaf by leaf: for every black leaf, each border pixel-edge is
+// checked by probing the color on the other side — a root-descend walk of
+// the quadtree, i.e. a chain of data-dependent pointer dereferences. Every
+// probe shares the top of the tree with every other probe, which is the
+// extreme tiling case for DPA's map M.
+//
+// Oracle: the same perimeter counted directly on the bitmap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gas/heap.h"
+#include "runtime/phase.h"
+
+namespace dpa::apps::olden {
+
+struct QNode {
+  // Quadrant corner (in pixels) and size; color 0=white, 1=black, 2=gray.
+  std::uint32_t x0 = 0;
+  std::uint32_t y0 = 0;
+  std::uint32_t size = 0;
+  std::uint8_t color = 0;
+  std::array<gas::GPtr<QNode>, 4> child;  // gray nodes only
+};
+
+struct PerimeterConfig {
+  std::uint32_t log_size = 6;  // bitmap is 2^log_size square
+  std::uint32_t blobs = 6;     // random filled discs
+  std::uint64_t seed = 17;
+  sim::Time cost_probe_step = 120;  // one descend step
+  sim::Time cost_edge = 80;         // per border-edge bookkeeping
+};
+
+struct PerimeterResult {
+  rt::PhaseResult phase;
+  std::uint64_t perimeter = 0;  // pixel edges on the black/white border
+  std::uint64_t expected = 0;   // bitmap oracle
+  std::uint64_t black_leaves = 0;
+  std::uint64_t tree_nodes = 0;
+};
+
+class PerimeterApp {
+ public:
+  PerimeterApp(PerimeterConfig cfg, std::uint32_t nodes);
+
+  PerimeterResult run(const sim::NetParams& net,
+                      const rt::RuntimeConfig& rcfg) const;
+
+ private:
+  PerimeterConfig cfg_;
+  std::uint32_t nodes_;
+};
+
+}  // namespace dpa::apps::olden

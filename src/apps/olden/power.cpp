@@ -1,0 +1,144 @@
+#include "apps/olden/power.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace dpa::apps::olden {
+
+bool PowerResult::all_completed() const {
+  for (const auto& p : phases)
+    if (!p.completed) return false;
+  return !phases.empty();
+}
+
+PowerApp::PowerApp(PowerConfig cfg, std::uint32_t nodes)
+    : cfg_(cfg), nodes_(nodes) {
+  DPA_CHECK(nodes_ > 0);
+  DPA_CHECK(cfg_.total_customers() > 0);
+}
+
+namespace {
+
+double demand_of(double coeff, double price) {
+  // A smooth downward-sloping demand curve.
+  return coeff / (1.0 + price);
+}
+
+}  // namespace
+
+PowerResult PowerApp::run(const sim::NetParams& net,
+                          const rt::RuntimeConfig& rcfg) const {
+  rt::Cluster cluster(nodes_, net);
+  Rng rng(cfg_.seed);
+
+  const std::uint64_t nbranches =
+      std::uint64_t(cfg_.feeders) * cfg_.laterals * cfg_.branches;
+
+  // Branches are homed in contiguous blocks (a lateral's branches stay
+  // together); customers are assigned round-robin, so most customers read
+  // a *remote* branch — the communication the phase measures.
+  std::vector<gas::GPtr<PBranch>> branches;
+  branches.reserve(nbranches);
+  for (std::uint64_t b = 0; b < nbranches; ++b) {
+    const auto home = sim::NodeId(b * nodes_ / nbranches);
+    branches.push_back(cluster.heap.make<PBranch>(home));
+  }
+
+  struct Customer {
+    std::uint64_t branch;
+    double coeff;
+  };
+  std::vector<std::vector<Customer>> owned(nodes_);
+  for (std::uint64_t b = 0; b < nbranches; ++b) {
+    for (std::uint32_t c = 0; c < cfg_.customers; ++c) {
+      const auto owner =
+          sim::NodeId((b * cfg_.customers + c) % nodes_);
+      owned[owner].push_back(Customer{b, rng.uniform(0.5, 1.5)});
+    }
+  }
+
+  rt::PhaseRunner runner(cluster, rcfg);
+  PowerResult result;
+  const sim::Time cost = cfg_.cost_demand;
+
+  for (std::uint32_t iter = 0; iter < cfg_.iters; ++iter) {
+    for (const auto& b : branches) gas::GlobalHeap::mutate(b)->demand = 0;
+
+    std::vector<rt::NodeWork> work(nodes_);
+    for (std::uint32_t n = 0; n < nodes_; ++n) {
+      const auto& mine = owned[n];
+      work[n].count = mine.size();
+      work[n].item = [&mine, &branches, cost](rt::Ctx& ctx,
+                                              std::uint64_t i) {
+        const Customer& cust = mine[std::size_t(i)];
+        const gas::GPtr<PBranch> branch = branches[cust.branch];
+        const double coeff = cust.coeff;
+        // Read the branch price (thread labeled by the branch pointer)...
+        ctx.require(branch, [branch, coeff, cost](rt::Ctx& ctx2,
+                                                  const PBranch& b) {
+          ctx2.charge(cost);
+          const double demand = demand_of(coeff, b.price);
+          // ...and send the demand back as a commutative update.
+          ctx2.accumulate(branch,
+                          [demand](PBranch& bb) { bb.demand += demand; });
+        });
+      };
+    }
+    result.phases.push_back(runner.run(std::move(work)));
+    DPA_CHECK(result.phases.back().completed)
+        << result.phases.back().diagnostics;
+
+    // Untimed host step: aggregate demand upward and adjust prices.
+    double root_demand = 0;
+    for (std::uint64_t b = 0; b < nbranches; ++b) {
+      auto* branch = gas::GlobalHeap::mutate(branches[b]);
+      root_demand += branch->demand;
+      branch->price +=
+          cfg_.alpha * (branch->demand / cfg_.customers - 1.0);
+      if (branch->price < 0.01) branch->price = 0.01;
+    }
+    result.final_root_demand = root_demand;
+  }
+
+  result.branch_prices.reserve(nbranches);
+  for (const auto& b : branches)
+    result.branch_prices.push_back(b.addr->price);
+  return result;
+}
+
+PowerApp::SeqResult PowerApp::run_sequential() const {
+  Rng rng(cfg_.seed);
+  const std::uint64_t nbranches =
+      std::uint64_t(cfg_.feeders) * cfg_.laterals * cfg_.branches;
+
+  struct Customer {
+    std::uint64_t branch;
+    double coeff;
+  };
+  // Reproduce the exact same customer assignment and coefficients.
+  std::vector<Customer> customers;
+  for (std::uint64_t b = 0; b < nbranches; ++b)
+    for (std::uint32_t c = 0; c < cfg_.customers; ++c)
+      customers.push_back(Customer{b, rng.uniform(0.5, 1.5)});
+
+  std::vector<double> price(nbranches, 1.0);
+  SeqResult result;
+  for (std::uint32_t iter = 0; iter < cfg_.iters; ++iter) {
+    std::vector<double> demand(nbranches, 0.0);
+    for (const Customer& cust : customers)
+      demand[cust.branch] += demand_of(cust.coeff, price[cust.branch]);
+    double root = 0;
+    for (std::uint64_t b = 0; b < nbranches; ++b) {
+      root += demand[b];
+      price[b] += cfg_.alpha * (demand[b] / cfg_.customers - 1.0);
+      if (price[b] < 0.01) price[b] = 0.01;
+    }
+    result.final_root_demand = root;
+  }
+  result.branch_prices = std::move(price);
+  return result;
+}
+
+}  // namespace dpa::apps::olden

@@ -1,0 +1,65 @@
+// power (Olden): hierarchical power-system pricing.
+//
+// A fixed four-level tree (root -> feeders -> laterals -> branches) with
+// customers at the leaves. Each pricing iteration the customers read their
+// branch's current price (a remote read through a pointer) and send their
+// demand back up (a commutative update — this app exercises the runtime's
+// remote-accumulation extension); the untimed host step then aggregates
+// demand up the tree and adjusts prices toward equilibrium.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gas/heap.h"
+#include "runtime/phase.h"
+
+namespace dpa::apps::olden {
+
+struct PBranch {
+  double price = 1.0;
+  double demand = 0;  // accumulated by customers each iteration
+};
+
+struct PowerConfig {
+  std::uint32_t feeders = 8;
+  std::uint32_t laterals = 16;   // per feeder
+  std::uint32_t branches = 8;    // per lateral
+  std::uint32_t customers = 4;   // per branch
+  std::uint32_t iters = 3;
+  std::uint64_t seed = 13;
+  double alpha = 0.2;  // price adjustment rate
+
+  sim::Time cost_demand = 600;   // one customer's demand computation
+  std::uint64_t total_customers() const {
+    return std::uint64_t(feeders) * laterals * branches * customers;
+  }
+};
+
+struct PowerResult {
+  std::vector<rt::PhaseResult> phases;  // one per iteration
+  double final_root_demand = 0;
+  std::vector<double> branch_prices;  // flattened, for oracle comparison
+  bool all_completed() const;
+};
+
+class PowerApp {
+ public:
+  PowerApp(PowerConfig cfg, std::uint32_t nodes);
+
+  PowerResult run(const sim::NetParams& net,
+                  const rt::RuntimeConfig& rcfg) const;
+
+  // Host-only oracle over the same system.
+  struct SeqResult {
+    double final_root_demand = 0;
+    std::vector<double> branch_prices;
+  };
+  SeqResult run_sequential() const;
+
+ private:
+  PowerConfig cfg_;
+  std::uint32_t nodes_;
+};
+
+}  // namespace dpa::apps::olden

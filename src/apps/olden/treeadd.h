@@ -1,0 +1,55 @@
+// treeadd (Olden): sum the values of a binary tree.
+//
+// The smallest PBDS kernel — the pointer-chasing hello world of the Olden
+// suite the paper's caching comparator was built for. Parallel form: the
+// top log2(P) levels are split into per-node subtrees; each node's conc
+// loop walks its own subtrees (mostly local), and node 0 walks the shared
+// top region. Ownership boundaries create exactly the remote reads DPA
+// tiles and batches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gas/heap.h"
+#include "runtime/phase.h"
+
+namespace dpa::apps::olden {
+
+struct TNode {
+  double value = 0;
+  gas::GPtr<TNode> left;
+  gas::GPtr<TNode> right;
+};
+
+struct TreeAddConfig {
+  std::uint32_t depth = 12;  // 2^depth - 1 nodes
+  std::uint64_t seed = 11;
+  // Fraction of tree nodes allocated on a random processor instead of the
+  // subtree owner's: real Olden heaps are not perfectly traversal-aligned,
+  // and these are the remote reads the engines differ on.
+  double scatter = 0.15;
+  sim::Time cost_visit = 150;
+};
+
+struct TreeAddResult {
+  rt::PhaseResult phase;
+  double sum = 0;
+  double expected = 0;  // host-recursion oracle over the same tree
+};
+
+class TreeAddApp {
+ public:
+  TreeAddApp(TreeAddConfig cfg, std::uint32_t nodes);
+
+  TreeAddResult run(const sim::NetParams& net,
+                    const rt::RuntimeConfig& rcfg) const;
+
+  const TreeAddConfig& config() const { return cfg_; }
+
+ private:
+  TreeAddConfig cfg_;
+  std::uint32_t nodes_;
+};
+
+}  // namespace dpa::apps::olden

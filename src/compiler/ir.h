@@ -1,0 +1,131 @@
+// Mini-IR for pointer-based computations: the input language of the
+// thread-partitioning pass (the paper's compiler component).
+//
+// The source model mirrors the ICC++ subset the paper compiles: functions
+// take one pointer parameter (the PBDS node being visited), read its fields,
+// do local arithmetic, accumulate into commutative reduction cells, and
+// recurse concurrently through pointer fields (`conc` semantics: no
+// dependence between spawned traversals other than the reductions).
+//
+// Example (a binary-tree sum):
+//
+//   Function: visit(t : Tree)
+//     v  = t->value            (ReadScalar)
+//     sum += v                 (Accum; commutative)
+//     charge(50)               (Charge; abstract work)
+//     spawn visit(t->left)     (Spawn through pointer field)
+//     spawn visit(t->right)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dpa::compiler {
+
+// ---------- object classes ----------
+
+struct PtrField {
+  std::string name;
+  std::string pointee;  // class name
+};
+
+struct ClassDef {
+  std::string name;
+  std::vector<std::string> scalar_fields;
+  std::vector<PtrField> ptr_fields;
+
+  int scalar_slot(const std::string& field) const;
+  int ptr_slot(const std::string& field) const;
+};
+
+// ---------- expressions ----------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class K : std::uint8_t { kConst, kVar, kBin };
+  enum class BinOp : std::uint8_t { kAdd, kSub, kMul, kDiv, kLess, kGreater };
+
+  K kind = K::kConst;
+  double cval = 0;
+  std::string var;
+  BinOp op = BinOp::kAdd;
+  ExprPtr lhs, rhs;
+
+  static ExprPtr c(double v);
+  static ExprPtr v(std::string name);
+  static ExprPtr bin(BinOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr add(ExprPtr l, ExprPtr r) { return bin(BinOp::kAdd, l, r); }
+  static ExprPtr sub(ExprPtr l, ExprPtr r) { return bin(BinOp::kSub, l, r); }
+  static ExprPtr mul(ExprPtr l, ExprPtr r) { return bin(BinOp::kMul, l, r); }
+  static ExprPtr div(ExprPtr l, ExprPtr r) { return bin(BinOp::kDiv, l, r); }
+  static ExprPtr less(ExprPtr l, ExprPtr r) { return bin(BinOp::kLess, l, r); }
+
+  double eval(const std::map<std::string, double>& env) const;
+  void collect_vars(std::set<std::string>& out) const;
+  std::string to_string() const;
+};
+
+// ---------- statements ----------
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+struct Stmt {
+  enum class K : std::uint8_t {
+    kLet,            // dst = expr
+    kReadScalar,     // dst = ptr->field
+    kReadPtr,        // dst = ptr->field        (pointer-valued)
+    kAccum,          // accumulator dst += expr (commutative reduction)
+    kCharge,         // charge(expr) abstract work units (ns)
+    kIf,             // if (expr) then_body else else_body
+    kSpawn,          // conc call callee(ptr)   (ptr var or param)
+    kSpawnChildren,  // conc call callee(q) for every non-null ptr field q
+                     // of `ptr`'s object
+  };
+
+  K kind = K::kLet;
+  std::string dst;
+  std::string ptr;
+  std::string field;
+  ExprPtr expr;
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+  std::string callee;
+
+  static StmtPtr let(std::string dst, ExprPtr e);
+  static StmtPtr read_scalar(std::string dst, std::string ptr,
+                             std::string field);
+  static StmtPtr read_ptr(std::string dst, std::string ptr, std::string field);
+  static StmtPtr accum(std::string cell, ExprPtr e);
+  static StmtPtr charge(ExprPtr e);
+  static StmtPtr if_(ExprPtr cond, std::vector<StmtPtr> then_body,
+                     std::vector<StmtPtr> else_body = {});
+  static StmtPtr spawn(std::string callee, std::string ptr);
+  static StmtPtr spawn_children(std::string callee, std::string ptr);
+};
+
+// ---------- functions / module ----------
+
+struct Function {
+  std::string name;
+  std::string param;        // the pointer parameter
+  std::string param_class;  // its pointee class
+  std::vector<StmtPtr> body;
+};
+
+struct Module {
+  std::vector<ClassDef> classes;
+  std::vector<Function> functions;
+
+  const ClassDef& cls(const std::string& name) const;
+  const Function& fn(const std::string& name) const;
+  bool has_class(const std::string& name) const;
+};
+
+}  // namespace dpa::compiler

@@ -1,0 +1,129 @@
+#include "compiler/opt.h"
+
+#include <set>
+
+#include "support/assert.h"
+
+namespace dpa::compiler {
+
+ExprPtr fold_expr(const ExprPtr& expr, std::size_t* folded) {
+  if (!expr || expr->kind != Expr::K::kBin) return expr;
+  ExprPtr lhs = fold_expr(expr->lhs, folded);
+  ExprPtr rhs = fold_expr(expr->rhs, folded);
+  if (lhs->kind == Expr::K::kConst && rhs->kind == Expr::K::kConst) {
+    const std::map<std::string, double> empty;
+    ExprPtr replacement =
+        Expr::c(Expr::bin(expr->op, lhs, rhs)->eval(empty));
+    if (folded) ++*folded;
+    return replacement;
+  }
+  if (lhs == expr->lhs && rhs == expr->rhs) return expr;
+  return Expr::bin(expr->op, std::move(lhs), std::move(rhs));
+}
+
+namespace {
+
+StmtPtr fold_stmt(const StmtPtr& stmt, std::size_t* folded);
+
+std::vector<StmtPtr> fold_body(const std::vector<StmtPtr>& body,
+                               std::size_t* folded) {
+  std::vector<StmtPtr> out;
+  out.reserve(body.size());
+  for (const auto& s : body) out.push_back(fold_stmt(s, folded));
+  return out;
+}
+
+StmtPtr fold_stmt(const StmtPtr& stmt, std::size_t* folded) {
+  switch (stmt->kind) {
+    case Stmt::K::kLet:
+      return Stmt::let(stmt->dst, fold_expr(stmt->expr, folded));
+    case Stmt::K::kAccum:
+      return Stmt::accum(stmt->dst, fold_expr(stmt->expr, folded));
+    case Stmt::K::kCharge:
+      return Stmt::charge(fold_expr(stmt->expr, folded));
+    case Stmt::K::kIf:
+      return Stmt::if_(fold_expr(stmt->expr, folded),
+                       fold_body(stmt->then_body, folded),
+                       fold_body(stmt->else_body, folded));
+    default:
+      return stmt;
+  }
+}
+
+// Scalar variables used anywhere in a statement list.
+void used_vars(const std::vector<StmtPtr>& body, std::set<std::string>& out) {
+  for (const auto& s : body) {
+    switch (s->kind) {
+      case Stmt::K::kLet:
+      case Stmt::K::kAccum:
+      case Stmt::K::kCharge:
+        if (s->expr) s->expr->collect_vars(out);
+        break;
+      case Stmt::K::kIf:
+        s->expr->collect_vars(out);
+        used_vars(s->then_body, out);
+        used_vars(s->else_body, out);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<StmtPtr> eliminate_dead_lets(const std::vector<StmtPtr>& body,
+                                         std::size_t* removed) {
+  std::set<std::string> used;
+  used_vars(body, used);
+
+  std::vector<StmtPtr> out;
+  out.reserve(body.size());
+  for (const auto& s : body) {
+    if (s->kind == Stmt::K::kLet && used.count(s->dst) == 0) {
+      if (removed) ++*removed;
+      continue;
+    }
+    if (s->kind == Stmt::K::kIf) {
+      std::vector<StmtPtr> then_body =
+          eliminate_dead_lets(s->then_body, removed);
+      std::vector<StmtPtr> else_body =
+          eliminate_dead_lets(s->else_body, removed);
+      out.push_back(Stmt::if_(s->expr, std::move(then_body),
+                              std::move(else_body)));
+      continue;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+Module optimize(const Module& module, OptStats* stats) {
+  Module out;
+  out.classes = module.classes;
+  OptStats local;
+
+  for (const Function& fn : module.functions) {
+    Function nf;
+    nf.name = fn.name;
+    nf.param = fn.param;
+    nf.param_class = fn.param_class;
+    nf.body = fn.body;
+
+    for (;;) {
+      ++local.passes;
+      std::size_t folded = 0, removed = 0;
+      nf.body = fold_body(nf.body, &folded);
+      nf.body = eliminate_dead_lets(nf.body, &removed);
+      local.folded_exprs += folded;
+      local.dead_lets_removed += removed;
+      if (folded == 0 && removed == 0) break;
+      DPA_CHECK(local.passes < 1000) << "optimizer failed to converge";
+    }
+    out.functions.push_back(std::move(nf));
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace dpa::compiler

@@ -1,0 +1,32 @@
+// IR optimization passes, run before partitioning.
+//
+// Two classic cleanups that directly shrink the thread templates the
+// partitioner emits (smaller captures, fewer ops per thread):
+//   * constant folding — evaluates constant subexpressions;
+//   * dead-let elimination — drops `x = expr` whose result no statement
+//     uses (reads and accumulators are never dropped: reads define pointers
+//     and have modeled cost, accumulators are externally visible).
+// Both run to fixpoint; `OptStats` reports what happened.
+#pragma once
+
+#include <cstddef>
+
+#include "compiler/ir.h"
+
+namespace dpa::compiler {
+
+struct OptStats {
+  std::size_t folded_exprs = 0;
+  std::size_t dead_lets_removed = 0;
+  std::size_t passes = 0;
+};
+
+// Returns the optimized module (the input is not modified).
+Module optimize(const Module& module, OptStats* stats = nullptr);
+
+// Individual passes, exposed for tests.
+ExprPtr fold_expr(const ExprPtr& expr, std::size_t* folded);
+std::vector<StmtPtr> eliminate_dead_lets(const std::vector<StmtPtr>& body,
+                                         std::size_t* removed);
+
+}  // namespace dpa::compiler

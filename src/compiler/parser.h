@@ -1,0 +1,41 @@
+// Text front end for the mini-IR, so traversal kernels can be written as
+// source rather than built with the C++ statement factories.
+//
+// Grammar (line comments start with '#'):
+//
+//   module    := (class | fn)*
+//   class     := "class" IDENT "{" field* "}"
+//   field     := "scalar" IDENT ";"
+//              | "ptr" IDENT ":" IDENT ";"          # name : pointee class
+//   fn        := "fn" IDENT "(" IDENT ":" IDENT ")" block
+//   block     := "{" stmt* "}"
+//   stmt      := IDENT "=" IDENT "->" IDENT ";"     # field read (kind is
+//                                                   # inferred from class)
+//              | IDENT "=" expr ";"                 # let
+//              | IDENT "+=" expr ";"                # accumulate
+//              | "charge" expr ";"
+//              | "if" "(" expr ")" block ("else" block)?
+//              | "spawn" IDENT "(" IDENT ")" ";"
+//              | "spawn_children" IDENT "(" IDENT ")" ";"
+//   expr      := cmp; cmp := add (("<" | ">") add)?
+//   add       := mul (("+" | "-") mul)*
+//   mul       := prim (("*" | "/") prim)*
+//   prim      := NUMBER | IDENT | "(" expr ")"
+//
+// The parser tracks pointer variables and their classes, so `x = p->f`
+// resolves to a scalar or pointer read from the declared layout; unknown
+// classes, fields, or variables are reported with line numbers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "compiler/ir.h"
+
+namespace dpa::compiler {
+
+// Parses a module from source text. Panics (with line information) on
+// syntax or semantic errors — inputs are developer-authored kernels.
+Module parse_module(std::string_view source);
+
+}  // namespace dpa::compiler

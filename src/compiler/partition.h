@@ -1,0 +1,33 @@
+// Thread partitioning: the paper's compiler algorithm.
+//
+// Each source function becomes a set of non-blocking thread templates:
+//   * the entry template is labeled with the function's pointer parameter;
+//   * every dereference of a *different* pointer variable q starts a new
+//     template labeled q — the statements that (transitively) depend on q's
+//     object move into it, everything independent stays put (the dependence
+//     sets partitioning);
+//   * all field accesses through a template's label are hoisted to its
+//     entry (access hoisting — legal because reads through the coarse alias
+//     classes are side-effect free and the conc blocks carry no indirect
+//     dependences);
+//   * reductions (Accum) are commutative, so reordering across threads is
+//     sound — the dependence the partitioner must respect is only def-use
+//     on scalars and pointers.
+//
+// Restrictions (checked, with diagnostics): branches of an If may only
+// dereference the enclosing template's label; a statement kept in the
+// earlier thread may not define a value the moved thread uses; spawn
+// pointers must be visible in the spawning template. These correspond to
+// the paper's "coarse-grained aliasing and block-level concurrency
+// information are often sufficient" scope.
+#pragma once
+
+#include "compiler/ir.h"
+#include "compiler/thread_program.h"
+
+namespace dpa::compiler {
+
+// Compiles every function in the module into thread templates.
+ThreadProgram partition(const Module& module);
+
+}  // namespace dpa::compiler

@@ -1,0 +1,139 @@
+#include "compiler/thread_program.h"
+
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace dpa::compiler {
+
+int ThreadProgram::entry_of(const std::string& fn) const {
+  const auto it = fn_entry.find(fn);
+  DPA_CHECK(it != fn_entry.end()) << "unknown function '" << fn << "'";
+  return it->second;
+}
+
+ThreadProgram::Stats ThreadProgram::stats() const {
+  Stats s;
+  s.num_templates = templates.size();
+  for (const auto& t : templates) {
+    s.total_hoisted_reads += t.reads.size();
+    s.max_reads_per_thread = std::max(s.max_reads_per_thread, t.reads.size());
+  }
+  // Spawn sites, recursively through If bodies.
+  std::size_t spawns = 0;
+  auto count_ops = [&](const std::vector<TOpPtr>& ops, auto&& self) -> void {
+    for (const auto& op : ops) {
+      if (op->kind == TOp::K::kSpawn || op->kind == TOp::K::kSpawnChildren)
+        ++spawns;
+      if (op->kind == TOp::K::kIf) {
+        self(op->then_body, self);
+        self(op->else_body, self);
+      }
+    }
+  };
+  for (const auto& t : templates) count_ops(t.ops, count_ops);
+  s.total_spawn_sites = spawns;
+  return s;
+}
+
+namespace {
+
+void dump_ops(std::ostringstream& os, const std::vector<TOpPtr>& ops,
+              int indent) {
+  const std::string pad(std::size_t(indent), ' ');
+  for (const auto& op : ops) {
+    switch (op->kind) {
+      case TOp::K::kLet:
+        os << pad << op->dst << " = " << op->expr->to_string() << "\n";
+        break;
+      case TOp::K::kAccum:
+        os << pad << op->dst << " += " << op->expr->to_string() << "\n";
+        break;
+      case TOp::K::kCharge:
+        os << pad << "charge " << op->expr->to_string() << "\n";
+        break;
+      case TOp::K::kIf:
+        os << pad << "if " << op->expr->to_string() << ":\n";
+        dump_ops(os, op->then_body, indent + 2);
+        if (!op->else_body.empty()) {
+          os << pad << "else:\n";
+          dump_ops(os, op->else_body, indent + 2);
+        }
+        break;
+      case TOp::K::kSpawn:
+        os << pad << "spawn T" << op->tmpl << " on " << op->ptr << "\n";
+        break;
+      case TOp::K::kSpawnChildren:
+        os << pad << "spawn T" << op->tmpl << " on children(" << op->ptr
+           << ")\n";
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ThreadProgram::dump() const {
+  std::ostringstream os;
+  for (const auto& t : templates) {
+    os << "thread T" << t.id << " [" << t.function << "] label " << t.label_var
+       << " : " << t.label_class;
+    if (!t.captures.empty()) {
+      os << " captures(";
+      for (std::size_t i = 0; i < t.captures.size(); ++i)
+        os << (i ? ", " : "") << t.captures[i];
+      os << ")";
+    }
+    if (!t.ptr_captures.empty()) {
+      os << " ptr_captures(";
+      for (std::size_t i = 0; i < t.ptr_captures.size(); ++i)
+        os << (i ? ", " : "") << t.ptr_captures[i];
+      os << ")";
+    }
+    os << "\n";
+    for (const auto& r : t.reads) {
+      os << "  read " << r.dst << " = " << t.label_var << "->" << r.field
+         << (r.is_ptr ? " (ptr)" : "") << "\n";
+    }
+    dump_ops(os, t.ops, 2);
+  }
+  return os.str();
+}
+
+std::string ThreadProgram::to_dot() const {
+  std::ostringstream os;
+  os << "digraph threads {\n  node [shape=box];\n";
+  for (const auto& t : templates) {
+    os << "  T" << t.id << " [label=\"T" << t.id << " [" << t.function
+       << "]\\nlabel " << t.label_var << " : " << t.label_class;
+    if (!t.reads.empty()) {
+      os << "\\nreads:";
+      for (const auto& r : t.reads) os << " " << r.field;
+    }
+    if (!t.captures.empty()) {
+      os << "\\ncaptures:";
+      for (const auto& c : t.captures) os << " " << c;
+    }
+    os << "\"];\n";
+  }
+  auto edges = [&](const std::vector<TOpPtr>& ops, int from,
+                   auto&& self) -> void {
+    for (const auto& op : ops) {
+      if (op->kind == TOp::K::kSpawn) {
+        os << "  T" << from << " -> T" << op->tmpl << " [label=\"" << op->ptr
+           << "\"];\n";
+      } else if (op->kind == TOp::K::kSpawnChildren) {
+        os << "  T" << from << " -> T" << op->tmpl
+           << " [label=\"children(" << op->ptr << ")\", style=dashed];\n";
+      } else if (op->kind == TOp::K::kIf) {
+        self(op->then_body, from, self);
+        self(op->else_body, from, self);
+      }
+    }
+  };
+  for (const auto& t : templates) edges(t.ops, t.id, edges);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dpa::compiler

@@ -1,0 +1,93 @@
+#include "fm/fm.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.h"
+
+namespace dpa::fm {
+
+FmLayer::FmLayer(sim::Machine& machine)
+    : machine_(machine), stats_(machine.num_nodes()) {}
+
+HandlerId FmLayer::register_handler(std::string name, Handler fn) {
+  DPA_CHECK(handlers_.size() < 0xffff) << "handler table full";
+  handlers_.push_back(Entry{std::move(name), std::move(fn)});
+  return HandlerId(handlers_.size() - 1);
+}
+
+void FmLayer::send(sim::Cpu& cpu, NodeId src, NodeId dst, HandlerId handler,
+                   std::shared_ptr<void> data, std::uint32_t bytes) {
+  DPA_CHECK(handler < handlers_.size()) << "unregistered handler " << handler;
+  DPA_CHECK(src < machine_.num_nodes() && dst < machine_.num_nodes());
+
+  auto& net = machine_.network();
+  const std::uint32_t mtu = net.params().mtu_bytes;
+  const std::uint32_t nfrags = bytes == 0 ? 1 : (bytes + mtu - 1) / mtu;
+
+  auto& st = stats_[src];
+  ++st.msgs_sent;
+  st.frags_sent += nfrags;
+  st.bytes_sent += bytes;
+
+  ++sends_seen_;
+  if (drop_at_ != 0 && sends_seen_ == drop_at_) {
+    // Fault injection: the message vanishes after paying the send cost.
+    cpu.charge(net.params().send_overhead * sim::Time(nfrags),
+               sim::Work::kComm);
+    ++dropped_;
+    return;
+  }
+
+  Packet packet{src, dst, handler, std::move(data), bytes};
+
+  std::uint32_t remaining = bytes;
+  for (std::uint32_t f = 0; f < nfrags; ++f) {
+    const std::uint32_t frag_bytes = std::min(remaining, mtu);
+    remaining -= frag_bytes;
+    // Per-fragment software send overhead on the source processor.
+    cpu.charge(net.params().send_overhead, sim::Work::kComm);
+    const bool last = (f + 1 == nfrags);
+    // NIC serialization (inside Network::send) keeps fragments ordered, so
+    // the handler fires with the final fragment.
+    Packet copy = packet;  // shared_ptr copy; payload itself is shared
+    net.send(src, dst, frag_bytes, cpu.logical_now(),
+             [this, copy = std::move(copy), last, frag_bytes]() mutable {
+               deliver(copy, last, frag_bytes);
+             });
+  }
+}
+
+void FmLayer::deliver(const Packet& packet, bool is_last_fragment,
+                      std::uint32_t frag_bytes) {
+  auto& node = machine_.node(packet.dst);
+  auto& st = stats_[packet.dst];
+  st.bytes_recv += frag_bytes;
+  if (is_last_fragment) ++st.msgs_recv;
+
+  const Time recv_overhead = machine_.network().params().recv_overhead;
+  const Handler* fn = is_last_fragment ? &handlers_[packet.handler].fn
+                                       : nullptr;
+  node.post([recv_overhead, fn, packet](sim::Cpu& cpu) {
+    cpu.charge(recv_overhead, sim::Work::kComm);
+    if (fn != nullptr) (*fn)(cpu, packet);
+  });
+}
+
+FmNodeStats FmLayer::aggregate_stats() const {
+  FmNodeStats total;
+  for (const auto& s : stats_) {
+    total.msgs_sent += s.msgs_sent;
+    total.frags_sent += s.frags_sent;
+    total.msgs_recv += s.msgs_recv;
+    total.bytes_sent += s.bytes_sent;
+    total.bytes_recv += s.bytes_recv;
+  }
+  return total;
+}
+
+void FmLayer::reset_stats() {
+  for (auto& s : stats_) s.reset();
+}
+
+}  // namespace dpa::fm

@@ -1,0 +1,103 @@
+// Active message layer modeled on Illinois Fast Messages (FM), the messaging
+// substrate the paper used on the Cray T3D.
+//
+// Semantics: `send` injects a message addressed to a handler on the
+// destination node; on arrival the destination processor is charged the
+// receive overhead and the handler runs as a task on that node. Payloads
+// larger than the network MTU are segmented into fragments (each paying
+// per-message costs) and the handler fires when the last fragment lands —
+// this is what makes "aggregation wins until the MTU" measurable.
+//
+// Payload representation: the simulation shares one host address space, so
+// payloads travel as shared_ptr<void> plus a declared byte size used for
+// costing. Marshalling cost is charged explicitly by the runtime layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/network.h"
+
+namespace dpa::fm {
+
+using sim::NodeId;
+using sim::Time;
+
+using HandlerId = std::uint16_t;
+
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  HandlerId handler = 0;
+  std::shared_ptr<void> data;   // handler-defined payload
+  std::uint32_t bytes = 0;      // modeled wire size (payload incl. headers)
+};
+
+// Runs on the destination node, in a destination-node task context.
+using Handler = std::function<void(sim::Cpu&, const Packet&)>;
+
+struct FmNodeStats {
+  std::uint64_t msgs_sent = 0;   // logical messages (pre-segmentation)
+  std::uint64_t frags_sent = 0;  // wire fragments
+  std::uint64_t msgs_recv = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_recv = 0;
+
+  void reset() { *this = FmNodeStats{}; }
+};
+
+class FmLayer {
+ public:
+  explicit FmLayer(sim::Machine& machine);
+
+  FmLayer(const FmLayer&) = delete;
+  FmLayer& operator=(const FmLayer&) = delete;
+
+  // Registers a handler (same id on every node). Must happen before sends.
+  HandlerId register_handler(std::string name, Handler fn);
+
+  // Sends from node `src`, called from inside a task running on `src`.
+  // Charges send overhead (Work::kComm) per fragment to `cpu`; the message
+  // departs at the sender's logical time.
+  void send(sim::Cpu& cpu, NodeId src, NodeId dst, HandlerId handler,
+            std::shared_ptr<void> data, std::uint32_t bytes);
+
+  const FmNodeStats& node_stats(NodeId id) const { return stats_[id]; }
+  FmNodeStats aggregate_stats() const;
+  void reset_stats();
+
+  const std::string& handler_name(HandlerId id) const {
+    return handlers_[id].name;
+  }
+  sim::Machine& machine() { return machine_; }
+
+  // Fault injection (deterministic, for tests): silently drop the `nth`
+  // message sent from now on (1 = the very next). The runtime above has no
+  // retransmission — the T3D fabric was reliable — so a dropped message
+  // must surface as an incomplete phase with diagnostics, which is exactly
+  // what this hook lets tests assert.
+  void drop_nth_message(std::uint64_t nth) { drop_at_ = sends_seen_ + nth; }
+  std::uint64_t dropped_messages() const { return dropped_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    Handler fn;
+  };
+
+  void deliver(const Packet& packet, bool is_last_fragment,
+               std::uint32_t frag_bytes);
+
+  sim::Machine& machine_;
+  std::vector<Entry> handlers_;
+  std::vector<FmNodeStats> stats_;
+  std::uint64_t sends_seen_ = 0;
+  std::uint64_t drop_at_ = 0;  // 0 = disabled
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dpa::fm

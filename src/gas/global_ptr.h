@@ -1,0 +1,53 @@
+// Global pointers: the PBDS edges the paper's runtime aligns on.
+//
+// A global pointer names an object plus the node that owns (homes) it. In
+// the simulation all nodes share the host address space, so the pointer
+// carries the real address; the *discipline* — which node may touch the
+// object for free, and what a remote read costs — is enforced by the runtime
+// engines, and optionally audited (see Runtime access auditing in
+// runtime/engine.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/network.h"
+
+namespace dpa::gas {
+
+using sim::NodeId;
+
+// Type-erased global reference: what the runtime's M and D maps key on.
+struct GlobalRef {
+  const void* addr = nullptr;
+  NodeId home = 0;
+  std::uint32_t bytes = 0;
+
+  bool valid() const { return addr != nullptr; }
+  friend bool operator==(const GlobalRef& a, const GlobalRef& b) {
+    return a.addr == b.addr;
+  }
+};
+
+// Typed global pointer.
+template <class T>
+struct GPtr {
+  const T* addr = nullptr;
+  NodeId home = 0;
+
+  GlobalRef ref() const { return GlobalRef{addr, home, sizeof(T)}; }
+  bool local_to(NodeId node) const { return home == node; }
+  explicit operator bool() const { return addr != nullptr; }
+
+  friend bool operator==(const GPtr& a, const GPtr& b) {
+    return a.addr == b.addr;
+  }
+};
+
+struct GlobalRefHash {
+  std::size_t operator()(const GlobalRef& r) const {
+    return std::hash<const void*>()(r.addr);
+  }
+};
+
+}  // namespace dpa::gas

@@ -1,0 +1,3 @@
+// GlobalHeap is header-only today; this TU pins the library and provides a
+// home for future out-of-line pieces (e.g. arena segments).
+#include "gas/heap.h"

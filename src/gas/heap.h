@@ -1,0 +1,86 @@
+// Global heap: allocation of globally addressable objects with explicit
+// home nodes, plus per-node allocation accounting.
+//
+// Apps build their pointer-based data structures (octrees, quadtrees,
+// bipartite graphs) out of this heap during the unsimulated setup phase; the
+// simulated force/relaxation phases then read them through the runtime
+// engines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gas/global_ptr.h"
+#include "support/assert.h"
+
+namespace dpa::gas {
+
+struct HeapNodeStats {
+  std::uint64_t objects = 0;
+  std::uint64_t bytes = 0;
+};
+
+class GlobalHeap {
+ public:
+  explicit GlobalHeap(std::uint32_t num_nodes) : stats_(num_nodes) {}
+
+  GlobalHeap(const GlobalHeap&) = delete;
+  GlobalHeap& operator=(const GlobalHeap&) = delete;
+
+  // Allocates a T homed on `home`. The object lives until the heap dies.
+  template <class T, class... Args>
+  GPtr<T> make(NodeId home, Args&&... args) {
+    DPA_CHECK(home < stats_.size()) << "bad home node " << home;
+    auto owner = std::make_unique<Holder<T>>(std::forward<Args>(args)...);
+    T* raw = &owner->value;
+    objects_.push_back(std::move(owner));
+    ++stats_[home].objects;
+    stats_[home].bytes += sizeof(T);
+    return GPtr<T>{raw, home};
+  }
+
+  // Mutable access for setup phases (tree build, integration). The timed
+  // phases read remote objects only through the runtime engines.
+  template <class T>
+  static T* mutate(GPtr<T> p) {
+    return const_cast<T*>(p.addr);
+  }
+
+  // Re-homes an object (costzone repartitioning between steps). The caller
+  // must know the original home to keep accounting exact.
+  template <class T>
+  GPtr<T> rehome(GPtr<T> p, NodeId new_home) {
+    DPA_CHECK(new_home < stats_.size());
+    DPA_CHECK(p.home < stats_.size());
+    stats_[p.home].bytes -= sizeof(T);
+    --stats_[p.home].objects;
+    stats_[new_home].bytes += sizeof(T);
+    ++stats_[new_home].objects;
+    return GPtr<T>{p.addr, new_home};
+  }
+
+  const HeapNodeStats& node_stats(NodeId id) const {
+    DPA_CHECK(id < stats_.size());
+    return stats_[id];
+  }
+  std::uint32_t num_nodes() const { return std::uint32_t(stats_.size()); }
+  std::uint64_t total_objects() const { return objects_.size(); }
+
+ private:
+  struct HolderBase {
+    virtual ~HolderBase() = default;
+  };
+  template <class T>
+  struct Holder : HolderBase {
+    template <class... Args>
+    explicit Holder(Args&&... args) : value(std::forward<Args>(args)...) {}
+    T value;
+  };
+
+  std::vector<std::unique_ptr<HolderBase>> objects_;
+  std::vector<HeapNodeStats> stats_;
+};
+
+}  // namespace dpa::gas

@@ -1,0 +1,56 @@
+// Cost model for runtime primitives, in nanoseconds on the modeled node
+// processor (a 150 MHz Alpha 21064: ~6.7 ns per cycle; most constants below
+// are tens of cycles).
+//
+// These are the knobs the DPA-vs-caching comparison turns on: DPA pays
+// thread creation and map maintenance once per (object, thread) at creation,
+// while software caching pays a hash probe on every access; DPA's access
+// hoisting is modeled by the fact that a thread touches its object's fields
+// with no further runtime cost once dispatched.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace dpa::rt {
+
+using sim::Time;
+
+struct CostModel {
+  // --- DPA engine ---
+  Time thread_create = 250;        // label lookup + M insert at creation site
+  Time local_enqueue = 80;         // local-pointer thread onto ready queue
+  Time tile_dispatch = 150;        // dequeue a tile, set up object frame
+  Time thread_dispatch = 90;       // start one waiter within a tile
+  Time strip_setup = 2000;         // per-strip bookkeeping incl. M reset
+  Time req_marshal_per_ref = 60;   // append one ref to an aggregation buffer
+  Time flush_fixed = 300;          // close out one aggregated request message
+
+  // --- home-side service (all engines) ---
+  Time serve_lookup_per_ref = 150;  // locate one object, append to reply
+  Time reply_unmarshal_per_obj = 120;
+
+  // --- software-caching / blocking baselines ---
+  Time hash_lookup = 320;   // per remote access (the cost DPA hoists away)
+  Time cache_insert = 400;
+  Time sync_issue = 250;    // bookkeeping for a blocking single-object get
+  Time sync_push = 40;      // push a traversal continuation (cheap: no M)
+  Time sync_run = 40;       // resume a traversal continuation
+
+  // --- remote accumulation (the paper's "reductions" extension) ---
+  Time accum_marshal = 60;  // append one update to an outgoing buffer
+  Time accum_apply = 120;   // apply one update at the home node
+
+  // --- wire sizes (bytes) ---
+  std::uint32_t msg_header_bytes = 32;
+  std::uint32_t req_bytes_per_ref = 8;
+  std::uint32_t obj_header_bytes = 8;
+  std::uint32_t accum_payload_bytes = 16;  // operand + op id per update
+
+  // Accounting size of one suspended thread state (closure + M slot); used
+  // for the paper's outstanding-thread memory table, not for host memory.
+  std::uint32_t thread_state_bytes = 64;
+};
+
+}  // namespace dpa::rt

@@ -1,0 +1,255 @@
+#include "runtime/dpa_engine.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "support/assert.h"
+
+namespace dpa::rt {
+
+namespace {
+// Local-pointer threads are cheap; run a few per scheduling unit.
+constexpr std::size_t kLocalBatch = 8;
+}  // namespace
+
+DpaEngine::DpaEngine(Cluster& cluster, NodeId node, const RuntimeConfig& cfg,
+                     fm::HandlerId h_req, fm::HandlerId h_reply,
+                     fm::HandlerId h_accum)
+    : EngineBase(cluster, node, cfg, h_req, h_reply, h_accum),
+      agg_(cluster.num_nodes()),
+      acc_(cluster.num_nodes()) {}
+
+void DpaEngine::accumulate(sim::Cpu& cpu, GlobalRef ref, AccumFn update) {
+  if (!cfg_.aggregation || ref.home == node_) {
+    EngineBase::accumulate(cpu, ref, std::move(update));
+    return;
+  }
+  cpu.charge(cfg_.cost.accum_marshal, sim::Work::kComm);
+  auto& buf = acc_[ref.home];
+  buf.emplace_back(ref, std::move(update));
+  ++acc_total_;
+  if (buf.size() >= cfg_.agg_max_refs) {
+    std::vector<std::pair<GlobalRef, AccumFn>> items = std::move(buf);
+    buf.clear();
+    acc_total_ -= std::uint32_t(items.size());
+    send_accum(cpu, ref.home, std::move(items));
+  }
+}
+
+void DpaEngine::require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) {
+  const auto& cost = cfg_.cost;
+  cpu.charge(cost.thread_create, sim::Work::kRuntime);
+  ++stats_.threads_created;
+  stats_.outstanding_threads.add(1);
+
+  if (ref.home == node_) {
+    cpu.charge(cost.local_enqueue, sim::Work::kRuntime);
+    ++stats_.local_threads;
+    local_ready_.emplace_back(ref, std::move(thread));
+    return;
+  }
+
+  auto [it, inserted] = m_.try_emplace(ref.addr);
+  Tile& tile = it->second;
+  if (inserted) {
+    tile.ref = ref;
+    tile.waiters.push_back(std::move(thread));
+    stats_.m_entries.set(std::int64_t(m_.size()));
+    if (cfg_.aggregation) {
+      cpu.charge(cost.req_marshal_per_ref, sim::Work::kComm);
+      auto& buf = agg_[ref.home];
+      buf.push_back(ref);
+      ++agg_total_;
+      if (buf.size() >= cfg_.agg_max_refs) flush_dest(cpu, ref.home);
+    } else {
+      // Unaggregated: one message per ref, issued at creation. With
+      // pipelining off the scheduler stalls until outstanding_ drains,
+      // giving synchronous-get behaviour (the paper's Base).
+      tile.st = Tile::St::kRequested;
+      ++outstanding_;
+      cpu.charge(cost.req_marshal_per_ref, sim::Work::kComm);
+      send_request(cpu, ref.home, {ref});
+    }
+  } else {
+    ++stats_.dup_refs_avoided;
+    tile.waiters.push_back(std::move(thread));
+    if (tile.st == Tile::St::kReady && !tile.queued) {
+      tile.queued = true;
+      ready_tiles_.push_back(ref.addr);
+    }
+  }
+}
+
+void DpaEngine::on_reply(sim::Cpu& cpu, const ReplyPayload& reply) {
+  const auto& cost = cfg_.cost;
+  ++stats_.replies_recv;
+  for (const GlobalRef& ref : reply.refs) {
+    cpu.charge(cost.reply_unmarshal_per_obj, sim::Work::kComm);
+    auto it = m_.find(ref.addr);
+    DPA_CHECK(it != m_.end()) << "reply for unknown ref on node " << node_;
+    Tile& tile = it->second;
+    DPA_CHECK(tile.st == Tile::St::kRequested);
+    tile.st = Tile::St::kReady;
+    DPA_CHECK(outstanding_ > 0);
+    --outstanding_;
+    stats_.outstanding_refs.add(-1);
+    if (!tile.waiters.empty() && !tile.queued) {
+      tile.queued = true;
+      ready_tiles_.push_back(ref.addr);
+    }
+  }
+  kick();
+}
+
+bool DpaEngine::run_ready_tile(sim::Cpu& cpu) {
+  if (ready_tiles_.empty()) return false;
+  const void* addr = ready_tiles_.front();
+  ready_tiles_.pop_front();
+  auto it = m_.find(addr);
+  DPA_DCHECK(it != m_.end());
+  // References into unordered_map nodes are stable across the rehash that a
+  // nested require() may trigger; only strip-boundary erase invalidates.
+  Tile& tile = it->second;
+  tile.queued = false;
+  cpu.charge(cfg_.cost.tile_dispatch, sim::Work::kRuntime);
+  ++stats_.tiles_run;
+
+  // Take the waiters out: running them may append new waiters to this tile.
+  auto waiters = std::move(tile.waiters);
+  tile.waiters.clear();
+  for (const ThreadFn& fn : waiters) {
+    run_thread(cpu, fn, tile.ref.addr);
+    stats_.outstanding_threads.add(-1);
+  }
+  return true;
+}
+
+bool DpaEngine::run_local_threads(sim::Cpu& cpu) {
+  if (local_ready_.empty()) return false;
+  for (std::size_t i = 0; i < kLocalBatch && !local_ready_.empty(); ++i) {
+    auto [ref, fn] = std::move(local_ready_.front());
+    local_ready_.pop_front();
+    run_thread(cpu, fn, ref.addr);
+    stats_.outstanding_threads.add(-1);
+  }
+  return true;
+}
+
+bool DpaEngine::strip_has_uncreated() const {
+  return next_root_ < strip_end_;
+}
+
+bool DpaEngine::create_next_root(sim::Cpu& cpu) {
+  if (!strip_has_uncreated()) return false;
+  ++stats_.roots_created;
+  Ctx ctx(*this, cpu);
+  work_.item(ctx, next_root_++);
+  return true;
+}
+
+void DpaEngine::flush_dest(sim::Cpu& cpu, NodeId dest) {
+  auto& buf = agg_[dest];
+  if (buf.empty()) return;
+  std::vector<GlobalRef> refs = std::move(buf);
+  buf.clear();
+  DPA_DCHECK(agg_total_ >= refs.size());
+  agg_total_ -= std::uint32_t(refs.size());
+  for (const GlobalRef& ref : refs) {
+    auto it = m_.find(ref.addr);
+    DPA_DCHECK(it != m_.end());
+    DPA_DCHECK(it->second.st == Tile::St::kFresh);
+    it->second.st = Tile::St::kRequested;
+  }
+  outstanding_ += refs.size();
+  cpu.charge(cfg_.cost.flush_fixed, sim::Work::kComm);
+  send_request(cpu, dest, std::move(refs));
+}
+
+bool DpaEngine::flush_requests(sim::Cpu& cpu) {
+  if (agg_total_ == 0) return false;
+  for (NodeId d = 0; d < agg_.size(); ++d) flush_dest(cpu, d);
+  return true;
+}
+
+bool DpaEngine::flush_all(sim::Cpu& cpu) {
+  if (agg_total_ == 0 && acc_total_ == 0) return false;
+  flush_requests(cpu);
+  for (NodeId d = 0; d < acc_.size(); ++d) {
+    auto& buf = acc_[d];
+    if (buf.empty()) continue;
+    std::vector<std::pair<GlobalRef, AccumFn>> items = std::move(buf);
+    buf.clear();
+    acc_total_ -= std::uint32_t(items.size());
+    cpu.charge(cfg_.cost.flush_fixed, sim::Work::kComm);
+    send_accum(cpu, d, std::move(items));
+  }
+  return true;
+}
+
+bool DpaEngine::strip_boundary(sim::Cpu& cpu) {
+  if (loop_done_) return false;
+  DPA_CHECK(ready_tiles_.empty() && local_ready_.empty() &&
+            outstanding_ == 0 && agg_total_ == 0 && acc_total_ == 0)
+      << "strip boundary with live work on node " << node_;
+  if (!m_.empty()) {
+    // End of strip: renamed objects and thread slots are released.
+    m_.clear();
+    stats_.m_entries.set(0);
+  }
+  if (next_root_ >= work_.count) {
+    loop_done_ = true;
+    return false;
+  }
+  cpu.charge(cfg_.cost.strip_setup, sim::Work::kRuntime);
+  ++stats_.strips;
+  strip_end_ = std::min<std::uint64_t>(work_.count, next_root_ + cfg_.strip_size);
+  return true;
+}
+
+void DpaEngine::sched(sim::Cpu& cpu) {
+  for (std::uint32_t unit = 0; unit < cfg_.poll_batch; ++unit) {
+    if (!cfg_.pipelining && outstanding_ > 0) return;  // synchronous gets
+
+    bool did = false;
+    if (cfg_.sched_template == SchedTemplate::kCreateAllThenRun) {
+      // Once the strip's roots are all created, push the batched requests
+      // out *before* chewing through local work: the transfers then overlap
+      // with it (this ordering is the point of the create-all template).
+      // Accumulation buffers are NOT flushed here — nothing waits on them,
+      // so they keep batching until the scheduler idles.
+      did = create_next_root(cpu) ||
+            (!strip_has_uncreated() && flush_requests(cpu)) ||
+            run_ready_tile(cpu) || run_local_threads(cpu);
+    } else {
+      did = run_ready_tile(cpu) || run_local_threads(cpu) ||
+            create_next_root(cpu);
+    }
+    if (did) continue;
+
+    // Out of ready work: push out any buffered requests, then either wait
+    // for replies or cross the strip boundary.
+    if (flush_all(cpu)) continue;
+    if (outstanding_ > 0) return;  // idle until a reply kicks us
+    if (strip_boundary(cpu)) continue;
+    return;  // conc loop complete
+  }
+  kick();  // yield to the inbox, then keep going
+}
+
+bool DpaEngine::done() const {
+  return loop_done_ && ready_tiles_.empty() && local_ready_.empty() &&
+         outstanding_ == 0 && agg_total_ == 0 && acc_total_ == 0;
+}
+
+std::string DpaEngine::state_dump() const {
+  std::ostringstream os;
+  os << "dpa node " << node_ << ": roots " << next_root_ << "/" << work_.count
+     << " strip_end " << strip_end_ << " ready " << ready_tiles_.size()
+     << " local " << local_ready_.size() << " outstanding " << outstanding_
+     << " agg " << agg_total_ << " m " << m_.size()
+     << (loop_done_ ? " loop-done" : " loop-running");
+  return os.str();
+}
+
+}  // namespace dpa::rt

@@ -1,0 +1,92 @@
+// The DPA engine: the paper's runtime.
+//
+// State per node:
+//   M     — pointer -> tile {request state, waiting threads}. Updated at
+//           every thread-creation site; this is the explicit mapping the
+//           paper uses to schedule both threads and communication.
+//   ready — tiles whose data arrived: their threads execute back to back
+//           (tiling / data reuse).
+//   local — threads on node-local pointers (no communication needed).
+//   agg   — per-destination buffers of not-yet-requested refs (aggregation).
+//
+// Strip-mining: the node's top-level conc loop is executed strip_size
+// iterations at a time; M is cleared between strips, which bounds the memory
+// held by suspended threads and renamed objects (the paper's k-bounded
+// loops). Within a strip, every thread that names the same pointer shares
+// one fetch and executes in the same tile.
+//
+// Configurations:
+//   pipelining off  -> each new remote ref is requested synchronously; the
+//                      node stalls until the reply (Base in the breakdown
+//                      figures; tiling still works).
+//   aggregation off -> each ref is requested in its own message as soon as
+//                      it is created (+Pipelining).
+//   both on         -> refs accumulate per destination and flush when a
+//                      buffer fills or the scheduler runs out of ready work
+//                      (+Aggregation; full DPA).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/engine.h"
+#include "support/small_vector.h"
+
+namespace dpa::rt {
+
+class DpaEngine final : public EngineBase {
+ public:
+  DpaEngine(Cluster& cluster, NodeId node, const RuntimeConfig& cfg,
+            fm::HandlerId h_req, fm::HandlerId h_reply,
+            fm::HandlerId h_accum);
+
+  void require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) override;
+  void accumulate(sim::Cpu& cpu, GlobalRef ref, AccumFn update) override;
+  void on_reply(sim::Cpu& cpu, const ReplyPayload& reply) override;
+  bool done() const override;
+  std::string state_dump() const override;
+
+ private:
+  struct Tile {
+    enum class St : std::uint8_t {
+      kFresh,      // in an aggregation buffer, not yet requested
+      kRequested,  // request in flight
+      kReady,      // data available locally (renamed)
+    };
+    GlobalRef ref;
+    St st = St::kFresh;
+    bool queued = false;  // present in ready_tiles_
+    SmallVector<ThreadFn, 2> waiters;
+  };
+
+  void sched(sim::Cpu& cpu) override;
+
+  // Scheduler actions; each returns true if it did a unit of work.
+  bool run_ready_tile(sim::Cpu& cpu);
+  bool run_local_threads(sim::Cpu& cpu);
+  bool create_next_root(sim::Cpu& cpu);
+  bool flush_all(sim::Cpu& cpu);       // requests + accumulations
+  bool flush_requests(sim::Cpu& cpu);  // request buffers only
+
+  void flush_dest(sim::Cpu& cpu, NodeId dest);
+  bool strip_boundary(sim::Cpu& cpu);
+  bool strip_has_uncreated() const;
+
+  std::unordered_map<const void*, Tile> m_;
+  std::deque<const void*> ready_tiles_;
+  std::deque<std::pair<GlobalRef, ThreadFn>> local_ready_;
+  std::vector<std::vector<GlobalRef>> agg_;  // per-destination Fresh refs
+  std::uint32_t agg_total_ = 0;
+  // Per-destination buffered accumulations (flushed with the requests).
+  std::vector<std::vector<std::pair<GlobalRef, AccumFn>>> acc_;
+  std::uint32_t acc_total_ = 0;
+  std::uint64_t strip_end_ = 0;    // roots [strip_begin, strip_end) created
+  std::uint64_t outstanding_ = 0;  // refs requested, reply pending
+  const void* sync_wait_ = nullptr;  // pipelining off: ref being awaited
+  bool loop_done_ = false;
+};
+
+}  // namespace dpa::rt

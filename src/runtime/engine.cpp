@@ -1,0 +1,123 @@
+#include "runtime/engine.h"
+
+#include <utility>
+
+#include "support/assert.h"
+
+namespace dpa::rt {
+
+EngineBase::EngineBase(Cluster& cluster, NodeId node,
+                       const RuntimeConfig& cfg, fm::HandlerId h_req,
+                       fm::HandlerId h_reply, fm::HandlerId h_accum)
+    : cluster_(cluster),
+      node_(node),
+      cfg_(cfg),
+      h_req_(h_req),
+      h_reply_(h_reply),
+      h_accum_(h_accum) {}
+
+void EngineBase::accumulate(sim::Cpu& cpu, GlobalRef ref, AccumFn update) {
+  // Default (baseline engines): apply locally or send one message per
+  // update. DpaEngine overrides this with per-destination batching.
+  const auto& cost = cfg_.cost;
+  if (ref.home == node_) {
+    cpu.charge(cost.accum_apply, sim::Work::kCompute);
+    ++stats_.accums_local;
+    update(const_cast<void*>(ref.addr));
+    return;
+  }
+  cpu.charge(cost.accum_marshal, sim::Work::kComm);
+  send_accum(cpu, ref.home, {{ref, std::move(update)}});
+}
+
+void EngineBase::send_accum(
+    sim::Cpu& cpu, NodeId home,
+    std::vector<std::pair<GlobalRef, AccumFn>> items) {
+  DPA_DCHECK(!items.empty());
+  const auto& cost = cfg_.cost;
+  stats_.accums_issued += items.size();
+  ++stats_.accum_msgs;
+  const std::uint32_t bytes =
+      cost.msg_header_bytes +
+      std::uint32_t(items.size()) *
+          (cost.req_bytes_per_ref + cost.accum_payload_bytes);
+  auto payload = std::make_shared<AccumPayload>();
+  payload->items = std::move(items);
+  cluster_.fm.send(cpu, node_, home, h_accum_, std::move(payload), bytes);
+}
+
+void EngineBase::serve_accum(sim::Cpu& cpu, const AccumPayload& payload) {
+  const auto& cost = cfg_.cost;
+  for (const auto& [ref, fn] : payload.items) {
+    DPA_DCHECK(ref.home == node_);
+    cpu.charge(cost.accum_apply, sim::Work::kCompute);
+    ++stats_.accums_applied;
+    fn(const_cast<void*>(ref.addr));
+  }
+}
+
+void EngineBase::start(NodeWork work) {
+  work_ = std::move(work);
+  next_root_ = 0;
+  kick();
+}
+
+void EngineBase::kick() {
+  if (sched_pending_) return;
+  sched_pending_ = true;
+  cluster_.machine.node(node_).post([this](sim::Cpu& cpu) {
+    sched_pending_ = false;
+    sched(cpu);
+  });
+}
+
+void EngineBase::send_request(sim::Cpu& cpu, NodeId home,
+                              std::vector<GlobalRef> refs) {
+  DPA_DCHECK(!refs.empty());
+  DPA_DCHECK(home != node_) << "request to self";
+  const auto& cost = cfg_.cost;
+  stats_.refs_requested += refs.size();
+  ++stats_.request_msgs;
+  stats_.outstanding_refs.add(std::int64_t(refs.size()));
+
+  const std::uint32_t bytes =
+      cost.msg_header_bytes +
+      cost.req_bytes_per_ref * std::uint32_t(refs.size());
+  auto payload = std::make_shared<ReqPayload>();
+  payload->requester = node_;
+  payload->refs = std::move(refs);
+  cluster_.fm.send(cpu, node_, home, h_req_, std::move(payload), bytes);
+}
+
+void EngineBase::serve_request(sim::Cpu& cpu, const ReqPayload& req) {
+  const auto& cost = cfg_.cost;
+  ++stats_.requests_served;
+  stats_.refs_served += req.refs.size();
+
+  std::uint32_t bytes = cost.msg_header_bytes;
+  for (const GlobalRef& ref : req.refs) {
+    DPA_DCHECK(ref.home == node_)
+        << "request for object homed on " << ref.home << " arrived at node "
+        << node_;
+    cpu.charge(cost.serve_lookup_per_ref, sim::Work::kComm);
+    bytes += cost.obj_header_bytes + ref.bytes;
+  }
+  auto payload = std::make_shared<ReplyPayload>();
+  payload->refs = req.refs;
+  cluster_.fm.send(cpu, node_, req.requester, h_reply_, std::move(payload),
+                   bytes);
+}
+
+void EngineBase::run_thread(sim::Cpu& cpu, const ThreadFn& fn,
+                            const void* data) {
+  cpu.charge(cfg_.cost.thread_dispatch, sim::Work::kRuntime);
+  ++stats_.threads_run;
+  Ctx ctx(*this, cpu);
+  fn(ctx, data);
+}
+
+std::uint32_t Ctx::num_nodes() const {
+  return engine_.cluster().num_nodes();
+}
+
+}  // namespace dpa::rt

@@ -1,0 +1,205 @@
+// Engine interface: what an application phase programs against, and what the
+// three scheduling policies (DPA / caching / blocking) implement.
+//
+// The application expresses its computation as non-blocking threads — the
+// form the paper's compiler produces. A thread is a continuation plus the
+// global pointer it is labeled with:
+//
+//   ctx.require(cell_ptr, [=](Ctx& ctx, const Cell& cell) {
+//     ctx.charge(interaction_cost);
+//     ... read cell's fields, create more threads ...
+//   });
+//
+// How `require` is satisfied is the engine's policy:
+//   * DPA       — registers the thread in M[ptr]; tiles, pipelines,
+//                 aggregates (the paper's contribution).
+//   * caching   — hash-probe a software cache; blocking fetch on miss.
+//   * blocking  — synchronous fetch on every remote access.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fm/fm.h"
+#include "gas/global_ptr.h"
+#include "gas/heap.h"
+#include "runtime/config.h"
+#include "runtime/stats.h"
+#include "sim/machine.h"
+
+namespace dpa::rt {
+
+using gas::GlobalRef;
+using gas::GPtr;
+using sim::NodeId;
+using sim::Time;
+
+class Ctx;
+
+// A non-blocking thread body: runs to completion with its object available.
+using ThreadFn = std::function<void(Ctx&, const void*)>;
+
+// A commutative update applied to an object at its home node (the paper's
+// "reductions" extension: remote writes that need no reply).
+using AccumFn = std::function<void(void*)>;
+
+// One node's share of a phase: a top-level conc loop of `count` iterations.
+// `item(ctx, i)` creates the root thread(s) of iteration i.
+struct NodeWork {
+  std::uint64_t count = 0;
+  std::function<void(Ctx&, std::uint64_t)> item;
+};
+
+// Machine + messaging + heap: everything an application needs to build and
+// run a distributed pointer-based computation.
+struct Cluster {
+  sim::Machine machine;
+  fm::FmLayer fm;
+  gas::GlobalHeap heap;
+
+  Cluster(std::uint32_t num_nodes, sim::NetParams params)
+      : machine(num_nodes, params), fm(machine), heap(num_nodes) {}
+
+  std::uint32_t num_nodes() const { return machine.num_nodes(); }
+};
+
+// Wire payloads. The simulation shares one address space; `bytes` on the FM
+// packet models the marshalled size.
+struct ReqPayload {
+  NodeId requester = 0;
+  std::vector<GlobalRef> refs;
+};
+struct ReplyPayload {
+  std::vector<GlobalRef> refs;
+};
+struct AccumPayload {
+  std::vector<std::pair<GlobalRef, AccumFn>> items;
+};
+
+class EngineBase {
+ public:
+  EngineBase(Cluster& cluster, NodeId node, const RuntimeConfig& cfg,
+             fm::HandlerId h_req, fm::HandlerId h_reply,
+             fm::HandlerId h_accum);
+  virtual ~EngineBase() = default;
+
+  EngineBase(const EngineBase&) = delete;
+  EngineBase& operator=(const EngineBase&) = delete;
+
+  // Begins the node's conc loop; posts the first scheduler task.
+  void start(NodeWork work);
+
+  // Creates a thread dependent on `ref`; called from app code via Ctx.
+  virtual void require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) = 0;
+
+  // Sends a commutative update to `ref`'s home (fire and forget). Local
+  // homes apply immediately; the DPA engine batches remote ones per
+  // destination alongside its request aggregation. No ordering guarantee
+  // within a phase — updates must commute.
+  virtual void accumulate(sim::Cpu& cpu, GlobalRef ref, AccumFn update);
+
+  // Reply arrived for refs this node requested.
+  virtual void on_reply(sim::Cpu& cpu, const ReplyPayload& reply) = 0;
+
+  // True once the conc loop completed and all queues drained.
+  virtual bool done() const = 0;
+
+  // One-line state summary for deadlock diagnostics.
+  virtual std::string state_dump() const = 0;
+
+  // Home side: serve a request message (shared by all engines).
+  void serve_request(sim::Cpu& cpu, const ReqPayload& req);
+
+  // Home side: apply an accumulation message.
+  void serve_accum(sim::Cpu& cpu, const AccumPayload& payload);
+
+  NodeId node_id() const { return node_; }
+  Cluster& cluster() { return cluster_; }
+  RtNodeStats& stats() { return stats_; }
+  const RtNodeStats& stats() const { return stats_; }
+
+ protected:
+  // Posts a scheduler task if one is not already pending.
+  void kick();
+  // One scheduler task: processes up to cfg.poll_batch units.
+  virtual void sched(sim::Cpu& cpu) = 0;
+
+  // Sends a request for `refs` to their (common) home node.
+  void send_request(sim::Cpu& cpu, NodeId home, std::vector<GlobalRef> refs);
+
+  // Runs one thread with its data; charges dispatch cost.
+  void run_thread(sim::Cpu& cpu, const ThreadFn& fn, const void* data);
+
+  // Sends one accumulation message with `items` to `home`.
+  void send_accum(sim::Cpu& cpu, NodeId home,
+                  std::vector<std::pair<GlobalRef, AccumFn>> items);
+
+  Cluster& cluster_;
+  NodeId node_;
+  const RuntimeConfig& cfg_;
+  fm::HandlerId h_req_;
+  fm::HandlerId h_reply_;
+  fm::HandlerId h_accum_;
+  NodeWork work_;
+  std::uint64_t next_root_ = 0;
+  bool sched_pending_ = false;
+  RtNodeStats stats_;
+};
+
+// The per-thread execution context: thin wrapper over the node Cpu plus the
+// engine, giving app code `charge` and `require`.
+class Ctx {
+ public:
+  Ctx(EngineBase& engine, sim::Cpu& cpu) : engine_(engine), cpu_(cpu) {}
+
+  NodeId node() const { return engine_.node_id(); }
+  std::uint32_t num_nodes() const;
+
+  // Charges application compute time.
+  void charge(Time ns) { cpu_.charge(ns, sim::Work::kCompute); }
+
+  // Creates a thread labeled with `ref`.
+  void require(GlobalRef ref, ThreadFn thread) {
+    engine_.require(cpu_, ref, std::move(thread));
+  }
+
+  // Typed convenience wrapper.
+  template <class T, class F>
+  void require(GPtr<T> ptr, F&& fn) {
+    require_bytes(ptr, sizeof(T), std::forward<F>(fn));
+  }
+
+  // As `require`, but models a marshalled size different from sizeof(T)
+  // (e.g. an expansion truncated to the configured number of terms).
+  template <class T, class F>
+  void require_bytes(GPtr<T> ptr, std::uint32_t bytes, F&& fn) {
+    GlobalRef ref = ptr.ref();
+    ref.bytes = bytes;
+    require(ref, [fn = std::forward<F>(fn)](Ctx& ctx, const void* data) {
+      fn(ctx, *static_cast<const T*>(data));
+    });
+  }
+
+  // Fire-and-forget commutative update applied at the object's home
+  // (DPA aggregates these alongside its read requests). `fn(T&)` must
+  // commute with every other update to the same object in the phase.
+  template <class T, class F>
+  void accumulate(GPtr<T> ptr, F&& fn) {
+    engine_.accumulate(cpu_, ptr.ref(),
+                       [fn = std::forward<F>(fn)](void* obj) {
+                         fn(*static_cast<T*>(obj));
+                       });
+  }
+
+  sim::Cpu& cpu() { return cpu_; }
+  EngineBase& engine() { return engine_; }
+
+ private:
+  EngineBase& engine_;
+  sim::Cpu& cpu_;
+};
+
+}  // namespace dpa::rt

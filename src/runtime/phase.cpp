@@ -1,0 +1,117 @@
+#include "runtime/phase.h"
+
+#include <sstream>
+#include <utility>
+
+#include "runtime/dpa_engine.h"
+#include "runtime/prefetch_engine.h"
+#include "runtime/sync_engine.h"
+#include "support/assert.h"
+
+namespace dpa::rt {
+
+namespace {
+double mean_component(const PhaseResult& r, Time NodeBreakdown::*field) {
+  if (r.nodes.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& n : r.nodes) sum += sim::to_seconds(n.*field);
+  return sum / double(r.nodes.size());
+}
+}  // namespace
+
+double PhaseResult::mean_compute_s() const {
+  return mean_component(*this, &NodeBreakdown::compute);
+}
+double PhaseResult::mean_runtime_s() const {
+  return mean_component(*this, &NodeBreakdown::runtime);
+}
+double PhaseResult::mean_comm_s() const {
+  return mean_component(*this, &NodeBreakdown::comm);
+}
+double PhaseResult::mean_idle_s() const {
+  return mean_component(*this, &NodeBreakdown::idle);
+}
+
+PhaseRunner::PhaseRunner(Cluster& cluster, RuntimeConfig cfg)
+    : cluster_(cluster), cfg_(std::move(cfg)) {
+  cfg_.validate();
+  h_req_ = cluster_.fm.register_handler(
+      "rt.request", [this](sim::Cpu& cpu, const fm::Packet& pkt) {
+        auto* req = static_cast<ReqPayload*>(pkt.data.get());
+        engines_[pkt.dst]->serve_request(cpu, *req);
+      });
+  h_reply_ = cluster_.fm.register_handler(
+      "rt.reply", [this](sim::Cpu& cpu, const fm::Packet& pkt) {
+        auto* reply = static_cast<ReplyPayload*>(pkt.data.get());
+        engines_[pkt.dst]->on_reply(cpu, *reply);
+      });
+  h_accum_ = cluster_.fm.register_handler(
+      "rt.accum", [this](sim::Cpu& cpu, const fm::Packet& pkt) {
+        auto* payload = static_cast<AccumPayload*>(pkt.data.get());
+        engines_[pkt.dst]->serve_accum(cpu, *payload);
+      });
+}
+
+std::unique_ptr<EngineBase> PhaseRunner::make_engine(NodeId node) {
+  switch (cfg_.kind) {
+    case EngineKind::kDpa:
+      return std::make_unique<DpaEngine>(cluster_, node, cfg_, h_req_,
+                                         h_reply_, h_accum_);
+    case EngineKind::kCaching:
+      return std::make_unique<SyncEngine>(cluster_, node, cfg_, h_req_,
+                                          h_reply_, h_accum_,
+                                          /*use_cache=*/true);
+    case EngineKind::kBlocking:
+      return std::make_unique<SyncEngine>(cluster_, node, cfg_, h_req_,
+                                          h_reply_, h_accum_,
+                                          /*use_cache=*/false);
+    case EngineKind::kPrefetch:
+      return std::make_unique<PrefetchEngine>(cluster_, node, cfg_, h_req_,
+                                              h_reply_, h_accum_);
+  }
+  DPA_PANIC("unknown engine kind");
+}
+
+PhaseResult PhaseRunner::run(std::vector<NodeWork> work) {
+  const std::uint32_t n = cluster_.num_nodes();
+  DPA_CHECK(work.size() == n)
+      << "phase needs one NodeWork per node: " << work.size() << " != " << n;
+
+  engines_.clear();
+  engines_.reserve(n);
+  for (NodeId i = 0; i < n; ++i) engines_.push_back(make_engine(i));
+
+  cluster_.machine.begin_phase();
+  cluster_.fm.reset_stats();
+  for (NodeId i = 0; i < n; ++i) engines_[i]->start(std::move(work[i]));
+
+  PhaseResult result;
+  result.elapsed = cluster_.machine.run_phase();
+
+  result.completed = true;
+  std::ostringstream diag;
+  for (NodeId i = 0; i < n; ++i) {
+    if (!engines_[i]->done()) {
+      result.completed = false;
+      diag << engines_[i]->state_dump() << "\n";
+    }
+  }
+  result.diagnostics = diag.str();
+
+  result.nodes.resize(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const auto& proc = cluster_.machine.node(i).stats();
+    auto& nb = result.nodes[i];
+    nb.compute = proc.busy[int(sim::Work::kCompute)];
+    nb.runtime = proc.busy[int(sim::Work::kRuntime)];
+    nb.comm = proc.busy[int(sim::Work::kComm)];
+    nb.busy_total = proc.busy_total;
+    nb.idle = cluster_.machine.idle_time(i, result.elapsed);
+    result.rt.absorb(engines_[i]->stats());
+  }
+  result.net = cluster_.machine.network().stats();
+  result.fm_total = cluster_.fm.aggregate_stats();
+  return result;
+}
+
+}  // namespace dpa::rt

@@ -1,0 +1,118 @@
+// Per-node runtime counters. These feed the paper's tables directly:
+// aggregation factor (requests per message), max outstanding threads, M
+// high-water marks, cache hit rates.
+#pragma once
+
+#include <cstdint>
+
+#include "support/stats.h"
+
+namespace dpa::rt {
+
+struct RtNodeStats {
+  // Threads (DPA) / deferred work items (sync engines).
+  std::uint64_t threads_created = 0;
+  std::uint64_t threads_run = 0;
+  std::uint64_t local_threads = 0;  // threads on node-local pointers
+  std::uint64_t tiles_run = 0;      // tile dispatches (>=1 thread each)
+  std::uint64_t roots_created = 0;  // conc-loop iterations started
+  std::uint64_t strips = 0;
+
+  // Communication (requester side).
+  std::uint64_t refs_requested = 0;   // remote object fetches issued
+  std::uint64_t request_msgs = 0;     // request messages sent
+  std::uint64_t dup_refs_avoided = 0; // threads that joined an in-flight tile
+  std::uint64_t replies_recv = 0;
+
+  // Communication (home side).
+  std::uint64_t refs_served = 0;
+  std::uint64_t requests_served = 0;
+
+  // Caching engine.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+
+  // Remote accumulation.
+  std::uint64_t accums_issued = 0;   // updates sent to remote homes
+  std::uint64_t accum_msgs = 0;      // messages carrying them
+  std::uint64_t accums_applied = 0;  // updates applied at this home
+  std::uint64_t accums_local = 0;    // updates applied directly (local home)
+
+  // Resource gauges.
+  Gauge outstanding_threads;  // suspended thread states held
+  Gauge m_entries;            // live entries in M
+  Gauge outstanding_refs;     // remote refs requested but not yet arrived
+
+  double aggregation_factor() const {
+    return request_msgs ? double(refs_requested) / double(request_msgs) : 0.0;
+  }
+  double cache_hit_rate() const {
+    const auto total = cache_hits + cache_misses;
+    return total ? double(cache_hits) / double(total) : 0.0;
+  }
+};
+
+// Sums of the counters plus maxima of the gauges across nodes.
+struct RtTotals {
+  std::uint64_t threads_created = 0;
+  std::uint64_t threads_run = 0;
+  std::uint64_t local_threads = 0;
+  std::uint64_t tiles_run = 0;
+  std::uint64_t roots_created = 0;
+  std::uint64_t strips = 0;
+  std::uint64_t refs_requested = 0;
+  std::uint64_t request_msgs = 0;
+  std::uint64_t dup_refs_avoided = 0;
+  std::uint64_t replies_recv = 0;
+  std::uint64_t refs_served = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t accums_issued = 0;
+  std::uint64_t accum_msgs = 0;
+  std::uint64_t accums_applied = 0;
+  std::uint64_t accums_local = 0;
+  std::int64_t max_outstanding_threads = 0;
+  std::int64_t max_m_entries = 0;
+  std::int64_t max_outstanding_refs = 0;
+
+  void absorb(const RtNodeStats& s) {
+    threads_created += s.threads_created;
+    threads_run += s.threads_run;
+    local_threads += s.local_threads;
+    tiles_run += s.tiles_run;
+    roots_created += s.roots_created;
+    strips += s.strips;
+    refs_requested += s.refs_requested;
+    request_msgs += s.request_msgs;
+    dup_refs_avoided += s.dup_refs_avoided;
+    replies_recv += s.replies_recv;
+    refs_served += s.refs_served;
+    requests_served += s.requests_served;
+    cache_hits += s.cache_hits;
+    cache_misses += s.cache_misses;
+    cache_evictions += s.cache_evictions;
+    accums_issued += s.accums_issued;
+    accum_msgs += s.accum_msgs;
+    accums_applied += s.accums_applied;
+    accums_local += s.accums_local;
+    if (s.outstanding_threads.high_water() > max_outstanding_threads)
+      max_outstanding_threads = s.outstanding_threads.high_water();
+    if (s.m_entries.high_water() > max_m_entries)
+      max_m_entries = s.m_entries.high_water();
+    if (s.outstanding_refs.high_water() > max_outstanding_refs)
+      max_outstanding_refs = s.outstanding_refs.high_water();
+  }
+
+  double aggregation_factor() const {
+    return request_msgs ? double(refs_requested) / double(request_msgs) : 0.0;
+  }
+  double cache_hit_rate() const {
+    const auto total = cache_hits + cache_misses;
+    return total ? double(cache_hits) / double(total) : 0.0;
+  }
+};
+
+}  // namespace dpa::rt

@@ -1,0 +1,38 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+#include "support/assert.h"
+
+namespace dpa::sim {
+
+void Engine::schedule_at(Time at, EventFn fn) {
+  DPA_CHECK(at >= now_) << "event scheduled in the past: " << at << " < "
+                        << now_;
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the function object must be moved out,
+  // so copy the handle then pop.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ++events_processed_;
+  if (event_limit_ != 0 && events_processed_ > event_limit_) {
+    DPA_PANIC("event limit exceeded (" << event_limit_
+                                       << "): livelocked simulation?");
+  }
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Engine::run() {
+  const std::uint64_t before = events_processed_;
+  while (step()) {
+  }
+  return events_processed_ - before;
+}
+
+}  // namespace dpa::sim

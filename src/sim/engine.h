@@ -1,0 +1,63 @@
+// Discrete-event engine.
+//
+// A binary heap of (time, sequence) ordered events. The sequence number makes
+// simultaneous events fire in schedule order, which makes every simulation in
+// this repository bit-for-bit deterministic (property-tested).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dpa::sim {
+
+class Engine {
+ public:
+  using EventFn = std::function<void()>;
+
+  // Schedules `fn` at absolute time `at` (must be >= now()).
+  void schedule_at(Time at, EventFn fn);
+
+  // Schedules `fn` `delay` ns after now().
+  void schedule_after(Time delay, EventFn fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Runs events until the queue drains. Returns the number processed.
+  std::uint64_t run();
+
+  // Runs at most one event; returns false if the queue was empty.
+  bool step();
+
+  Time now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  // Aborts the simulation if it exceeds this many events (guards against
+  // livelock bugs in schedulers; 0 disables).
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t event_limit_ = 0;
+};
+
+}  // namespace dpa::sim

@@ -1,0 +1,95 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.h"
+
+namespace dpa::sim {
+
+void Cpu::charge(Time ns, Work kind) {
+  DPA_CHECK(ns >= 0) << "negative charge: " << ns;
+  used_total_ += ns;
+  used_[int(kind)] += ns;
+}
+
+void NodeProc::post(Task task) {
+  pending_.push_back(std::move(task));
+  if (!drain_scheduled_) {
+    drain_scheduled_ = true;
+    const Time at = std::max(engine_.now(), busy_until_);
+    engine_.schedule_at(at, [this] { drain(); });
+  }
+}
+
+void NodeProc::drain() {
+  drain_scheduled_ = false;
+  if (pending_.empty()) return;
+
+  // A task posted from within a running task lands here before busy_until_
+  // caught up with that task's end; start no earlier than the node is free.
+  const Time start = std::max(engine_.now(), busy_until_);
+  Task task = std::move(pending_.front());
+  pending_.pop_front();
+
+  Cpu cpu(*this, start);
+  task(cpu);
+
+  busy_until_ = start + cpu.used_total();
+  if (trace_ != nullptr && cpu.used_total() > 0)
+    trace_->task(id_, start, busy_until_);
+  for (int k = 0; k < kNumWorkKinds; ++k)
+    stats_.busy[k] += cpu.used(Work(k));
+  stats_.busy_total += cpu.used_total();
+  stats_.finish_time = busy_until_;
+  ++stats_.tasks_run;
+
+  if (!pending_.empty()) {
+    drain_scheduled_ = true;
+    engine_.schedule_at(busy_until_, [this] { drain(); });
+  }
+}
+
+Machine::Machine(std::uint32_t num_nodes, NetParams params)
+    : network_(engine_, params, num_nodes) {
+  nodes_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i)
+    nodes_.push_back(std::make_unique<NodeProc>(engine_, i));
+}
+
+NodeProc& Machine::node(NodeId id) {
+  DPA_CHECK(id < nodes_.size()) << "bad node id " << id;
+  return *nodes_[id];
+}
+
+void Machine::begin_phase() {
+  // The phase starts once every node has drained its previous work: charged
+  // time can extend past the last event's timestamp.
+  phase_start_ = engine_.now();
+  for (auto& n : nodes_) {
+    phase_start_ = std::max(phase_start_, n->busy_until());
+    n->reset_stats();
+  }
+  network_.stats().reset();
+}
+
+Time Machine::run_phase() {
+  engine_.run();
+  Time finish = phase_start_;
+  for (auto& n : nodes_)
+    finish = std::max(finish, n->stats().finish_time);
+  return finish - phase_start_;
+}
+
+void Machine::set_trace(TraceSink* sink) {
+  for (auto& n : nodes_) n->set_trace(sink);
+  network_.set_trace(sink);
+}
+
+Time Machine::idle_time(NodeId id, Time phase_elapsed) const {
+  const auto& st = nodes_[id]->stats();
+  const Time idle = phase_elapsed - st.busy_total;
+  return idle > 0 ? idle : 0;
+}
+
+}  // namespace dpa::sim

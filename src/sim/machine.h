@@ -1,0 +1,130 @@
+// Simulated multiprocessor: per-node sequential processors over a shared
+// LogGP network.
+//
+// Each node executes posted tasks one at a time (a T3D node is a single
+// Alpha). A task charges its cost to the node's Cpu context as it runs; the
+// node is busy for exactly the charged duration, and everything it sends
+// departs at its logical time within the task. Idle time falls out as
+// phase-elapsed minus busy time, which is exactly the "idle" component in the
+// paper's breakdown figures.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/network.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace dpa::sim {
+
+// Where a charged nanosecond goes in the breakdown figures.
+enum class Work : std::uint8_t {
+  kCompute = 0,  // application work (force interactions, relaxation, ...)
+  kRuntime = 1,  // scheduling: M/D updates, thread create/dispatch, hashing
+  kComm = 2,     // send/receive software overhead, marshalling
+};
+constexpr int kNumWorkKinds = 3;
+
+class NodeProc;
+
+// Execution context handed to every task; accumulates charged time.
+class Cpu {
+ public:
+  Cpu(NodeProc& node, Time start) : node_(node), start_(start) {}
+
+  void charge(Time ns, Work kind = Work::kCompute);
+
+  // The node-local logical time: task start plus everything charged so far.
+  Time logical_now() const { return start_ + used_total_; }
+  Time used_total() const { return used_total_; }
+  Time used(Work kind) const { return used_[int(kind)]; }
+  NodeProc& node() { return node_; }
+
+ private:
+  NodeProc& node_;
+  Time start_;
+  Time used_total_ = 0;
+  Time used_[kNumWorkKinds] = {0, 0, 0};
+};
+
+using Task = std::function<void(Cpu&)>;
+
+struct NodeStats {
+  Time busy[kNumWorkKinds] = {0, 0, 0};
+  Time busy_total = 0;
+  Time finish_time = 0;  // logical time the node last stopped being busy
+  std::uint64_t tasks_run = 0;
+
+  void reset() { *this = NodeStats{}; }
+};
+
+class NodeProc {
+ public:
+  NodeProc(Engine& engine, NodeId id) : engine_(engine), id_(id) {}
+
+  NodeProc(const NodeProc&) = delete;
+  NodeProc& operator=(const NodeProc&) = delete;
+
+  // Enqueues a task. Tasks run serially in post order at the node's next
+  // free instant.
+  void post(Task task);
+
+  NodeId id() const { return id_; }
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+  const NodeStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+  Time busy_until() const { return busy_until_; }
+  std::size_t backlog() const { return pending_.size(); }
+
+ private:
+  void drain();
+
+  Engine& engine_;
+  NodeId id_;
+  std::deque<Task> pending_;
+  bool drain_scheduled_ = false;
+  Time busy_until_ = 0;
+  NodeStats stats_;
+  TraceSink* trace_ = nullptr;
+};
+
+// An N-node machine: engine + network + processors.
+class Machine {
+ public:
+  Machine(std::uint32_t num_nodes, NetParams params);
+
+  Engine& engine() { return engine_; }
+  Network& network() { return network_; }
+  NodeProc& node(NodeId id);
+  std::uint32_t num_nodes() const { return std::uint32_t(nodes_.size()); }
+
+  // Marks the start of a timed phase: zeroes node/network stats and records
+  // the phase origin.
+  void begin_phase();
+
+  // Runs the engine dry and returns phase elapsed time (max over nodes of
+  // their finish time, relative to phase start).
+  Time run_phase();
+
+  Time phase_start() const { return phase_start_; }
+
+  // Per-node idle time for the last completed phase: elapsed - busy.
+  Time idle_time(NodeId id, Time phase_elapsed) const;
+
+  // Attaches a trace sink observing all task executions and messages
+  // (nullptr detaches).
+  void set_trace(TraceSink* sink);
+
+ private:
+  Engine engine_;
+  Network network_;
+  std::vector<std::unique_ptr<NodeProc>> nodes_;
+  Time phase_start_ = 0;
+};
+
+}  // namespace dpa::sim

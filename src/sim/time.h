@@ -1,0 +1,23 @@
+// Simulated time. One tick = one nanosecond of machine time.
+//
+// The whole reproduction runs on simulated time: application computation is
+// real (forces are actually computed) but its *cost* is charged through the
+// CostModel, so a 64-node Cray-T3D-like run executes deterministically on a
+// single host core.
+#pragma once
+
+#include <cstdint>
+
+namespace dpa::sim {
+
+using Time = std::int64_t;  // nanoseconds
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+constexpr double to_seconds(Time t) { return double(t) / double(kSecond); }
+constexpr double to_micros(Time t) { return double(t) / double(kMicrosecond); }
+
+}  // namespace dpa::sim

@@ -1,0 +1,44 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dpa::sim {
+
+Time Timeline::node_busy(NodeId node) const {
+  Time busy = 0;
+  for (const auto& t : tasks_)
+    if (t.node == node) busy += t.end - t.start;
+  return busy;
+}
+
+std::string Timeline::dump(std::size_t limit) const {
+  struct Line {
+    Time at;
+    std::string text;
+  };
+  std::vector<Line> lines;
+  lines.reserve(tasks_.size() + msgs_.size());
+  for (const auto& t : tasks_) {
+    std::ostringstream os;
+    os << "[" << t.start << ".." << t.end << "] node " << t.node << " task ("
+       << (t.end - t.start) << " ns)";
+    lines.push_back({t.start, os.str()});
+  }
+  for (const auto& m : msgs_) {
+    std::ostringstream os;
+    os << "[" << m.depart << ".." << m.arrive << "] msg " << m.src << " -> "
+       << m.dst << " (" << m.bytes << " B)";
+    lines.push_back({m.depart, os.str()});
+  }
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const Line& a, const Line& b) { return a.at < b.at; });
+  std::ostringstream os;
+  for (std::size_t i = 0; i < lines.size() && i < limit; ++i)
+    os << lines[i].text << "\n";
+  if (lines.size() > limit)
+    os << "... (" << (lines.size() - limit) << " more)\n";
+  return os.str();
+}
+
+}  // namespace dpa::sim

@@ -1,0 +1,69 @@
+// Execution tracing: an optional sink observing every task execution and
+// message flight. Used for debugging schedules and by tests that assert
+// interleaving properties; Timeline is a ready-made sink that records
+// everything and renders a readable log.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace dpa::sim {
+
+using NodeId = std::uint32_t;
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // A node task ran from `start` to `end` (charged time).
+  virtual void task(NodeId node, Time start, Time end) = 0;
+
+  // A message departed src at `depart` and arrives at dst at `arrive`.
+  virtual void message(NodeId src, NodeId dst, std::uint32_t bytes,
+                       Time depart, Time arrive) = 0;
+};
+
+// Records everything; render with dump().
+class Timeline final : public TraceSink {
+ public:
+  struct TaskEvent {
+    NodeId node;
+    Time start, end;
+  };
+  struct MsgEvent {
+    NodeId src, dst;
+    std::uint32_t bytes;
+    Time depart, arrive;
+  };
+
+  void task(NodeId node, Time start, Time end) override {
+    tasks_.push_back({node, start, end});
+  }
+  void message(NodeId src, NodeId dst, std::uint32_t bytes, Time depart,
+               Time arrive) override {
+    msgs_.push_back({src, dst, bytes, depart, arrive});
+  }
+
+  const std::vector<TaskEvent>& tasks() const { return tasks_; }
+  const std::vector<MsgEvent>& messages() const { return msgs_; }
+
+  // Total busy time recorded for one node.
+  Time node_busy(NodeId node) const;
+
+  // Merged, time-ordered log (up to `limit` lines).
+  std::string dump(std::size_t limit = 100) const;
+
+  void clear() {
+    tasks_.clear();
+    msgs_.clear();
+  }
+
+ private:
+  std::vector<TaskEvent> tasks_;
+  std::vector<MsgEvent> msgs_;
+};
+
+}  // namespace dpa::sim

@@ -1,0 +1,14 @@
+#include "support/assert.h"
+
+#include <cstdio>
+
+namespace dpa {
+
+void panic(std::string_view file, int line, std::string_view msg) {
+  std::fprintf(stderr, "[dpa panic] %.*s:%d: %.*s\n", int(file.size()),
+               file.data(), line, int(msg.size()), msg.data());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dpa

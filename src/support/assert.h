@@ -1,0 +1,56 @@
+// Assertion and panic helpers used throughout the DPA libraries.
+//
+// DPA_CHECK is always on (simulation correctness depends on invariants that
+// must hold in release builds too); DPA_DCHECK compiles out in NDEBUG builds
+// and is used on hot paths.
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dpa {
+
+// Prints a diagnostic to stderr and aborts. Never returns.
+[[noreturn]] void panic(std::string_view file, int line, std::string_view msg);
+
+namespace detail {
+
+// Builds the failure message lazily so the happy path stays cheap.
+struct CheckStream {
+  std::ostringstream os;
+  const char* file;
+  int line;
+
+  CheckStream(const char* f, int l, const char* expr) : file(f), line(l) {
+    os << "check failed: " << expr;
+  }
+  template <class T>
+  CheckStream& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+  [[noreturn]] ~CheckStream() { panic(file, line, os.str()); }
+};
+
+}  // namespace detail
+
+}  // namespace dpa
+
+#define DPA_CHECK(cond)                                       \
+  if (cond) {                                                 \
+  } else                                                      \
+    ::dpa::detail::CheckStream(__FILE__, __LINE__, #cond) << " "
+
+#define DPA_PANIC(msg)                                        \
+  ::dpa::panic(__FILE__, __LINE__, (std::ostringstream() << msg).str())
+
+#ifdef NDEBUG
+#define DPA_DCHECK(cond) \
+  if (true) {            \
+  } else                 \
+    ::dpa::detail::CheckStream(__FILE__, __LINE__, #cond) << " "
+#else
+#define DPA_DCHECK(cond) DPA_CHECK(cond)
+#endif

@@ -1,0 +1,157 @@
+#include "support/json.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace dpa {
+
+JsonWriter::Scope::~Scope() {
+  if (w_ != nullptr) w_->close_frame();
+}
+
+void JsonWriter::comma() {
+  if (!frames_.empty() && has_items_.back()) out_ << ',';
+  if (!has_items_.empty()) has_items_.back() = true;
+}
+
+void JsonWriter::quote(std::string_view s) {
+  out_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out_ << "\\\"";
+        break;
+      case '\\':
+        out_ << "\\\\";
+        break;
+      case '\n':
+        out_ << "\\n";
+        break;
+      case '\t':
+        out_ << "\\t";
+        break;
+      default:
+        out_ << c;
+    }
+  }
+  out_ << '"';
+}
+
+void JsonWriter::key(std::string_view k) {
+  DPA_CHECK(!frames_.empty() && frames_.back() == Frame::kObject)
+      << "keyed write outside an object";
+  comma();
+  quote(k);
+  out_ << ':';
+}
+
+JsonWriter::Scope JsonWriter::obj() {
+  if (!frames_.empty()) {
+    DPA_CHECK(frames_.back() == Frame::kArray)
+        << "unkeyed object inside an object";
+    comma();
+  }
+  out_ << '{';
+  frames_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return Scope(this);
+}
+
+JsonWriter::Scope JsonWriter::arr() {
+  if (!frames_.empty()) {
+    DPA_CHECK(frames_.back() == Frame::kArray)
+        << "unkeyed array inside an object";
+    comma();
+  }
+  out_ << '[';
+  frames_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return Scope(this);
+}
+
+JsonWriter::Scope JsonWriter::obj(std::string_view k) {
+  key(k);
+  out_ << '{';
+  frames_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return Scope(this);
+}
+
+JsonWriter::Scope JsonWriter::arr(std::string_view k) {
+  key(k);
+  out_ << '[';
+  frames_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return Scope(this);
+}
+
+void JsonWriter::close_frame() {
+  DPA_CHECK(!frames_.empty());
+  out_ << (frames_.back() == Frame::kObject ? '}' : ']');
+  frames_.pop_back();
+  has_items_.pop_back();
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::string_view v) {
+  key(k);
+  quote(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, double v) {
+  key(k);
+  DPA_CHECK(std::isfinite(v)) << "non-finite JSON number for key " << k;
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::int64_t v) {
+  key(k);
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::uint64_t v) {
+  key(k);
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, bool v) {
+  key(k);
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  DPA_CHECK(!frames_.empty() && frames_.back() == Frame::kArray)
+      << "bare value outside an array";
+  comma();
+  quote(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  DPA_CHECK(!frames_.empty() && frames_.back() == Frame::kArray)
+      << "bare value outside an array";
+  DPA_CHECK(std::isfinite(v));
+  comma();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  DPA_CHECK(!frames_.empty() && frames_.back() == Frame::kArray)
+      << "bare value outside an array";
+  comma();
+  out_ << v;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  DPA_CHECK(frames_.empty()) << "unclosed JSON scopes";
+  return out_.str();
+}
+
+}  // namespace dpa

@@ -1,0 +1,69 @@
+// Minimal streaming JSON writer for machine-readable bench output.
+//
+// Scope-based: `obj()`/`arr()` return RAII scopes; `field(...)` writes a
+// key/value inside an object, `value(...)` appends inside an array. The
+// writer validates nesting (writing a bare value inside an object dies).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpa {
+
+class JsonWriter {
+ public:
+  class Scope {
+   public:
+    Scope(Scope&& other) noexcept : w_(other.w_) { other.w_ = nullptr; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope& operator=(Scope&&) = delete;
+    ~Scope();
+
+   private:
+    friend class JsonWriter;
+    explicit Scope(JsonWriter* w) : w_(w) {}
+    JsonWriter* w_;
+  };
+
+  // Top-level or nested containers.
+  Scope obj();
+  Scope arr();
+  Scope obj(std::string_view key);  // keyed container inside an object
+  Scope arr(std::string_view key);
+
+  // Keyed values inside an object.
+  JsonWriter& field(std::string_view key, std::string_view v);
+  JsonWriter& field(std::string_view key, const char* v) {
+    return field(key, std::string_view(v));
+  }
+  JsonWriter& field(std::string_view key, double v);
+  JsonWriter& field(std::string_view key, std::int64_t v);
+  JsonWriter& field(std::string_view key, std::uint64_t v);
+  JsonWriter& field(std::string_view key, bool v);
+
+  // Bare values inside an array.
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+
+  // The finished document (all scopes must be closed).
+  std::string str() const;
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void comma();
+  void key(std::string_view k);
+  void quote(std::string_view s);
+  void close_frame();
+
+  std::ostringstream out_;
+  std::vector<Frame> frames_;
+  std::vector<bool> has_items_;
+};
+
+}  // namespace dpa

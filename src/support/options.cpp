@@ -1,0 +1,118 @@
+#include "support/options.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace dpa {
+
+namespace {
+std::int64_t parse_i64(const std::string& s) {
+  std::size_t pos = 0;
+  std::int64_t v = 0;
+  try {
+    v = std::stoll(s, &pos);
+  } catch (const std::exception&) {
+    DPA_PANIC("bad integer: '" << s << "'");
+  }
+  DPA_CHECK(pos == s.size()) << "bad integer: '" << s << "'";
+  return v;
+}
+double parse_f64(const std::string& s) {
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    DPA_PANIC("bad number: '" << s << "'");
+  }
+  DPA_CHECK(pos == s.size()) << "bad number: '" << s << "'";
+  return v;
+}
+}  // namespace
+
+Options& Options::flag(std::string name, bool* out, std::string doc) {
+  opts_.push_back({std::move(name), std::move(doc), "bool",
+                   [out](const std::string& v) {
+                     DPA_CHECK(v.empty() || v == "true" || v == "false" ||
+                               v == "0" || v == "1")
+                         << "bad bool: '" << v << "'";
+                     *out = v.empty() || v == "true" || v == "1";
+                   },
+                   [out] { return std::string(*out ? "true" : "false"); }});
+  return *this;
+}
+
+Options& Options::i64(std::string name, std::int64_t* out, std::string doc) {
+  opts_.push_back({std::move(name), std::move(doc), "int",
+                   [out](const std::string& v) { *out = parse_i64(v); },
+                   [out] { return std::to_string(*out); }});
+  return *this;
+}
+
+Options& Options::u64(std::string name, std::uint64_t* out, std::string doc) {
+  opts_.push_back({std::move(name), std::move(doc), "uint",
+                   [out](const std::string& v) {
+                     const std::int64_t x = parse_i64(v);
+                     DPA_CHECK(x >= 0) << "negative value for uint: " << x;
+                     *out = std::uint64_t(x);
+                   },
+                   [out] { return std::to_string(*out); }});
+  return *this;
+}
+
+Options& Options::f64(std::string name, double* out, std::string doc) {
+  opts_.push_back({std::move(name), std::move(doc), "float",
+                   [out](const std::string& v) { *out = parse_f64(v); },
+                   [out] { return std::to_string(*out); }});
+  return *this;
+}
+
+Options& Options::str(std::string name, std::string* out, std::string doc) {
+  opts_.push_back({std::move(name), std::move(doc), "string",
+                   [out](const std::string& v) { *out = v; },
+                   [out] { return *out; }});
+  return *this;
+}
+
+bool Options::parse(int argc, char** argv) const {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return false;
+    }
+    DPA_CHECK(arg.rfind("--", 0) == 0) << "expected --option, got '" << arg
+                                       << "'";
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    bool found = false;
+    for (const auto& o : opts_) {
+      if (o.name == name) {
+        o.set(value);
+        found = true;
+        break;
+      }
+    }
+    DPA_CHECK(found) << "unknown option --" << name;
+  }
+  return true;
+}
+
+std::string Options::usage(const std::string& prog) const {
+  std::ostringstream os;
+  os << "usage: " << prog << " [options]\n";
+  for (const auto& o : opts_) {
+    os << "  --" << o.name << "=<" << o.kind << ">  (default " << o.show()
+       << ")\n      " << o.doc << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dpa

@@ -1,0 +1,42 @@
+// Tiny command-line option parser for the bench/example binaries.
+//
+// Supports --name=value and --flag forms plus a generated --help. We keep
+// this in-tree (rather than depending on a flags library) so every bench
+// binary stays a single self-contained executable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dpa {
+
+class Options {
+ public:
+  // Registration: each returns *this for chaining. `doc` appears in --help.
+  Options& flag(std::string name, bool* out, std::string doc);
+  Options& i64(std::string name, std::int64_t* out, std::string doc);
+  Options& u64(std::string name, std::uint64_t* out, std::string doc);
+  Options& f64(std::string name, double* out, std::string doc);
+  Options& str(std::string name, std::string* out, std::string doc);
+
+  // Parses argv. On --help prints usage and returns false (caller exits 0).
+  // Unknown options are a hard error (panic) — bench configs must not be
+  // silently misspelled.
+  bool parse(int argc, char** argv) const;
+
+  std::string usage(const std::string& prog) const;
+
+ private:
+  struct Opt {
+    std::string name;
+    std::string doc;
+    std::string kind;
+    std::function<void(const std::string&)> set;
+    std::function<std::string()> show;
+  };
+  std::vector<Opt> opts_;
+};
+
+}  // namespace dpa

@@ -1,0 +1,152 @@
+// A minimal small-buffer-optimized vector.
+//
+// The runtime's pointer->threads map M holds, for most pointers, only a
+// handful of waiting threads; SmallVector keeps those inline and only heap
+// allocates past the inline capacity. Trivially a subset of std::vector's
+// interface — just what the runtime needs.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/assert.h"
+
+namespace dpa {
+
+template <class T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  SmallVector() = default;
+
+  SmallVector(const SmallVector& other) { append_all(other); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      append_all(other);
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { move_from(std::move(other)); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { destroy(); }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <class... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow();
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    DPA_DCHECK(size_ > 0);
+    data()[--size_].~T();
+  }
+
+  void clear() {
+    T* d = data();
+    for (std::size_t i = 0; i < size_; ++i) d[i].~T();
+    size_ = 0;
+  }
+
+  T* data() { return heap_ ? heap_ : inline_data(); }
+  const T* data() const { return heap_ ? heap_ : inline_data(); }
+
+  T& operator[](std::size_t i) {
+    DPA_DCHECK(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    DPA_DCHECK(i < size_);
+    return data()[i];
+  }
+
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+  bool is_inline() const { return heap_ == nullptr; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+ private:
+  T* inline_data() { return std::launder(reinterpret_cast<T*>(storage_)); }
+  const T* inline_data() const {
+    return std::launder(reinterpret_cast<const T*>(storage_));
+  }
+
+  void grow() {
+    const std::size_t new_cap = capacity_ * 2;
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    T* d = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(d[i]));
+      d[i].~T();
+    }
+    if (heap_) ::operator delete(heap_);
+    heap_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void destroy() {
+    clear();
+    if (heap_) {
+      ::operator delete(heap_);
+      heap_ = nullptr;
+      capacity_ = N;
+    }
+  }
+
+  void append_all(const SmallVector& other) {
+    for (const T& v : other) push_back(v);
+  }
+
+  void move_from(SmallVector&& other) {
+    if (other.heap_) {
+      heap_ = other.heap_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.heap_ = nullptr;
+      other.size_ = 0;
+      other.capacity_ = N;
+    } else {
+      heap_ = nullptr;
+      size_ = 0;
+      capacity_ = N;
+      for (T& v : other) push_back(std::move(v));
+      other.clear();
+    }
+  }
+
+  alignas(T) unsigned char storage_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace dpa

@@ -1,0 +1,84 @@
+#include "support/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace dpa {
+
+void Accumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double Accumulator::variance() const {
+  return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const std::uint64_t n = n_ + other.n_;
+  const double delta = other.mean_ - mean_;
+  const double mean =
+      mean_ + delta * double(other.n_) / double(n);
+  m2_ = m2_ + other.m2_ +
+        delta * delta * double(n_) * double(other.n_) / double(n);
+  mean_ = mean;
+  n_ = n;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void Pow2Histogram::add(std::uint64_t v) {
+  std::size_t b = 0;
+  while ((1ull << b) < v && b < 63) ++b;
+  if (buckets_.size() <= b) buckets_.resize(b + 1, 0);
+  ++buckets_[b];
+  ++total_;
+}
+
+std::uint64_t Pow2Histogram::quantile_bound(double q) const {
+  DPA_CHECK(q >= 0.0 && q <= 1.0) << "quantile out of range: " << q;
+  if (total_ == 0) return 0;
+  const auto want = std::uint64_t(q * double(total_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= want) return 1ull << i;
+  }
+  return 1ull << (buckets_.size() - 1);
+}
+
+std::string Pow2Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    os << "[<=" << (1ull << i) << "]=" << buckets_[i] << " ";
+  }
+  return os.str();
+}
+
+void Gauge::add(std::int64_t delta) {
+  current_ += delta;
+  if (current_ > high_) high_ = current_;
+}
+
+void Gauge::set(std::int64_t v) {
+  current_ = v;
+  if (current_ > high_) high_ = current_;
+}
+
+}  // namespace dpa

@@ -1,0 +1,72 @@
+// Lightweight statistics accumulators used by the runtime and the bench
+// harnesses: scalar accumulators (min/max/mean/variance), power-of-two
+// histograms, and a high-water-mark gauge.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dpa {
+
+// Running min/max/mean/variance over doubles (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / double(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+  void merge(const Accumulator& other);
+  void reset() { *this = Accumulator(); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Histogram with power-of-two buckets: bucket i counts values in
+// [2^(i-1), 2^i) with bucket 0 holding zero/one.
+class Pow2Histogram {
+ public:
+  void add(std::uint64_t v);
+  std::uint64_t count() const { return total_; }
+  std::uint64_t bucket(std::size_t i) const {
+    return i < buckets_.size() ? buckets_[i] : 0;
+  }
+  std::size_t num_buckets() const { return buckets_.size(); }
+  // Smallest v such that at least `q` fraction of samples are <= v
+  // (upper bucket bound; approximate by construction).
+  std::uint64_t quantile_bound(double q) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+// Tracks a current level and its high-water mark (e.g. outstanding threads).
+class Gauge {
+ public:
+  void add(std::int64_t delta);
+  void set(std::int64_t v);
+  std::int64_t current() const { return current_; }
+  std::int64_t high_water() const { return high_; }
+  void reset() { *this = Gauge(); }
+
+ private:
+  std::int64_t current_ = 0;
+  std::int64_t high_ = 0;
+};
+
+}  // namespace dpa

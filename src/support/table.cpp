@@ -1,0 +1,53 @@
+#include "support/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dpa {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, 100.0 * v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c] + 2; ++pad)
+        os << ' ';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace dpa

@@ -1,0 +1,31 @@
+// Fixed-width table printer for bench harness output.
+//
+// All experiment binaries print the rows/series of the paper artifact they
+// regenerate; this keeps the formatting consistent and greppable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dpa {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Row cells; pads/truncates to header width.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double v, int precision = 1);
+
+  std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dpa

@@ -1,0 +1,466 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "apps/barnes/app.h"
+#include "apps/barnes/plummer.h"
+#include "apps/barnes/tree.h"
+
+namespace dpa::apps::barnes {
+namespace {
+
+sim::NetParams t3d_net() { return sim::NetParams{}; }
+
+BarnesConfig small_config(std::uint32_t n = 256, std::uint32_t steps = 1) {
+  BarnesConfig cfg;
+  cfg.nbodies = n;
+  cfg.nsteps = steps;
+  cfg.seed = 99;
+  return cfg;
+}
+
+// ---------- Plummer model ----------
+
+TEST(Plummer, GeneratesRequestedBodies) {
+  const auto bodies = plummer_model(500, 1);
+  EXPECT_EQ(bodies.size(), 500u);
+  for (const auto& b : bodies) EXPECT_GT(b.mass, 0.0);
+}
+
+TEST(Plummer, TotalMassIsOne) {
+  const auto bodies = plummer_model(345, 2);
+  double mass = 0;
+  for (const auto& b : bodies) mass += b.mass;
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(Plummer, CenterOfMassFrame) {
+  const auto bodies = plummer_model(1000, 3);
+  Vec3 cmp, cmv;
+  for (const auto& b : bodies) {
+    cmp += b.pos * b.mass;
+    cmv += b.vel * b.mass;
+  }
+  EXPECT_NEAR(cmp.norm(), 0.0, 1e-10);
+  EXPECT_NEAR(cmv.norm(), 0.0, 1e-10);
+}
+
+TEST(Plummer, DeterministicPerSeed) {
+  const auto a = plummer_model(100, 7);
+  const auto b = plummer_model(100, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].pos.x, b[i].pos.x);
+    EXPECT_DOUBLE_EQ(a[i].vel.z, b[i].vel.z);
+  }
+  const auto c = plummer_model(100, 8);
+  EXPECT_NE(a[0].pos.x, c[0].pos.x);
+}
+
+TEST(Plummer, RadiusTruncatedAtNine) {
+  const auto bodies = plummer_model(5000, 4);
+  const double rsc = 3.0 * 3.14159265358979323846 / 16.0;
+  for (const auto& b : bodies) {
+    // The CM shift moves things a hair; allow slack.
+    EXPECT_LT(b.pos.norm(), 9.0 * rsc + 1.0);
+  }
+}
+
+// ---------- Morton keys ----------
+
+TEST(Morton, OrdersByOctant) {
+  const Vec3 c{0, 0, 0};
+  // x-low comes before x-high in the lowest bit of the top octant.
+  const auto k_low = morton_key({-0.5, -0.5, -0.5}, c, 1.0);
+  const auto k_high = morton_key({0.5, -0.5, -0.5}, c, 1.0);
+  EXPECT_LT(k_low, k_high);
+}
+
+TEST(Morton, ClampsOutOfBox) {
+  const Vec3 c{0, 0, 0};
+  const auto k1 = morton_key({-100, 0, 0}, c, 1.0);
+  const auto k2 = morton_key({-1, 0, 0}, c, 1.0);
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(Morton, MonotoneAlongTheDiagonal) {
+  const Vec3 c{0, 0, 0};
+  std::uint64_t prev = 0;
+  for (double v = -0.9; v < 0.9; v += 0.05) {
+    const auto k = morton_key({v, v, v}, c, 1.0);
+    EXPECT_GE(k, prev);
+    prev = k;
+  }
+}
+
+TEST(Morton, IdenticalPointsIdenticalKeys) {
+  const Vec3 c{1, 2, 3};
+  EXPECT_EQ(morton_key({0.3, -0.2, 0.7}, c, 4.0),
+            morton_key({0.3, -0.2, 0.7}, c, 4.0));
+}
+
+// ---------- tree build ----------
+
+TEST(Tree, EveryBodyInExactlyOneLeaf) {
+  const auto bodies = plummer_model(512, 5);
+  const BhTree tree = BhTree::build(bodies);
+  std::multiset<std::int32_t> seen;
+  for (const auto& cell : tree.cells) {
+    if (!cell.leaf) continue;
+    for (auto bi : cell.bodies) seen.insert(bi);
+  }
+  EXPECT_EQ(seen.size(), 512u);
+  for (std::int32_t i = 0; i < 512; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(Tree, LeavesRespectCapacity) {
+  const auto bodies = plummer_model(2000, 6);
+  const BhTree tree = BhTree::build(bodies);
+  for (const auto& cell : tree.cells) {
+    if (cell.leaf) {
+      EXPECT_LE(cell.bodies.size(), std::size_t(kLeafCap));
+    }
+  }
+}
+
+TEST(Tree, ChildrenNestInsideParents) {
+  const auto bodies = plummer_model(300, 7);
+  const BhTree tree = BhTree::build(bodies);
+  for (const auto& cell : tree.cells) {
+    if (cell.leaf) continue;
+    for (auto ci : cell.child) {
+      if (ci < 0) continue;
+      const BuildCell& ch = tree.at(ci);
+      EXPECT_NEAR(ch.half, cell.half / 2, 1e-12);
+      EXPECT_LE(std::abs(ch.center.x - cell.center.x), cell.half);
+      EXPECT_LE(std::abs(ch.center.y - cell.center.y), cell.half);
+      EXPECT_LE(std::abs(ch.center.z - cell.center.z), cell.half);
+    }
+  }
+}
+
+TEST(Tree, ComMassEqualsTotalMass) {
+  const auto bodies = plummer_model(777, 8);
+  BhTree tree = BhTree::build(bodies);
+  tree.compute_com(bodies);
+  EXPECT_NEAR(tree.at(tree.root).mass, 1.0, 1e-12);
+  // Root COM equals the CM frame origin.
+  EXPECT_NEAR(tree.at(tree.root).com.norm(), 0.0, 1e-9);
+}
+
+TEST(Tree, SingleBodyTree) {
+  std::vector<Body> bodies(1);
+  bodies[0].mass = 1.0;
+  bodies[0].idx = 0;
+  BhTree tree = BhTree::build(bodies);
+  tree.compute_com(bodies);
+  EXPECT_TRUE(tree.at(tree.root).leaf);
+  EXPECT_EQ(tree.at(tree.root).bodies.size(), 1u);
+}
+
+// ---------- costzones ----------
+
+TEST(Costzones, UniformWorkSplitsEvenly) {
+  const auto bodies = plummer_model(1000, 9);
+  const BhTree tree = BhTree::build(bodies);
+  const auto owner = costzone_owners(tree, bodies, 4);
+  std::array<int, 4> counts{};
+  for (auto o : owner) counts[o]++;
+  for (int c : counts) EXPECT_NEAR(c, 250, 2);
+}
+
+TEST(Costzones, WeightedWorkShiftsBoundaries) {
+  auto bodies = plummer_model(100, 10);
+  BhTree tree = BhTree::build(bodies);
+  // First half of Morton order gets 9x the work.
+  for (std::size_t i = 0; i < 50; ++i)
+    bodies[std::size_t(tree.order[i])].work = 9.0;
+  for (std::size_t i = 50; i < 100; ++i)
+    bodies[std::size_t(tree.order[i])].work = 1.0;
+  const auto owner = costzone_owners(tree, bodies, 2);
+  int node0 = 0;
+  for (auto o : owner) node0 += (o == 0);
+  // Node 0 takes ~half the *work*, i.e. far fewer than half the bodies.
+  EXPECT_LT(node0, 40);
+}
+
+TEST(Costzones, ZonesAreContiguousInMortonOrder) {
+  const auto bodies = plummer_model(512, 11);
+  const BhTree tree = BhTree::build(bodies);
+  const auto owner = costzone_owners(tree, bodies, 8);
+  sim::NodeId prev = 0;
+  for (const auto bi : tree.order) {
+    const auto o = owner[std::size_t(bi)];
+    EXPECT_GE(o, prev);
+    prev = o;
+  }
+}
+
+// ---------- materialization ----------
+
+TEST(Materialize, MirrorsHostTree) {
+  const auto bodies = plummer_model(256, 12);
+  BhTree tree = BhTree::build(bodies);
+  tree.compute_com(bodies);
+  const auto owner = costzone_owners(tree, bodies, 4);
+  gas::GlobalHeap heap(4);
+  const auto root = materialize(tree, bodies, owner, heap);
+  ASSERT_TRUE(bool(root));
+  EXPECT_EQ(heap.total_objects(), tree.num_cells());
+  EXPECT_NEAR(root.addr->mass, 1.0, 1e-12);
+  EXPECT_FALSE(root.addr->leaf);
+}
+
+TEST(Materialize, LeafPayloadMatchesBodies) {
+  const auto bodies = plummer_model(64, 13);
+  BhTree tree = BhTree::build(bodies);
+  tree.compute_com(bodies);
+  const auto owner = costzone_owners(tree, bodies, 1);
+  gas::GlobalHeap heap(1);
+  const auto root = materialize(tree, bodies, owner, heap);
+
+  // Walk the global tree; verify leaves carry correct inline copies.
+  std::vector<const Cell*> stack{root.addr};
+  int leaf_bodies = 0;
+  while (!stack.empty()) {
+    const Cell* c = stack.back();
+    stack.pop_back();
+    if (c->leaf) {
+      for (std::int32_t i = 0; i < c->count; ++i) {
+        const Body& b = bodies[std::size_t(c->bidx[std::size_t(i)])];
+        EXPECT_DOUBLE_EQ(c->bpos[std::size_t(i)].x, b.pos.x);
+        EXPECT_DOUBLE_EQ(c->bmass[std::size_t(i)], b.mass);
+        ++leaf_bodies;
+      }
+    } else {
+      for (const auto& ch : c->child)
+        if (ch) stack.push_back(ch.addr);
+    }
+  }
+  EXPECT_EQ(leaf_bodies, 64);
+}
+
+// ---------- forces: parallel vs sequential oracle ----------
+
+TEST(Force, ParallelMatchesSequentialOracle) {
+  BarnesApp app(small_config(256));
+  const auto seq = app.run_sequential();
+  const auto par = app.run(4, t3d_net(), rt::RuntimeConfig::dpa(16));
+  ASSERT_TRUE(par.all_completed());
+  ASSERT_EQ(seq.size(), 1u);
+
+  // Accelerations agree to FP-reassociation tolerance.
+  for (std::size_t i = 0; i < 256; ++i) {
+    const Vec3& a = seq[0].acc[i];
+    const Vec3& b = par.final_bodies[i].acc;
+    const double scale = std::max(1.0, a.norm());
+    EXPECT_NEAR(a.x, b.x, 1e-9 * scale) << "body " << i;
+    EXPECT_NEAR(a.y, b.y, 1e-9 * scale) << "body " << i;
+    EXPECT_NEAR(a.z, b.z, 1e-9 * scale) << "body " << i;
+  }
+  // Interaction counts match exactly (same tree, same criterion).
+  EXPECT_EQ(par.steps[0].interactions, seq[0].counts.interactions);
+  EXPECT_EQ(par.steps[0].opens, seq[0].counts.opens);
+}
+
+TEST(Force, AllEnginesComputeTheSamePhysics) {
+  BarnesApp app(small_config(128));
+  const auto seq = app.run_sequential();
+  for (const auto& cfg :
+       {rt::RuntimeConfig::dpa(8), rt::RuntimeConfig::dpa_base(8),
+        rt::RuntimeConfig::dpa_pipelined(8), rt::RuntimeConfig::caching(),
+        rt::RuntimeConfig::blocking()}) {
+    const auto par = app.run(2, t3d_net(), cfg);
+    ASSERT_TRUE(par.all_completed()) << cfg.describe();
+    EXPECT_EQ(par.steps[0].interactions, seq[0].counts.interactions)
+        << cfg.describe();
+    for (std::size_t i = 0; i < 128; i += 17) {
+      const double scale = std::max(1.0, seq[0].acc[i].norm());
+      EXPECT_NEAR(seq[0].acc[i].x, par.final_bodies[i].acc.x, 1e-9 * scale)
+          << cfg.describe() << " body " << i;
+    }
+  }
+}
+
+TEST(Force, MultiStepStaysConsistent) {
+  BarnesApp app(small_config(128, 3));
+  const auto seq = app.run_sequential();
+  const auto par = app.run(4, t3d_net(), rt::RuntimeConfig::dpa(16));
+  ASSERT_TRUE(par.all_completed());
+  ASSERT_EQ(par.steps.size(), 3u);
+  // Interaction counts per step track the oracle (trajectories diverge only
+  // at FP noise level over 3 steps; the tree and counts stay identical).
+  for (std::size_t s = 0; s < 3; ++s)
+    EXPECT_EQ(par.steps[s].interactions, seq[s].counts.interactions);
+}
+
+TEST(Force, ThetaControlsInteractionCount) {
+  auto cfg_tight = small_config(256);
+  cfg_tight.theta = 0.5;  // more accurate: more interactions
+  auto cfg_loose = small_config(256);
+  cfg_loose.theta = 1.2;
+  const auto tight = BarnesApp(cfg_tight).run_sequential();
+  const auto loose = BarnesApp(cfg_loose).run_sequential();
+  EXPECT_GT(tight[0].counts.interactions, loose[0].counts.interactions);
+}
+
+TEST(Force, GravityIsAttractiveTowardCenter) {
+  // For a centrally concentrated Plummer system, outer bodies accelerate
+  // inward: acc . pos < 0 for most bodies.
+  BarnesApp app(small_config(512));
+  const auto seq = app.run_sequential();
+  const auto& bodies = app.initial_bodies();
+  int inward = 0;
+  for (std::size_t i = 0; i < bodies.size(); ++i)
+    inward += (seq[0].acc[i].dot(bodies[i].pos) < 0);
+  EXPECT_GT(inward, 450);
+}
+
+// ---------- quadrupole moments ----------
+
+TEST(Quadrupole, TensorIsTraceless) {
+  const auto bodies = plummer_model(400, 20);
+  BhTree tree = BhTree::build(bodies);
+  tree.compute_com(bodies);
+  tree.compute_quadrupoles(bodies);
+  for (const auto& cell : tree.cells) {
+    EXPECT_NEAR(cell.quad.xx + cell.quad.yy + cell.quad.zz, 0.0, 1e-9);
+  }
+}
+
+TEST(Quadrupole, ParallelAxisShiftMatchesDirectComputation) {
+  // The root's quadrupole built through the tree must equal the one built
+  // directly from all bodies about the root COM.
+  const auto bodies = plummer_model(300, 21);
+  BhTree tree = BhTree::build(bodies);
+  tree.compute_com(bodies);
+  tree.compute_quadrupoles(bodies);
+  const BuildCell& root = tree.at(tree.root);
+
+  Quad direct;
+  for (const Body& b : bodies) {
+    const Vec3 d = b.pos - root.com;
+    const double r2 = d.norm2();
+    direct.xx += b.mass * (3 * d.x * d.x - r2);
+    direct.xy += b.mass * 3 * d.x * d.y;
+    direct.xz += b.mass * 3 * d.x * d.z;
+    direct.yy += b.mass * (3 * d.y * d.y - r2);
+    direct.yz += b.mass * 3 * d.y * d.z;
+    direct.zz += b.mass * (3 * d.z * d.z - r2);
+  }
+  EXPECT_NEAR(root.quad.xx, direct.xx, 1e-9);
+  EXPECT_NEAR(root.quad.xy, direct.xy, 1e-9);
+  EXPECT_NEAR(root.quad.yz, direct.yz, 1e-9);
+  EXPECT_NEAR(root.quad.zz, direct.zz, 1e-9);
+}
+
+TEST(Quadrupole, FieldMatchesDirectSumForAFarCluster) {
+  // Two bodies near the origin; evaluate the acceleration far away: the
+  // monopole+quadrupole expansion must be much closer to the exact value
+  // than the monopole alone.
+  std::vector<Body> bodies(2);
+  bodies[0] = Body{{0.3, 0.1, -0.2}, {}, {}, 2.0, 0, 1.0};
+  bodies[1] = Body{{-0.4, -0.1, 0.3}, {}, {}, 1.0, 1, 1.0};
+  BhTree tree = BhTree::build(bodies);
+  tree.compute_com(bodies);
+  tree.compute_quadrupoles(bodies);
+  const BuildCell& root = tree.at(tree.root);
+
+  const Vec3 pos{6.0, 4.0, -5.0};
+  Vec3 exact;
+  for (const Body& b : bodies) {
+    const Vec3 d = b.pos - pos;
+    const double inv = 1.0 / std::sqrt(d.norm2());
+    exact += d * (b.mass * inv * inv * inv);
+  }
+  const Vec3 d = root.com - pos;
+  const double inv = 1.0 / std::sqrt(d.norm2());
+  const Vec3 mono = d * (root.mass * inv * inv * inv);
+  const Vec3 quad = mono + quadrupole_acc(root.quad, root.com, pos);
+  EXPECT_LT((quad - exact).norm(), 0.2 * (mono - exact).norm());
+}
+
+TEST(Quadrupole, ImprovesWholeSystemAccuracyAtSameTheta) {
+  BarnesConfig direct_cfg = small_config(256);
+  direct_cfg.theta = 1e-9;  // exact
+  const auto exact = BarnesApp(direct_cfg).run_sequential();
+
+  auto err_with = [&](bool use_quad) {
+    BarnesConfig cfg = small_config(256);
+    cfg.theta = 0.9;
+    cfg.use_quadrupole = use_quad;
+    const auto approx = BarnesApp(cfg).run_sequential();
+    double err = 0;
+    for (std::size_t i = 0; i < 256; ++i) {
+      err += (approx[0].acc[i] - exact[0].acc[i]).norm() /
+             std::max(1e-12, exact[0].acc[i].norm());
+    }
+    return err / 256;
+  };
+  const double mono_err = err_with(false);
+  const double quad_err = err_with(true);
+  EXPECT_LT(quad_err, 0.5 * mono_err);
+}
+
+TEST(Quadrupole, ParallelMatchesSequentialWithQuadrupoles) {
+  BarnesConfig cfg = small_config(192);
+  cfg.use_quadrupole = true;
+  BarnesApp app(cfg);
+  const auto seq = app.run_sequential();
+  const auto par = app.run(4, t3d_net(), rt::RuntimeConfig::dpa(16));
+  ASSERT_TRUE(par.all_completed());
+  EXPECT_EQ(par.steps[0].interactions, seq[0].counts.interactions);
+  for (std::size_t i = 0; i < 192; i += 11) {
+    const double scale = std::max(1.0, seq[0].acc[i].norm());
+    EXPECT_NEAR(seq[0].acc[i].x, par.final_bodies[i].acc.x, 1e-9 * scale);
+    EXPECT_NEAR(seq[0].acc[i].z, par.final_bodies[i].acc.z, 1e-9 * scale);
+  }
+}
+
+// ---------- performance shape (the paper's headline) ----------
+
+TEST(Scaling, DpaSpeedsUpWithNodes) {
+  BarnesApp app(small_config(512));
+  const double t1 =
+      app.run(1, t3d_net(), rt::RuntimeConfig::dpa(50)).total_parallel_seconds();
+  const double t8 =
+      app.run(8, t3d_net(), rt::RuntimeConfig::dpa(50)).total_parallel_seconds();
+  EXPECT_GT(t1 / t8, 4.0) << "expected at least 4x speedup on 8 nodes";
+}
+
+TEST(Scaling, DpaBeatsCachingOnMultipleNodes) {
+  BarnesApp app(small_config(512));
+  const double dpa =
+      app.run(8, t3d_net(), rt::RuntimeConfig::dpa(50)).total_parallel_seconds();
+  const double caching =
+      app.run(8, t3d_net(), rt::RuntimeConfig::caching()).total_parallel_seconds();
+  EXPECT_LT(dpa, caching);
+}
+
+TEST(Scaling, CachingBeatsDpaOnOneNode) {
+  // The paper's table: at P=1 DPA's thread overhead exceeds caching's (all
+  // accesses are local, nothing to hash).
+  BarnesApp app(small_config(512));
+  const double dpa =
+      app.run(1, t3d_net(), rt::RuntimeConfig::dpa(50)).total_parallel_seconds();
+  const double caching =
+      app.run(1, t3d_net(), rt::RuntimeConfig::caching()).total_parallel_seconds();
+  EXPECT_LT(caching, dpa);
+  // And both are within ~40% of the modeled sequential time.
+  const double seq =
+      app.run(1, t3d_net(), rt::RuntimeConfig::dpa(50)).total_model_seq_seconds();
+  EXPECT_LT(dpa / seq, 1.4);
+  EXPECT_GT(dpa / seq, 1.0);
+}
+
+TEST(Scaling, DeterministicRun) {
+  BarnesApp app(small_config(256));
+  const auto a = app.run(4, t3d_net(), rt::RuntimeConfig::dpa(16));
+  const auto b = app.run(4, t3d_net(), rt::RuntimeConfig::dpa(16));
+  EXPECT_EQ(a.steps[0].phase.elapsed, b.steps[0].phase.elapsed);
+  EXPECT_EQ(a.steps[0].phase.rt.request_msgs, b.steps[0].phase.rt.request_msgs);
+}
+
+}  // namespace
+}  // namespace dpa::apps::barnes

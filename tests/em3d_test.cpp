@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/em3d/em3d.h"
+
+namespace dpa::apps::em3d {
+namespace {
+
+sim::NetParams t3d_net() { return sim::NetParams{}; }
+
+Em3dConfig small_cfg() {
+  Em3dConfig cfg;
+  cfg.e_per_node = 64;
+  cfg.h_per_node = 64;
+  cfg.degree = 6;
+  cfg.iters = 2;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Em3d, GraphHasRequestedShape) {
+  Em3dApp app(small_cfg(), 4);
+  EXPECT_EQ(app.total_edges(), std::uint64_t(2 * 4 * 64 * 6));
+  // Remote fraction tracks the configured probability.
+  EXPECT_NEAR(app.remote_edge_fraction(), 0.2, 0.05);
+}
+
+TEST(Em3d, SingleNodeHasNoRemoteEdges) {
+  Em3dApp app(small_cfg(), 1);
+  EXPECT_DOUBLE_EQ(app.remote_edge_fraction(), 0.0);
+}
+
+TEST(Em3d, ParallelMatchesSequentialExactly) {
+  // Unlike the N-body codes there is no floating-point reassociation worry:
+  // each node's update is a fixed dependency list... but engines may apply
+  // deps in different orders, so compare with tolerance.
+  Em3dApp app(small_cfg(), 4);
+  const auto seq = app.run_sequential();
+  const auto par = app.run(t3d_net(), rt::RuntimeConfig::dpa(16));
+  ASSERT_TRUE(par.all_completed());
+  for (std::size_t i = 0; i < seq.e_values.size(); ++i)
+    EXPECT_NEAR(par.e_values[i], seq.e_values[i], 1e-12) << "e " << i;
+  for (std::size_t i = 0; i < seq.h_values.size(); ++i)
+    EXPECT_NEAR(par.h_values[i], seq.h_values[i], 1e-12) << "h " << i;
+}
+
+TEST(Em3d, AllEnginesAgree) {
+  Em3dApp app(small_cfg(), 2);
+  const auto seq = app.run_sequential();
+  for (const auto& rcfg :
+       {rt::RuntimeConfig::dpa(32), rt::RuntimeConfig::dpa_base(32),
+        rt::RuntimeConfig::dpa_pipelined(32), rt::RuntimeConfig::caching(),
+        rt::RuntimeConfig::blocking()}) {
+    const auto par = app.run(t3d_net(), rcfg);
+    ASSERT_TRUE(par.all_completed()) << rcfg.describe();
+    for (std::size_t i = 0; i < seq.e_values.size(); i += 7)
+      EXPECT_NEAR(par.e_values[i], seq.e_values[i], 1e-12) << rcfg.describe();
+  }
+}
+
+TEST(Em3d, TwoItersChangeValuesTwice) {
+  auto cfg1 = small_cfg();
+  cfg1.iters = 1;
+  auto cfg2 = small_cfg();
+  cfg2.iters = 2;
+  const auto one = Em3dApp(cfg1, 2).run_sequential();
+  const auto two = Em3dApp(cfg2, 2).run_sequential();
+  // Same graph (same seed/node count), more iterations: different values.
+  double diff = 0;
+  for (std::size_t i = 0; i < one.e_values.size(); ++i)
+    diff += std::abs(one.e_values[i] - two.e_values[i]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(Em3d, PhasesPerIteration) {
+  Em3dApp app(small_cfg(), 2);
+  const auto par = app.run(t3d_net(), rt::RuntimeConfig::dpa(16));
+  EXPECT_EQ(par.steps.size(), 4u);  // 2 iters x (E phase + H phase)
+}
+
+TEST(Em3d, AggregationCollapsesFineGrainedReads) {
+  auto cfg = small_cfg();
+  cfg.iters = 1;
+  cfg.remote_prob = 0.5;
+  Em3dApp app(cfg, 4);
+  const auto agg = app.run(t3d_net(), rt::RuntimeConfig::dpa(64));
+  const auto noagg = app.run(t3d_net(), rt::RuntimeConfig::dpa_pipelined(64));
+  ASSERT_TRUE(agg.all_completed() && noagg.all_completed());
+  // Same refs fetched, far fewer messages.
+  EXPECT_EQ(agg.steps[0].phase.rt.refs_requested,
+            noagg.steps[0].phase.rt.refs_requested);
+  EXPECT_LT(agg.steps[0].phase.rt.request_msgs,
+            noagg.steps[0].phase.rt.request_msgs / 4);
+  EXPECT_LT(agg.total_parallel_seconds(), noagg.total_parallel_seconds());
+}
+
+TEST(Em3d, DpaBeatsCachingOnFineGrainedGraph) {
+  auto cfg = small_cfg();
+  cfg.e_per_node = 256;
+  cfg.h_per_node = 256;
+  cfg.remote_prob = 0.3;
+  cfg.iters = 1;
+  Em3dApp app(cfg, 8);
+  const double dpa =
+      app.run(t3d_net(), rt::RuntimeConfig::dpa(64)).total_parallel_seconds();
+  const double caching =
+      app.run(t3d_net(), rt::RuntimeConfig::caching()).total_parallel_seconds();
+  EXPECT_LT(dpa * 1.5, caching);  // decisive win on 8-byte remote reads
+}
+
+TEST(Em3d, DeterministicRun) {
+  Em3dApp app(small_cfg(), 4);
+  const auto a = app.run(t3d_net(), rt::RuntimeConfig::dpa(16));
+  const auto b = app.run(t3d_net(), rt::RuntimeConfig::dpa(16));
+  EXPECT_EQ(a.steps[0].phase.elapsed, b.steps[0].phase.elapsed);
+  EXPECT_EQ(a.e_values, b.e_values);
+}
+
+}  // namespace
+}  // namespace dpa::apps::em3d

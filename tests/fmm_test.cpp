@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "apps/fmm/app.h"
+#include "apps/fmm/expansion.h"
+#include "apps/fmm/tree.h"
+
+namespace dpa::apps::fmm {
+namespace {
+
+sim::NetParams t3d_net() { return sim::NetParams{}; }
+
+double rel_err(Cmplx got, Cmplx want) {
+  const double scale = std::max(1e-12, std::abs(want));
+  return std::abs(got - want) / scale;
+}
+
+// ---------- expansion kernels ----------
+
+std::vector<Particle> two_particles() {
+  std::vector<Particle> p(2);
+  p[0] = Particle{{0.1, 0.2}, {}, 0.7, {}, 0};
+  p[1] = Particle{{-0.15, 0.05}, {}, 0.3, {}, 1};
+  return p;
+}
+
+TEST(Expansion, MultipoleFieldMatchesDirectFarAway) {
+  const auto parts = two_particles();
+  const std::uint32_t p = 16;
+  std::vector<Cmplx> a(p + 1);
+  p2m(parts, Cmplx{0, 0}, p, a);
+
+  const Cmplx z{3.0, 2.0};
+  Cmplx direct{};
+  for (const auto& part : parts) direct += p2p_field(z, part.z, part.q);
+  const Cmplx approx = m2p_field(a, Cmplx{0, 0}, p, z);
+  EXPECT_LT(rel_err(approx, direct), 1e-12);
+}
+
+TEST(Expansion, M2MPreservesTheField) {
+  const auto parts = two_particles();
+  const std::uint32_t p = 18;
+  std::vector<Cmplx> a_child(p + 1), a_parent(p + 1);
+  const Cmplx z_child{0.05, 0.1}, z_parent{0.25, -0.25};
+  p2m(parts, z_child, p, a_child);
+  m2m(a_child, z_child, z_parent, p, a_parent);
+
+  const Cmplx z{4.0, -3.0};
+  Cmplx direct{};
+  for (const auto& part : parts) direct += p2p_field(z, part.z, part.q);
+  EXPECT_LT(rel_err(m2p_field(a_parent, z_parent, p, z), direct), 1e-10);
+}
+
+TEST(Expansion, M2LThenL2PMatchesDirect) {
+  const auto parts = two_particles();
+  const std::uint32_t p = 20;
+  std::vector<Cmplx> a(p + 1), b(p + 1);
+  const Cmplx z_m{0, 0};
+  const Cmplx z_l{5.0, 0.0};  // well separated from sources near origin
+  p2m(parts, z_m, p, a);
+  m2l(a, z_m, z_l, p, b);
+
+  const Cmplx z = z_l + Cmplx{0.3, -0.2};  // within the local ball
+  Cmplx direct{};
+  for (const auto& part : parts) direct += p2p_field(z, part.z, part.q);
+  EXPECT_LT(rel_err(l2p_field(b, z_l, p, z), direct), 1e-9);
+}
+
+TEST(Expansion, L2LShiftsTheLocalCenter) {
+  const auto parts = two_particles();
+  const std::uint32_t p = 20;
+  std::vector<Cmplx> a(p + 1), b(p + 1), b2(p + 1);
+  const Cmplx z_m{0, 0}, z_l{5.0, 1.0}, z_l2{5.4, 0.8};
+  p2m(parts, z_m, p, a);
+  m2l(a, z_m, z_l, p, b);
+  l2l(b, z_l, z_l2, p, b2);
+
+  const Cmplx z = z_l2 + Cmplx{0.1, 0.1};
+  EXPECT_LT(rel_err(l2p_field(b2, z_l2, p, z), l2p_field(b, z_l, p, z)),
+            1e-9);
+}
+
+TEST(Expansion, MoreTermsMoreAccuracy) {
+  const auto parts = two_particles();
+  const Cmplx z{1.2, 0.9};  // close-ish: truncation error visible
+  Cmplx direct{};
+  for (const auto& part : parts) direct += p2p_field(z, part.z, part.q);
+
+  double prev_err = 1e9;
+  for (const std::uint32_t p : {2u, 6u, 12u, 24u}) {
+    std::vector<Cmplx> a(p + 1);
+    p2m(parts, Cmplx{0, 0}, p, a);
+    const double err = rel_err(m2p_field(a, Cmplx{0, 0}, p, z), direct);
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-6);
+}
+
+// ---------- tree & lists ----------
+
+TEST(FmmTree, EveryParticleInOneLeaf) {
+  const auto parts = make_particles(600, 5);
+  const FmmTree tree = FmmTree::build(parts);
+  std::vector<int> seen(600, 0);
+  for (std::size_t i = 0; i < tree.num_cells(); ++i) {
+    const auto& c = tree.at(std::int32_t(i));
+    if (!c.leaf) continue;
+    for (auto pi : c.parts) seen[std::size_t(pi)]++;
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(FmmTree, AdaptiveDepthFollowsClustering) {
+  const auto clustered = make_particles(2000, 6, /*clustered=*/true);
+  const auto uniform = make_particles(2000, 6, /*clustered=*/false);
+  auto max_level = [](const FmmTree& t) {
+    int deepest = 0;
+    for (std::size_t i = 0; i < t.num_cells(); ++i)
+      deepest = std::max(deepest, t.at(std::int32_t(i)).level);
+    return deepest;
+  };
+  EXPECT_GT(max_level(FmmTree::build(clustered)),
+            max_level(FmmTree::build(uniform)));
+}
+
+TEST(FmmTree, ListEntriesAreWellSeparatedOrLeafPairs) {
+  const auto parts = make_particles(800, 7);
+  FmmTree tree = FmmTree::build(parts);
+  tree.build_lists(4.0);
+  for (std::size_t t = 0; t < tree.num_cells(); ++t) {
+    const auto& tc = tree.at(std::int32_t(t));
+    for (const ListEntry& e : tree.list(std::int32_t(t))) {
+      const auto& sc = tree.at(e.src);
+      const double s = std::max(tc.half, sc.half);
+      const double dx = std::abs(tc.center.real() - sc.center.real());
+      const double dy = std::abs(tc.center.imag() - sc.center.imag());
+      if (e.kind == Kind::kM2L) {
+        EXPECT_GE(std::max(dx, dy), 4.0 * s * (1 - 1e-9));
+      } else {
+        EXPECT_TRUE(tc.leaf && sc.leaf);
+      }
+    }
+  }
+}
+
+TEST(FmmTree, SequentialFmmMatchesDirect) {
+  FmmConfig cfg;
+  cfg.nparticles = 700;
+  cfg.terms = 16;
+  cfg.seed = 8;
+  FmmApp app(cfg);
+  const auto seq = app.run_sequential();
+  const auto direct = direct_forces(app.initial_particles());
+  double worst = 0;
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    worst = std::max(worst, rel_err(seq.forces[i], direct[i]));
+  EXPECT_LT(worst, 2e-5);
+}
+
+TEST(FmmTree, AccuracyImprovesWithTerms) {
+  auto worst_for_terms = [](std::uint32_t terms) {
+    FmmConfig cfg;
+    cfg.nparticles = 400;
+    cfg.terms = terms;
+    cfg.seed = 9;
+    FmmApp app(cfg);
+    const auto seq = app.run_sequential();
+    const auto direct = direct_forces(app.initial_particles());
+    double worst = 0;
+    for (std::size_t i = 0; i < direct.size(); ++i)
+      worst = std::max(worst, rel_err(seq.forces[i], direct[i]));
+    return worst;
+  };
+  EXPECT_LT(worst_for_terms(24), worst_for_terms(6));
+  EXPECT_LT(worst_for_terms(24), 1e-7);
+}
+
+TEST(FmmTree, PartitionCoversAllWorkOnce) {
+  const auto parts = make_particles(1000, 10);
+  FmmTree tree = FmmTree::build(parts);
+  tree.build_lists(4.0);
+  const auto partition = tree.partition(8, FmmConfig{});
+  std::vector<int> seen(tree.num_cells(), 0);
+  for (const auto& targets : partition.targets)
+    for (const auto t : targets) seen[std::size_t(t)]++;
+  for (std::size_t t = 0; t < tree.num_cells(); ++t) {
+    const int expected = tree.list(std::int32_t(t)).empty() ? 0 : 1;
+    EXPECT_EQ(seen[t], expected);
+  }
+}
+
+TEST(FmmTree, PartitionBalancesWork) {
+  const auto parts = make_particles(3000, 11);
+  FmmTree tree = FmmTree::build(parts);
+  tree.build_lists(4.0);
+  const FmmConfig cfg;
+  const auto partition = tree.partition(4, cfg);
+  std::vector<double> work(4, 0.0);
+  for (std::size_t n = 0; n < 4; ++n)
+    for (const auto t : partition.targets[n])
+      for (const ListEntry& e : tree.list(t)) work[n] += tree.entry_cost(t, e, cfg);
+  double total = work[0] + work[1] + work[2] + work[3];
+  for (double w : work) EXPECT_NEAR(w / total, 0.25, 0.1);
+}
+
+// ---------- parallel phase ----------
+
+TEST(FmmParallel, MatchesDirectForcesUnderDpa) {
+  FmmConfig cfg;
+  cfg.nparticles = 600;
+  cfg.terms = 16;
+  cfg.seed = 12;
+  FmmApp app(cfg);
+  const auto run = app.run(4, t3d_net(), rt::RuntimeConfig::dpa(16));
+  ASSERT_TRUE(run.all_completed());
+  const auto direct = direct_forces(app.initial_particles());
+  double worst = 0;
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    worst = std::max(worst,
+                     rel_err(run.final_particles[i].force, direct[i]));
+  EXPECT_LT(worst, 2e-5);
+}
+
+TEST(FmmParallel, AllEnginesAgreeWithSequential) {
+  FmmConfig cfg;
+  cfg.nparticles = 300;
+  cfg.terms = 10;
+  cfg.seed = 13;
+  FmmApp app(cfg);
+  const auto seq = app.run_sequential();
+  for (const auto& rcfg :
+       {rt::RuntimeConfig::dpa(8), rt::RuntimeConfig::dpa_base(8),
+        rt::RuntimeConfig::caching(), rt::RuntimeConfig::blocking()}) {
+    const auto run = app.run(2, t3d_net(), rcfg);
+    ASSERT_TRUE(run.all_completed()) << rcfg.describe();
+    EXPECT_EQ(run.steps[0].m2l, seq.m2l) << rcfg.describe();
+    EXPECT_EQ(run.steps[0].p2p_pairs, seq.p2p_pairs) << rcfg.describe();
+    for (std::size_t i = 0; i < seq.forces.size(); i += 37) {
+      EXPECT_LT(rel_err(run.final_particles[i].force, seq.forces[i]), 1e-9)
+          << rcfg.describe() << " particle " << i;
+    }
+  }
+}
+
+TEST(FmmParallel, MultiStepRunsComplete) {
+  FmmConfig cfg;
+  cfg.nparticles = 400;
+  cfg.terms = 8;
+  cfg.nsteps = 2;
+  cfg.seed = 14;
+  FmmApp app(cfg);
+  const auto run = app.run(4, t3d_net(), rt::RuntimeConfig::dpa(32));
+  ASSERT_TRUE(run.all_completed());
+  EXPECT_EQ(run.steps.size(), 2u);
+  EXPECT_GT(run.steps[1].m2l, 0u);
+}
+
+TEST(FmmParallel, SpeedsUpWithNodes) {
+  FmmConfig cfg;
+  cfg.nparticles = 2000;
+  cfg.terms = 12;
+  cfg.seed = 15;
+  FmmApp app(cfg);
+  const double t1 =
+      app.run(1, t3d_net(), rt::RuntimeConfig::dpa(50)).total_parallel_seconds();
+  const double t8 =
+      app.run(8, t3d_net(), rt::RuntimeConfig::dpa(50)).total_parallel_seconds();
+  EXPECT_GT(t1 / t8, 4.0);
+}
+
+TEST(FmmParallel, DpaBeatsCachingOnMultipleNodes) {
+  FmmConfig cfg;
+  cfg.nparticles = 1500;
+  cfg.terms = 12;
+  cfg.seed = 16;
+  FmmApp app(cfg);
+  const double dpa =
+      app.run(8, t3d_net(), rt::RuntimeConfig::dpa(300)).total_parallel_seconds();
+  const double caching =
+      app.run(8, t3d_net(), rt::RuntimeConfig::caching()).total_parallel_seconds();
+  EXPECT_LT(dpa, caching);
+}
+
+TEST(FmmParallel, DeterministicRun) {
+  FmmConfig cfg;
+  cfg.nparticles = 500;
+  cfg.terms = 8;
+  cfg.seed = 17;
+  FmmApp app(cfg);
+  const auto a = app.run(4, t3d_net(), rt::RuntimeConfig::dpa(16));
+  const auto b = app.run(4, t3d_net(), rt::RuntimeConfig::dpa(16));
+  EXPECT_EQ(a.steps[0].phase.elapsed, b.steps[0].phase.elapsed);
+  EXPECT_EQ(a.steps[0].phase.rt.refs_requested,
+            b.steps[0].phase.rt.refs_requested);
+}
+
+}  // namespace
+}  // namespace dpa::apps::fmm

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "gas/global_ptr.h"
+#include "gas/heap.h"
+
+namespace dpa::gas {
+namespace {
+
+struct Body {
+  double mass;
+  double pos[3];
+};
+
+TEST(GlobalHeap, AllocatesWithHome) {
+  GlobalHeap heap(4);
+  GPtr<Body> p = heap.make<Body>(2, Body{1.5, {0, 0, 0}});
+  ASSERT_TRUE(bool(p));
+  EXPECT_EQ(p.home, 2u);
+  EXPECT_DOUBLE_EQ(p.addr->mass, 1.5);
+  EXPECT_TRUE(p.local_to(2));
+  EXPECT_FALSE(p.local_to(0));
+}
+
+TEST(GlobalHeap, TracksPerNodeStats) {
+  GlobalHeap heap(2);
+  heap.make<Body>(0);
+  heap.make<Body>(0);
+  heap.make<Body>(1);
+  EXPECT_EQ(heap.node_stats(0).objects, 2u);
+  EXPECT_EQ(heap.node_stats(0).bytes, 2 * sizeof(Body));
+  EXPECT_EQ(heap.node_stats(1).objects, 1u);
+  EXPECT_EQ(heap.total_objects(), 3u);
+}
+
+TEST(GlobalHeap, AddressesAreStableAndDistinct) {
+  GlobalHeap heap(1);
+  std::unordered_set<const void*> addrs;
+  std::vector<GPtr<Body>> ptrs;
+  for (int i = 0; i < 1000; ++i)
+    ptrs.push_back(heap.make<Body>(0, Body{double(i), {0, 0, 0}}));
+  for (const auto& p : ptrs) addrs.insert(p.addr);
+  EXPECT_EQ(addrs.size(), 1000u);
+  // Growth of the heap's bookkeeping must not move objects.
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_DOUBLE_EQ(ptrs[std::size_t(i)].addr->mass, double(i));
+}
+
+TEST(GlobalHeap, MutateGivesWritableAccess) {
+  GlobalHeap heap(1);
+  GPtr<Body> p = heap.make<Body>(0, Body{1.0, {0, 0, 0}});
+  GlobalHeap::mutate(p)->mass = 9.0;
+  EXPECT_DOUBLE_EQ(p.addr->mass, 9.0);
+}
+
+TEST(GlobalHeap, RehomeMovesAccounting) {
+  GlobalHeap heap(2);
+  GPtr<Body> p = heap.make<Body>(0);
+  p = heap.rehome(p, 1);
+  EXPECT_EQ(p.home, 1u);
+  EXPECT_EQ(heap.node_stats(0).objects, 0u);
+  EXPECT_EQ(heap.node_stats(0).bytes, 0u);
+  EXPECT_EQ(heap.node_stats(1).objects, 1u);
+}
+
+TEST(GlobalHeap, BadHomeDies) {
+  GlobalHeap heap(2);
+  EXPECT_DEATH(heap.make<Body>(5), "bad home node");
+}
+
+TEST(GlobalRef, TypedPtrProducesErasedRef) {
+  GlobalHeap heap(3);
+  GPtr<Body> p = heap.make<Body>(1);
+  const GlobalRef r = p.ref();
+  EXPECT_EQ(r.addr, static_cast<const void*>(p.addr));
+  EXPECT_EQ(r.home, 1u);
+  EXPECT_EQ(r.bytes, sizeof(Body));
+  EXPECT_TRUE(r.valid());
+  EXPECT_FALSE(GlobalRef{}.valid());
+}
+
+TEST(GlobalRef, EqualityAndHashByAddress) {
+  GlobalHeap heap(2);
+  GPtr<Body> a = heap.make<Body>(0);
+  GPtr<Body> b = heap.make<Body>(0);
+  EXPECT_TRUE(a.ref() == a.ref());
+  EXPECT_FALSE(a.ref() == b.ref());
+  GlobalRefHash h;
+  EXPECT_EQ(h(a.ref()), h(a.ref()));
+}
+
+}  // namespace
+}  // namespace dpa::gas

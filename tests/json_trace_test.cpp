@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "gas/heap.h"
+#include "runtime/phase.h"
+#include "sim/trace.h"
+#include "support/json.h"
+
+namespace dpa {
+namespace {
+
+// ---------- JsonWriter ----------
+
+TEST(Json, ObjectWithFields) {
+  JsonWriter w;
+  {
+    auto o = w.obj();
+    w.field("name", "dpa").field("nodes", std::int64_t(64));
+    w.field("ratio", 0.5).field("ok", true);
+  }
+  EXPECT_EQ(w.str(),
+            R"({"name":"dpa","nodes":64,"ratio":0.5,"ok":true})");
+}
+
+TEST(Json, NestedContainers) {
+  JsonWriter w;
+  {
+    auto o = w.obj();
+    {
+      auto a = w.arr("times");
+      w.value(1.5).value(2.5);
+    }
+    auto inner = w.obj("stats");
+    w.field("msgs", std::uint64_t(7));
+  }
+  EXPECT_EQ(w.str(), R"({"times":[1.5,2.5],"stats":{"msgs":7}})");
+}
+
+TEST(Json, ArrayOfObjects) {
+  JsonWriter w;
+  {
+    auto a = w.arr();
+    for (int i = 0; i < 2; ++i) {
+      auto o = w.obj();
+      w.field("i", std::int64_t(i));
+    }
+  }
+  EXPECT_EQ(w.str(), R"([{"i":0},{"i":1}])");
+}
+
+TEST(Json, EscapesStrings) {
+  JsonWriter w;
+  {
+    auto o = w.obj();
+    w.field("s", "a\"b\\c\nd");
+  }
+  EXPECT_EQ(w.str(), R"({"s":"a\"b\\c\nd"})");
+}
+
+TEST(Json, MisuseDies) {
+  JsonWriter w;
+  auto o = w.obj();
+  EXPECT_DEATH(w.value(1.0), "bare value outside an array");
+}
+
+TEST(Json, UnclosedScopeDies) {
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        auto o = w.obj();
+        (void)w.str();
+      },
+      "unclosed");
+}
+
+// ---------- Timeline tracing ----------
+
+TEST(Trace, RecordsTasksAndMessages) {
+  sim::Machine m(2, sim::NetParams{});
+  sim::Timeline timeline;
+  m.set_trace(&timeline);
+  m.node(0).post([&](sim::Cpu& cpu) {
+    cpu.charge(100);
+    m.network().send(0, 1, 32, cpu.logical_now(), [] {});
+  });
+  m.engine().run();
+  ASSERT_EQ(timeline.tasks().size(), 1u);
+  EXPECT_EQ(timeline.tasks()[0].node, 0u);
+  EXPECT_EQ(timeline.tasks()[0].end - timeline.tasks()[0].start, 100);
+  ASSERT_EQ(timeline.messages().size(), 1u);
+  EXPECT_EQ(timeline.messages()[0].bytes, 32u);
+  EXPECT_GT(timeline.messages()[0].arrive, timeline.messages()[0].depart);
+}
+
+TEST(Trace, NodeBusyMatchesStats) {
+  sim::Machine m(1, sim::NetParams{});
+  sim::Timeline timeline;
+  m.set_trace(&timeline);
+  m.node(0).post([](sim::Cpu& cpu) { cpu.charge(70); });
+  m.node(0).post([](sim::Cpu& cpu) { cpu.charge(30); });
+  m.engine().run();
+  EXPECT_EQ(timeline.node_busy(0), 100);
+  EXPECT_EQ(timeline.node_busy(0), m.node(0).stats().busy_total);
+}
+
+TEST(Trace, DumpIsTimeOrdered) {
+  sim::Machine m(2, sim::NetParams{});
+  sim::Timeline timeline;
+  m.set_trace(&timeline);
+  m.node(1).post([](sim::Cpu& cpu) { cpu.charge(10); });
+  m.node(0).post([](sim::Cpu& cpu) { cpu.charge(20); });
+  m.engine().run();
+  const std::string dump = timeline.dump();
+  EXPECT_NE(dump.find("node 0"), std::string::npos);
+  EXPECT_NE(dump.find("node 1"), std::string::npos);
+}
+
+TEST(Trace, WholePhaseUnderDpaTracesConsistently) {
+  struct Obj {
+    double v;
+  };
+  rt::Cluster cluster(2, sim::NetParams{});
+  sim::Timeline timeline;
+  cluster.machine.set_trace(&timeline);
+  std::vector<gas::GPtr<Obj>> objs;
+  for (int i = 0; i < 16; ++i)
+    objs.push_back(cluster.heap.make<Obj>(1, Obj{1.0}));
+  std::vector<rt::NodeWork> work(2);
+  work[0].count = 16;
+  work[0].item = [&objs](rt::Ctx& ctx, std::uint64_t i) {
+    ctx.require(objs[std::size_t(i)],
+                [](rt::Ctx& c, const Obj&) { c.charge(500); });
+  };
+  rt::PhaseRunner runner(cluster, rt::RuntimeConfig::dpa(8));
+  const auto r = runner.run(std::move(work));
+  ASSERT_TRUE(r.completed);
+  // Every traced message matches the network's own count, and per-node
+  // traced busy time matches the processor stats.
+  EXPECT_EQ(timeline.messages().size(), r.net.messages);
+  EXPECT_EQ(timeline.node_busy(0),
+            cluster.machine.node(0).stats().busy_total);
+  EXPECT_EQ(timeline.node_busy(1),
+            cluster.machine.node(1).stats().busy_total);
+}
+
+}  // namespace
+}  // namespace dpa

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/olden/perimeter.h"
+#include "apps/olden/power.h"
+#include "apps/olden/treeadd.h"
+
+namespace dpa::apps::olden {
+namespace {
+
+sim::NetParams t3d() { return sim::NetParams{}; }
+
+// ---------- treeadd ----------
+
+TEST(TreeAdd, SumMatchesOracleOnOneNode) {
+  TreeAddApp app({.depth = 10, .seed = 1, .cost_visit = 100}, 1);
+  const auto r = app.run(t3d(), rt::RuntimeConfig::dpa(16));
+  ASSERT_TRUE(r.phase.completed) << r.phase.diagnostics;
+  // Reduction order differs from host recursion: equal up to reassociation.
+  EXPECT_NEAR(r.sum, r.expected, 1e-9);
+  EXPECT_EQ(r.phase.rt.threads_run, (1u << 10) - 1);
+}
+
+TEST(TreeAdd, SumMatchesOracleAcrossNodesAndEngines) {
+  for (const std::uint32_t nodes : {2u, 5u, 8u}) {
+    for (const auto& cfg :
+         {rt::RuntimeConfig::dpa(16), rt::RuntimeConfig::caching(),
+          rt::RuntimeConfig::prefetching(8)}) {
+      TreeAddApp app({.depth = 9, .seed = 2, .cost_visit = 100}, nodes);
+      const auto r = app.run(t3d(), cfg);
+      ASSERT_TRUE(r.phase.completed) << cfg.describe();
+      EXPECT_NEAR(r.sum, r.expected, 1e-9) << cfg.describe() << " nodes "
+                                           << nodes;
+    }
+  }
+}
+
+TEST(TreeAdd, EveryTreeNodeVisitedExactlyOnce) {
+  TreeAddApp app({.depth = 11, .seed = 3, .cost_visit = 100}, 4);
+  const auto r = app.run(t3d(), rt::RuntimeConfig::dpa(32));
+  ASSERT_TRUE(r.phase.completed);
+  EXPECT_EQ(r.phase.rt.threads_run, (1u << 11) - 1);
+}
+
+TEST(TreeAdd, MostWorkIsLocalWithSubtreeOwnership) {
+  // With no allocation scatter, subtree ownership makes every dereference
+  // below the split local.
+  TreeAddApp app({.depth = 12, .seed = 4, .scatter = 0.0, .cost_visit = 100},
+                 8);
+  const auto r = app.run(t3d(), rt::RuntimeConfig::dpa(32));
+  ASSERT_TRUE(r.phase.completed);
+  EXPECT_GT(double(r.phase.rt.local_threads),
+            0.99 * double(r.phase.rt.threads_run));
+}
+
+TEST(TreeAdd, ScatterCreatesRemoteReads) {
+  TreeAddApp tight({.depth = 11, .seed = 4, .scatter = 0.0}, 8);
+  TreeAddApp loose({.depth = 11, .seed = 4, .scatter = 0.4}, 8);
+  const auto rt_ = tight.run(t3d(), rt::RuntimeConfig::dpa(32));
+  const auto rl = loose.run(t3d(), rt::RuntimeConfig::dpa(32));
+  EXPECT_EQ(rt_.phase.rt.refs_requested, 0u);
+  EXPECT_GT(rl.phase.rt.refs_requested, 500u);
+  EXPECT_NEAR(rl.sum, rl.expected, 1e-9);
+}
+
+TEST(TreeAdd, SpeedsUpWithNodes) {
+  TreeAddApp app1({.depth = 13, .seed = 5, .cost_visit = 400}, 1);
+  TreeAddApp app8({.depth = 13, .seed = 5, .cost_visit = 400}, 8);
+  const auto t1 = app1.run(t3d(), rt::RuntimeConfig::dpa(32));
+  const auto t8 = app8.run(t3d(), rt::RuntimeConfig::dpa(32));
+  EXPECT_GT(double(t1.phase.elapsed) / double(t8.phase.elapsed), 3.0);
+}
+
+// ---------- power ----------
+
+TEST(Power, PricesMatchSequentialOracle) {
+  PowerConfig cfg;
+  cfg.feeders = 2;
+  cfg.laterals = 4;
+  cfg.branches = 4;
+  cfg.customers = 3;
+  cfg.iters = 3;
+  PowerApp app(cfg, 4);
+  const auto par = app.run(t3d(), rt::RuntimeConfig::dpa(32));
+  const auto seq = app.run_sequential();
+  ASSERT_TRUE(par.all_completed());
+  EXPECT_NEAR(par.final_root_demand, seq.final_root_demand, 1e-9);
+  ASSERT_EQ(par.branch_prices.size(), seq.branch_prices.size());
+  for (std::size_t b = 0; b < seq.branch_prices.size(); ++b)
+    EXPECT_NEAR(par.branch_prices[b], seq.branch_prices[b], 1e-9) << b;
+}
+
+TEST(Power, AllEnginesAgree) {
+  PowerConfig cfg;
+  cfg.feeders = 2;
+  cfg.laterals = 2;
+  cfg.branches = 4;
+  cfg.customers = 2;
+  cfg.iters = 2;
+  PowerApp app(cfg, 3);
+  const auto seq = app.run_sequential();
+  for (const auto& rcfg :
+       {rt::RuntimeConfig::dpa(16), rt::RuntimeConfig::dpa_pipelined(16),
+        rt::RuntimeConfig::caching(), rt::RuntimeConfig::blocking()}) {
+    const auto par = app.run(t3d(), rcfg);
+    ASSERT_TRUE(par.all_completed()) << rcfg.describe();
+    EXPECT_NEAR(par.final_root_demand, seq.final_root_demand, 1e-9)
+        << rcfg.describe();
+  }
+}
+
+TEST(Power, DemandConvergesTowardCapacity) {
+  PowerConfig cfg;
+  cfg.iters = 60;
+  cfg.alpha = 0.3;
+  PowerApp app(cfg, 4);
+  const auto seq = app.run_sequential();
+  // At equilibrium each branch's demand approaches cfg.customers (the
+  // normalized capacity in the price-update rule).
+  const double per_branch =
+      seq.final_root_demand /
+      double(cfg.feeders * cfg.laterals * cfg.branches);
+  EXPECT_NEAR(per_branch, double(cfg.customers), 0.3);
+}
+
+TEST(Power, AccumulationsAreAggregated) {
+  PowerConfig cfg;
+  cfg.iters = 1;
+  PowerApp app(cfg, 8);
+  const auto par = app.run(t3d(), rt::RuntimeConfig::dpa(256));
+  ASSERT_TRUE(par.all_completed());
+  const auto& rt_stats = par.phases[0].rt;
+  EXPECT_GT(rt_stats.accums_issued, 0u);
+  EXPECT_GE(double(rt_stats.accums_issued),
+            2.0 * double(rt_stats.accum_msgs));  // batched updates
+  EXPECT_EQ(rt_stats.accums_issued, rt_stats.accums_applied);
+}
+
+// ---------- perimeter ----------
+
+TEST(Perimeter, MatchesBitmapOracleExactly) {
+  PerimeterApp app({.log_size = 5, .blobs = 4, .seed = 7}, 4);
+  const auto r = app.run(t3d(), rt::RuntimeConfig::dpa(16));
+  ASSERT_TRUE(r.phase.completed) << r.phase.diagnostics;
+  EXPECT_EQ(r.perimeter, r.expected);
+  EXPECT_GT(r.perimeter, 0u);
+}
+
+TEST(Perimeter, ExactAcrossSeedsAndEngines) {
+  for (const std::uint64_t seed : {21ull, 22ull, 23ull}) {
+    PerimeterApp app({.log_size = 5, .blobs = 5, .seed = seed}, 4);
+    for (const auto& rcfg :
+         {rt::RuntimeConfig::dpa(32), rt::RuntimeConfig::caching(),
+          rt::RuntimeConfig::blocking()}) {
+      const auto r = app.run(t3d(), rcfg);
+      ASSERT_TRUE(r.phase.completed) << rcfg.describe();
+      EXPECT_EQ(r.perimeter, r.expected) << rcfg.describe() << " seed "
+                                         << seed;
+    }
+  }
+}
+
+TEST(Perimeter, QuadtreeCompressesUniformRegions) {
+  PerimeterApp app({.log_size = 6, .blobs = 3, .seed = 9}, 2);
+  const auto r = app.run(t3d(), rt::RuntimeConfig::dpa(16));
+  ASSERT_TRUE(r.phase.completed);
+  const std::uint64_t pixels = 64ull * 64ull;
+  EXPECT_LT(r.tree_nodes, pixels);  // far fewer nodes than pixels
+  EXPECT_GT(r.black_leaves, 0u);
+}
+
+TEST(Perimeter, RootSharingMakesTilingEffective) {
+  // Every probe walks from the root: on remote nodes the top of the tree
+  // is fetched once per strip and shared by all probes in it.
+  PerimeterApp app({.log_size = 6, .blobs = 5, .seed = 10}, 8);
+  const auto r = app.run(t3d(), rt::RuntimeConfig::dpa(64));
+  ASSERT_TRUE(r.phase.completed);
+  EXPECT_GT(r.phase.rt.dup_refs_avoided, r.phase.rt.refs_requested);
+}
+
+TEST(Perimeter, DpaBeatsCaching) {
+  PerimeterApp app({.log_size = 6, .blobs = 5, .seed = 11}, 8);
+  const auto dpa = app.run(t3d(), rt::RuntimeConfig::dpa(64));
+  const auto caching = app.run(t3d(), rt::RuntimeConfig::caching());
+  ASSERT_TRUE(dpa.phase.completed && caching.phase.completed);
+  EXPECT_LT(dpa.phase.elapsed, caching.phase.elapsed);
+}
+
+}  // namespace
+}  // namespace dpa::apps::olden

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "compiler/interp.h"
+#include "compiler/opt.h"
+#include "compiler/parser.h"
+#include "compiler/partition.h"
+
+namespace dpa::compiler {
+namespace {
+
+TEST(Fold, FoldsConstantSubtrees) {
+  std::size_t folded = 0;
+  // (1 + 2) * x  ->  3 * x
+  const ExprPtr e = Expr::mul(Expr::add(Expr::c(1), Expr::c(2)),
+                              Expr::v("x"));
+  const ExprPtr f = fold_expr(e, &folded);
+  EXPECT_EQ(folded, 1u);
+  ASSERT_EQ(f->kind, Expr::K::kBin);
+  EXPECT_EQ(f->lhs->kind, Expr::K::kConst);
+  EXPECT_DOUBLE_EQ(f->lhs->cval, 3.0);
+}
+
+TEST(Fold, FoldsToSingleConstant) {
+  std::size_t folded = 0;
+  const ExprPtr e =
+      Expr::mul(Expr::add(Expr::c(1), Expr::c(2)), Expr::c(4));
+  const ExprPtr f = fold_expr(e, &folded);
+  EXPECT_EQ(folded, 2u);
+  EXPECT_EQ(f->kind, Expr::K::kConst);
+  EXPECT_DOUBLE_EQ(f->cval, 12.0);
+}
+
+TEST(Fold, LeavesVariableExprsAlone) {
+  std::size_t folded = 0;
+  const ExprPtr e = Expr::add(Expr::v("a"), Expr::v("b"));
+  const ExprPtr f = fold_expr(e, &folded);
+  EXPECT_EQ(folded, 0u);
+  EXPECT_EQ(f.get(), e.get());  // structurally shared, not rebuilt
+}
+
+TEST(Fold, ComparisonFolds) {
+  std::size_t folded = 0;
+  const ExprPtr f =
+      fold_expr(Expr::less(Expr::c(1), Expr::c(2)), &folded);
+  EXPECT_DOUBLE_EQ(f->cval, 1.0);
+}
+
+TEST(Dce, RemovesUnusedLets) {
+  const Module m = parse_module(R"(
+class A { scalar x; }
+fn f(a : A) {
+  v = a->x;
+  dead = v * 2;
+  sum += v;
+}
+)");
+  std::size_t removed = 0;
+  const auto body = eliminate_dead_lets(m.functions[0].body, &removed);
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(body.size(), 2u);
+}
+
+TEST(Dce, KeepsLetsUsedInBranches) {
+  const Module m = parse_module(R"(
+class A { scalar x; }
+fn f(a : A) {
+  v = a->x;
+  t = v + 1;
+  if (v < 0.5) { sum += t; }
+}
+)");
+  std::size_t removed = 0;
+  const auto body = eliminate_dead_lets(m.functions[0].body, &removed);
+  EXPECT_EQ(removed, 0u);
+  EXPECT_EQ(body.size(), 3u);
+}
+
+TEST(Dce, CascadesThroughDeadChains) {
+  const Module m = parse_module(R"(
+class A { scalar x; }
+fn f(a : A) {
+  v = a->x;
+  d1 = v + 1;
+  d2 = d1 * 2;
+  sum += v;
+}
+)");
+  OptStats stats;
+  const Module o = optimize(m, &stats);
+  EXPECT_EQ(stats.dead_lets_removed, 2u);  // d2 first, then d1
+  EXPECT_EQ(o.functions[0].body.size(), 2u);
+}
+
+TEST(Optimize, PreservesSemantics) {
+  const Module m = parse_module(R"(
+class Node { scalar val; ptr next : Node; }
+fn walk(n : Node) {
+  v = n->val;
+  scale = 2 * 3 + 1;
+  unused = v * 99;
+  sum += v * scale;
+  nx = n->next;
+  spawn walk(nx);
+}
+)");
+  OptStats stats;
+  const Module o = optimize(m, &stats);
+  EXPECT_GE(stats.folded_exprs, 1u);
+  EXPECT_GE(stats.dead_lets_removed, 1u);
+
+  // Build a tiny list and compare direct interpretation.
+  rt::Cluster cluster(1, sim::NetParams{});
+  std::vector<gas::GPtr<Record>> nodes;
+  for (int i = 0; i < 5; ++i) {
+    Record r = make_record(m, "Node");
+    r.scalars[0] = double(i) + 0.25;
+    nodes.push_back(cluster.heap.make<Record>(0, std::move(r)));
+  }
+  for (int i = 0; i + 1 < 5; ++i)
+    gas::GlobalHeap::mutate(nodes[std::size_t(i)])->ptrs[0] =
+        nodes[std::size_t(i + 1)];
+
+  Accums before, after;
+  interp_direct(m, "walk", nodes[0].addr, before);
+  interp_direct(o, "walk", nodes[0].addr, after);
+  EXPECT_DOUBLE_EQ(before["sum"], after["sum"]);
+}
+
+TEST(Optimize, ShrinksThreadTemplates) {
+  const Module m = parse_module(R"(
+class Node { scalar val; ptr peer : Node; }
+fn f(n : Node) {
+  v = n->val;
+  dead = v * 7;
+  p = n->peer;
+  pv = p->val;
+  sum += v + pv;
+}
+)");
+  const auto raw = partition(m).stats();
+  const auto opt = partition(optimize(m)).stats();
+  EXPECT_EQ(opt.num_templates, raw.num_templates);
+  // The dead let disappears from the emitted ops (same reads though).
+  EXPECT_EQ(opt.total_hoisted_reads, raw.total_hoisted_reads);
+}
+
+TEST(Optimize, IdempotentOnCleanCode) {
+  const Module m = parse_module(
+      "class A { scalar x; }\nfn f(a : A) { v = a->x; sum += v; }");
+  OptStats stats;
+  optimize(m, &stats);
+  EXPECT_EQ(stats.folded_exprs, 0u);
+  EXPECT_EQ(stats.dead_lets_removed, 0u);
+}
+
+}  // namespace
+}  // namespace dpa::compiler

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "support/options.h"
+#include "support/rng.h"
+#include "support/small_vector.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace dpa {
+namespace {
+
+// ---------- Rng ----------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t n : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(n), n);
+  }
+}
+
+TEST(Rng, NextBelowZeroIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanConverges) {
+  Rng rng(11);
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(rng.uniform(2.0, 4.0));
+  EXPECT_NEAR(acc.mean(), 3.0, 0.02);
+  EXPECT_GE(acc.min(), 2.0);
+  EXPECT_LT(acc.max(), 4.0);
+}
+
+TEST(Rng, NormalMomentsConverge) {
+  Rng rng(13);
+  Accumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.normal());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.02);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.02);
+}
+
+// ---------- Accumulator ----------
+
+TEST(Accumulator, BasicStats) {
+  Accumulator acc;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesCombinedStream) {
+  Rng rng(17);
+  Accumulator whole, left, right;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.normal() * 3 + 1;
+    whole.add(v);
+    (i % 2 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, b;
+  a.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+// ---------- Pow2Histogram ----------
+
+TEST(Pow2Histogram, BucketsByPowerOfTwo) {
+  Pow2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(1024);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);  // 0 and 1
+  EXPECT_EQ(h.bucket(1), 1u);  // 2
+  EXPECT_EQ(h.bucket(2), 1u);  // 3..4
+  EXPECT_EQ(h.bucket(10), 1u); // 513..1024
+}
+
+TEST(Pow2Histogram, QuantileBound) {
+  Pow2Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(1);
+  for (int i = 0; i < 10; ++i) h.add(1000);
+  EXPECT_EQ(h.quantile_bound(0.5), 1u);
+  EXPECT_EQ(h.quantile_bound(0.99), 1024u);
+}
+
+// ---------- Gauge ----------
+
+TEST(Gauge, TracksHighWater) {
+  Gauge g;
+  g.add(3);
+  g.add(4);
+  g.add(-5);
+  EXPECT_EQ(g.current(), 2);
+  EXPECT_EQ(g.high_water(), 7);
+  g.set(100);
+  EXPECT_EQ(g.high_water(), 100);
+  g.set(1);
+  EXPECT_EQ(g.high_water(), 100);
+}
+
+// ---------- SmallVector ----------
+
+TEST(SmallVector, StaysInlineUnderCapacity) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(SmallVector, SpillsToHeapAndPreservesContents) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[std::size_t(i)], i);
+}
+
+TEST(SmallVector, MoveTransfersHeapBuffer) {
+  SmallVector<std::string, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back("s" + std::to_string(i));
+  SmallVector<std::string, 2> w = std::move(v);
+  EXPECT_EQ(w.size(), 10u);
+  EXPECT_EQ(w[9], "s9");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, MoveInlineContents) {
+  SmallVector<std::string, 8> v;
+  v.push_back("a");
+  v.push_back("b");
+  SmallVector<std::string, 8> w = std::move(v);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0], "a");
+}
+
+TEST(SmallVector, CopyIsDeep) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 8; ++i) v.push_back(i);
+  SmallVector<int, 2> w(v);
+  w[0] = 99;
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(w[0], 99);
+}
+
+TEST(SmallVector, PopBackDestroys) {
+  SmallVector<std::string, 2> v;
+  v.push_back("x");
+  v.pop_back();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, ClearThenReuse) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(42);
+  EXPECT_EQ(v[0], 42);
+}
+
+// ---------- Options ----------
+
+TEST(Options, ParsesAllKinds) {
+  bool flag = false;
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  double f = 0;
+  std::string s;
+  Options o;
+  o.flag("verbose", &flag, "v")
+      .i64("count", &i, "c")
+      .u64("nodes", &u, "n")
+      .f64("theta", &f, "t")
+      .str("name", &s, "s");
+  const char* argv[] = {"prog",      "--verbose",   "--count=-5",
+                        "--nodes=64", "--theta=1.5", "--name=barnes"};
+  ASSERT_TRUE(o.parse(6, const_cast<char**>(argv)));
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(i, -5);
+  EXPECT_EQ(u, 64u);
+  EXPECT_DOUBLE_EQ(f, 1.5);
+  EXPECT_EQ(s, "barnes");
+}
+
+TEST(Options, HelpReturnsFalse) {
+  Options o;
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(o.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(Options, UnknownOptionDies) {
+  Options o;
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_DEATH(o.parse(2, const_cast<char**>(argv)), "unknown option");
+}
+
+TEST(Options, BadIntegerDies) {
+  std::int64_t i = 0;
+  Options o;
+  o.i64("count", &i, "c");
+  const char* argv[] = {"prog", "--count=abc"};
+  EXPECT_DEATH(o.parse(2, const_cast<char**>(argv)), "");
+}
+
+// ---------- Table ----------
+
+TEST(Table, AlignsColumns) {
+  Table t({"version", "P=1", "P=64"});
+  t.add_row({"DPA(50)", "118.02", "2.63"});
+  t.add_row({"Caching", "115.15", "2.90"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("DPA(50)"), std::string::npos);
+  EXPECT_NE(s.find("115.15"), std::string::npos);
+  // Header and separator and two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.5, 1), "50.0%");
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b"});
+  t.add_row({"only"});
+  EXPECT_NE(t.to_string().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpa
