@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_breakdown_bh.dir/bench_fig_breakdown_bh.cpp.o"
+  "CMakeFiles/bench_fig_breakdown_bh.dir/bench_fig_breakdown_bh.cpp.o.d"
+  "bench_fig_breakdown_bh"
+  "bench_fig_breakdown_bh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_breakdown_bh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

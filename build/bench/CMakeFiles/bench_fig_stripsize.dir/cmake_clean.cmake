@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_stripsize.dir/bench_fig_stripsize.cpp.o"
+  "CMakeFiles/bench_fig_stripsize.dir/bench_fig_stripsize.cpp.o.d"
+  "bench_fig_stripsize"
+  "bench_fig_stripsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_stripsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

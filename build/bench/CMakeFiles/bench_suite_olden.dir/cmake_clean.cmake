@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_suite_olden.dir/bench_suite_olden.cpp.o"
+  "CMakeFiles/bench_suite_olden.dir/bench_suite_olden.cpp.o.d"
+  "bench_suite_olden"
+  "bench_suite_olden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_suite_olden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

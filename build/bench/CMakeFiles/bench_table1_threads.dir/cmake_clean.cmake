@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_threads.dir/bench_table1_threads.cpp.o"
+  "CMakeFiles/bench_table1_threads.dir/bench_table1_threads.cpp.o.d"
+  "bench_table1_threads"
+  "bench_table1_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiled_traversal.dir/compiled_traversal.cpp.o"
+  "CMakeFiles/compiled_traversal.dir/compiled_traversal.cpp.o.d"
+  "compiled_traversal"
+  "compiled_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiled_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em3d_relax.dir/em3d_relax.cpp.o"
+  "CMakeFiles/em3d_relax.dir/em3d_relax.cpp.o.d"
+  "em3d_relax"
+  "em3d_relax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em3d_relax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

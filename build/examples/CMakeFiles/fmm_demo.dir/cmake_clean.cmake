@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmm_demo.dir/fmm_demo.cpp.o"
+  "CMakeFiles/fmm_demo.dir/fmm_demo.cpp.o.d"
+  "fmm_demo"
+  "fmm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olden_suite.dir/olden_suite.cpp.o"
+  "CMakeFiles/olden_suite.dir/olden_suite.cpp.o.d"
+  "olden_suite"
+  "olden_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olden_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/barnes/app.cpp" "src/apps/barnes/CMakeFiles/dpa_barnes.dir/app.cpp.o" "gcc" "src/apps/barnes/CMakeFiles/dpa_barnes.dir/app.cpp.o.d"
+  "/root/repo/src/apps/barnes/force.cpp" "src/apps/barnes/CMakeFiles/dpa_barnes.dir/force.cpp.o" "gcc" "src/apps/barnes/CMakeFiles/dpa_barnes.dir/force.cpp.o.d"
+  "/root/repo/src/apps/barnes/plummer.cpp" "src/apps/barnes/CMakeFiles/dpa_barnes.dir/plummer.cpp.o" "gcc" "src/apps/barnes/CMakeFiles/dpa_barnes.dir/plummer.cpp.o.d"
+  "/root/repo/src/apps/barnes/tree.cpp" "src/apps/barnes/CMakeFiles/dpa_barnes.dir/tree.cpp.o" "gcc" "src/apps/barnes/CMakeFiles/dpa_barnes.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/dpa_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gas/CMakeFiles/dpa_gas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dpa_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/dpa_fm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpa_barnes.dir/app.cpp.o"
+  "CMakeFiles/dpa_barnes.dir/app.cpp.o.d"
+  "CMakeFiles/dpa_barnes.dir/force.cpp.o"
+  "CMakeFiles/dpa_barnes.dir/force.cpp.o.d"
+  "CMakeFiles/dpa_barnes.dir/plummer.cpp.o"
+  "CMakeFiles/dpa_barnes.dir/plummer.cpp.o.d"
+  "CMakeFiles/dpa_barnes.dir/tree.cpp.o"
+  "CMakeFiles/dpa_barnes.dir/tree.cpp.o.d"
+  "libdpa_barnes.a"
+  "libdpa_barnes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpa_barnes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dpa_barnes.
+# This may be replaced when dependencies are built.

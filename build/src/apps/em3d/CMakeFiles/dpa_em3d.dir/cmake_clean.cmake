@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpa_em3d.dir/em3d.cpp.o"
+  "CMakeFiles/dpa_em3d.dir/em3d.cpp.o.d"
+  "libdpa_em3d.a"
+  "libdpa_em3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpa_em3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpa_em3d.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fmm/app.cpp" "src/apps/fmm/CMakeFiles/dpa_fmm.dir/app.cpp.o" "gcc" "src/apps/fmm/CMakeFiles/dpa_fmm.dir/app.cpp.o.d"
+  "/root/repo/src/apps/fmm/expansion.cpp" "src/apps/fmm/CMakeFiles/dpa_fmm.dir/expansion.cpp.o" "gcc" "src/apps/fmm/CMakeFiles/dpa_fmm.dir/expansion.cpp.o.d"
+  "/root/repo/src/apps/fmm/phase.cpp" "src/apps/fmm/CMakeFiles/dpa_fmm.dir/phase.cpp.o" "gcc" "src/apps/fmm/CMakeFiles/dpa_fmm.dir/phase.cpp.o.d"
+  "/root/repo/src/apps/fmm/tree.cpp" "src/apps/fmm/CMakeFiles/dpa_fmm.dir/tree.cpp.o" "gcc" "src/apps/fmm/CMakeFiles/dpa_fmm.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/dpa_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gas/CMakeFiles/dpa_gas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dpa_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/dpa_fm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

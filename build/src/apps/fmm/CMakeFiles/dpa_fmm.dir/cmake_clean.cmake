@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpa_fmm.dir/app.cpp.o"
+  "CMakeFiles/dpa_fmm.dir/app.cpp.o.d"
+  "CMakeFiles/dpa_fmm.dir/expansion.cpp.o"
+  "CMakeFiles/dpa_fmm.dir/expansion.cpp.o.d"
+  "CMakeFiles/dpa_fmm.dir/phase.cpp.o"
+  "CMakeFiles/dpa_fmm.dir/phase.cpp.o.d"
+  "CMakeFiles/dpa_fmm.dir/tree.cpp.o"
+  "CMakeFiles/dpa_fmm.dir/tree.cpp.o.d"
+  "libdpa_fmm.a"
+  "libdpa_fmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpa_fmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpa_olden.dir/perimeter.cpp.o"
+  "CMakeFiles/dpa_olden.dir/perimeter.cpp.o.d"
+  "CMakeFiles/dpa_olden.dir/power.cpp.o"
+  "CMakeFiles/dpa_olden.dir/power.cpp.o.d"
+  "CMakeFiles/dpa_olden.dir/treeadd.cpp.o"
+  "CMakeFiles/dpa_olden.dir/treeadd.cpp.o.d"
+  "libdpa_olden.a"
+  "libdpa_olden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpa_olden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/interp.cpp" "src/compiler/CMakeFiles/dpa_compiler.dir/interp.cpp.o" "gcc" "src/compiler/CMakeFiles/dpa_compiler.dir/interp.cpp.o.d"
+  "/root/repo/src/compiler/ir.cpp" "src/compiler/CMakeFiles/dpa_compiler.dir/ir.cpp.o" "gcc" "src/compiler/CMakeFiles/dpa_compiler.dir/ir.cpp.o.d"
+  "/root/repo/src/compiler/opt.cpp" "src/compiler/CMakeFiles/dpa_compiler.dir/opt.cpp.o" "gcc" "src/compiler/CMakeFiles/dpa_compiler.dir/opt.cpp.o.d"
+  "/root/repo/src/compiler/parser.cpp" "src/compiler/CMakeFiles/dpa_compiler.dir/parser.cpp.o" "gcc" "src/compiler/CMakeFiles/dpa_compiler.dir/parser.cpp.o.d"
+  "/root/repo/src/compiler/partition.cpp" "src/compiler/CMakeFiles/dpa_compiler.dir/partition.cpp.o" "gcc" "src/compiler/CMakeFiles/dpa_compiler.dir/partition.cpp.o.d"
+  "/root/repo/src/compiler/thread_program.cpp" "src/compiler/CMakeFiles/dpa_compiler.dir/thread_program.cpp.o" "gcc" "src/compiler/CMakeFiles/dpa_compiler.dir/thread_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/dpa_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gas/CMakeFiles/dpa_gas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dpa_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/dpa_fm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpa_compiler.dir/interp.cpp.o"
+  "CMakeFiles/dpa_compiler.dir/interp.cpp.o.d"
+  "CMakeFiles/dpa_compiler.dir/ir.cpp.o"
+  "CMakeFiles/dpa_compiler.dir/ir.cpp.o.d"
+  "CMakeFiles/dpa_compiler.dir/opt.cpp.o"
+  "CMakeFiles/dpa_compiler.dir/opt.cpp.o.d"
+  "CMakeFiles/dpa_compiler.dir/parser.cpp.o"
+  "CMakeFiles/dpa_compiler.dir/parser.cpp.o.d"
+  "CMakeFiles/dpa_compiler.dir/partition.cpp.o"
+  "CMakeFiles/dpa_compiler.dir/partition.cpp.o.d"
+  "CMakeFiles/dpa_compiler.dir/thread_program.cpp.o"
+  "CMakeFiles/dpa_compiler.dir/thread_program.cpp.o.d"
+  "libdpa_compiler.a"
+  "libdpa_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpa_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

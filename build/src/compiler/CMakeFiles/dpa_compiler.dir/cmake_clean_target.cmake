@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpa_compiler.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpa_fm.dir/fm.cpp.o"
+  "CMakeFiles/dpa_fm.dir/fm.cpp.o.d"
+  "libdpa_fm.a"
+  "libdpa_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpa_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

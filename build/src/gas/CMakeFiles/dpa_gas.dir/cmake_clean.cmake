@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpa_gas.dir/heap.cpp.o"
+  "CMakeFiles/dpa_gas.dir/heap.cpp.o.d"
+  "libdpa_gas.a"
+  "libdpa_gas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpa_gas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/config.cpp" "src/runtime/CMakeFiles/dpa_runtime.dir/config.cpp.o" "gcc" "src/runtime/CMakeFiles/dpa_runtime.dir/config.cpp.o.d"
+  "/root/repo/src/runtime/dpa_engine.cpp" "src/runtime/CMakeFiles/dpa_runtime.dir/dpa_engine.cpp.o" "gcc" "src/runtime/CMakeFiles/dpa_runtime.dir/dpa_engine.cpp.o.d"
+  "/root/repo/src/runtime/engine.cpp" "src/runtime/CMakeFiles/dpa_runtime.dir/engine.cpp.o" "gcc" "src/runtime/CMakeFiles/dpa_runtime.dir/engine.cpp.o.d"
+  "/root/repo/src/runtime/phase.cpp" "src/runtime/CMakeFiles/dpa_runtime.dir/phase.cpp.o" "gcc" "src/runtime/CMakeFiles/dpa_runtime.dir/phase.cpp.o.d"
+  "/root/repo/src/runtime/prefetch_engine.cpp" "src/runtime/CMakeFiles/dpa_runtime.dir/prefetch_engine.cpp.o" "gcc" "src/runtime/CMakeFiles/dpa_runtime.dir/prefetch_engine.cpp.o.d"
+  "/root/repo/src/runtime/sync_engine.cpp" "src/runtime/CMakeFiles/dpa_runtime.dir/sync_engine.cpp.o" "gcc" "src/runtime/CMakeFiles/dpa_runtime.dir/sync_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fm/CMakeFiles/dpa_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gas/CMakeFiles/dpa_gas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dpa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpa_runtime.dir/config.cpp.o"
+  "CMakeFiles/dpa_runtime.dir/config.cpp.o.d"
+  "CMakeFiles/dpa_runtime.dir/dpa_engine.cpp.o"
+  "CMakeFiles/dpa_runtime.dir/dpa_engine.cpp.o.d"
+  "CMakeFiles/dpa_runtime.dir/engine.cpp.o"
+  "CMakeFiles/dpa_runtime.dir/engine.cpp.o.d"
+  "CMakeFiles/dpa_runtime.dir/phase.cpp.o"
+  "CMakeFiles/dpa_runtime.dir/phase.cpp.o.d"
+  "CMakeFiles/dpa_runtime.dir/prefetch_engine.cpp.o"
+  "CMakeFiles/dpa_runtime.dir/prefetch_engine.cpp.o.d"
+  "CMakeFiles/dpa_runtime.dir/sync_engine.cpp.o"
+  "CMakeFiles/dpa_runtime.dir/sync_engine.cpp.o.d"
+  "libdpa_runtime.a"
+  "libdpa_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpa_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpa_sim.dir/engine.cpp.o"
+  "CMakeFiles/dpa_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/dpa_sim.dir/machine.cpp.o"
+  "CMakeFiles/dpa_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/dpa_sim.dir/network.cpp.o"
+  "CMakeFiles/dpa_sim.dir/network.cpp.o.d"
+  "CMakeFiles/dpa_sim.dir/trace.cpp.o"
+  "CMakeFiles/dpa_sim.dir/trace.cpp.o.d"
+  "libdpa_sim.a"
+  "libdpa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpa_support.dir/assert.cpp.o"
+  "CMakeFiles/dpa_support.dir/assert.cpp.o.d"
+  "CMakeFiles/dpa_support.dir/json.cpp.o"
+  "CMakeFiles/dpa_support.dir/json.cpp.o.d"
+  "CMakeFiles/dpa_support.dir/options.cpp.o"
+  "CMakeFiles/dpa_support.dir/options.cpp.o.d"
+  "CMakeFiles/dpa_support.dir/rng.cpp.o"
+  "CMakeFiles/dpa_support.dir/rng.cpp.o.d"
+  "CMakeFiles/dpa_support.dir/stats.cpp.o"
+  "CMakeFiles/dpa_support.dir/stats.cpp.o.d"
+  "CMakeFiles/dpa_support.dir/table.cpp.o"
+  "CMakeFiles/dpa_support.dir/table.cpp.o.d"
+  "libdpa_support.a"
+  "libdpa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

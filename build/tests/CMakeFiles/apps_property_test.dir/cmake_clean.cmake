@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_property_test.dir/apps_property_test.cpp.o"
+  "CMakeFiles/apps_property_test.dir/apps_property_test.cpp.o.d"
+  "apps_property_test"
+  "apps_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barnes_test.dir/barnes_test.cpp.o"
+  "CMakeFiles/barnes_test.dir/barnes_test.cpp.o.d"
+  "barnes_test"
+  "barnes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barnes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compiler_test.cpp" "tests/CMakeFiles/compiler_test.dir/compiler_test.cpp.o" "gcc" "tests/CMakeFiles/compiler_test.dir/compiler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/dpa_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dpa_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/dpa_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gas/CMakeFiles/dpa_gas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dpa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dpa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

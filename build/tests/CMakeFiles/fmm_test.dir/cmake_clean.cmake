@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmm_test.dir/fmm_test.cpp.o"
+  "CMakeFiles/fmm_test.dir/fmm_test.cpp.o.d"
+  "fmm_test"
+  "fmm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

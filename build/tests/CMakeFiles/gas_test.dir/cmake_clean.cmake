@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_test.dir/gas_test.cpp.o"
+  "CMakeFiles/gas_test.dir/gas_test.cpp.o.d"
+  "gas_test"
+  "gas_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_trace_test.dir/json_trace_test.cpp.o"
+  "CMakeFiles/json_trace_test.dir/json_trace_test.cpp.o.d"
+  "json_trace_test"
+  "json_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olden_test.dir/olden_test.cpp.o"
+  "CMakeFiles/olden_test.dir/olden_test.cpp.o.d"
+  "olden_test"
+  "olden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
