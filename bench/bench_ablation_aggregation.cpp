@@ -11,10 +11,13 @@
 int main(int argc, char** argv) {
   std::int64_t procs = 16;
   std::int64_t e_per_node = 2048;
+  dpa::bench::ObsOptions obs;
   dpa::Options options;
   options.i64("procs", &procs, "node count")
       .i64("per-node", &e_per_node, "graph nodes per processor and side");
+  obs.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
+  obs.init();
 
   using namespace dpa;
 
@@ -31,7 +34,7 @@ int main(int argc, char** argv) {
   for (const std::uint32_t cap : {1u, 4u, 16u, 64u, 256u}) {
     auto cfg = rt::RuntimeConfig::dpa(256);
     cfg.agg_max_refs = cap;
-    const auto run = app.run(bench::t3d_params(), cfg);
+    const auto run = app.run(bench::t3d_params(), cfg, obs.get());
     const auto& p = run.steps[0].phase;
     table.add_row({std::to_string(cap),
                    Table::num(run.total_parallel_seconds(), 3),
@@ -49,7 +52,7 @@ int main(int argc, char** argv) {
     net.mtu_bytes = mtu;
     auto cfg = rt::RuntimeConfig::dpa(256);
     cfg.agg_max_refs = 256;
-    const auto run = app.run(net, cfg);
+    const auto run = app.run(net, cfg, obs.get());
     mtu_table.add_row({std::to_string(mtu),
                        Table::num(run.total_parallel_seconds(), 3),
                        std::to_string(run.steps[0].phase.net.messages)});
@@ -59,5 +62,5 @@ int main(int argc, char** argv) {
       "\nexpected shape: time falls steeply as the aggregation cap grows\n"
       "(per-message overhead amortized), then flattens; tiny MTUs re-inflate\n"
       "wire messages and give some of the win back.\n");
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -15,11 +15,14 @@ int main(int argc, char** argv) {
   bool paper = false;
   std::int64_t bodies = 4096;
   std::string procs_list = "4,16,64";
+  dpa::bench::ObsOptions obs;
   dpa::Options options;
   options.flag("paper", &paper, "full 16,384-body configuration")
       .i64("bodies", &bodies, "bodies (ignored with --paper)")
       .str("procs", &procs_list, "comma-separated node counts");
+  obs.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
+  obs.init();
 
   using namespace dpa;
   using apps::barnes::BarnesApp;
@@ -62,7 +65,7 @@ int main(int argc, char** argv) {
     Table table({"version", "total(s)", "local(s)", "comm(s)", "idle(s)",
                  "speedup"});
     for (const auto& v : versions) {
-      const auto run = app.run(p, bench::t3d_params(), v.cfg);
+      const auto run = app.run(p, bench::t3d_params(), v.cfg, obs.get());
       bench::print_breakdown_row(table, v.name, run.steps[0].phase,
                                  seq_seconds);
     }
@@ -73,5 +76,5 @@ int main(int argc, char** argv) {
       "expected shape (paper): Base is dominated by idle (serialized\n"
       "round trips); pipelining converts idle into overlap; aggregation\n"
       "removes most per-message overhead. Speedups grow left to right.\n");
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

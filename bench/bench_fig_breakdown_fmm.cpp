@@ -14,13 +14,16 @@ int main(int argc, char** argv) {
   std::int64_t terms = 16;
   std::int64_t procs = 16;
   std::int64_t strip = 300;
+  dpa::bench::ObsOptions obs;
   dpa::Options options;
   options.flag("paper", &paper, "full 32,768-particle / 29-term run")
       .i64("particles", &particles, "particles (ignored with --paper)")
       .i64("terms", &terms, "expansion terms (ignored with --paper)")
       .i64("procs", &procs, "node count (paper: 16)")
       .i64("strip", &strip, "strip size (paper: 300)");
+  obs.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
+  obs.init();
 
   using namespace dpa;
   using apps::fmm::FmmApp;
@@ -54,7 +57,8 @@ int main(int argc, char** argv) {
   Table table(
       {"version", "total(s)", "local(s)", "comm(s)", "idle(s)", "speedup"});
   for (const auto& v : versions) {
-    const auto run = app.run(std::uint32_t(procs), bench::t3d_params(), v.cfg);
+    const auto run =
+        app.run(std::uint32_t(procs), bench::t3d_params(), v.cfg, obs.get());
     bench::print_breakdown_row(table, v.name, run.steps[0].phase,
                                seq.seconds);
   }
@@ -63,5 +67,5 @@ int main(int argc, char** argv) {
       "\nexpected shape (paper): same ordering as Barnes-Hut; FMM's larger\n"
       "objects (29-term expansions) make aggregation's per-message savings\n"
       "smaller relative to bytes, but pipelining still dominates Base.\n");
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -26,7 +26,8 @@ using apps::barnes::BarnesConfig;
 using apps::fmm::FmmApp;
 using apps::fmm::FmmConfig;
 
-JsonWriter* g_json = nullptr;  // optional machine-readable output
+JsonWriter* g_json = nullptr;     // optional machine-readable output
+obs::Session* g_obs = nullptr;    // optional tracing + metrics sink
 
 void run_barnes(const BarnesConfig& cfg, std::uint32_t max_procs) {
   BarnesApp app(cfg);
@@ -47,9 +48,9 @@ void run_barnes(const BarnesConfig& cfg, std::uint32_t max_procs) {
     const auto procs = std::uint32_t(PaperRef::bh_procs[i]);
     if (procs > max_procs) break;
     const auto dpa =
-        app.run(procs, t3d_params(), rt::RuntimeConfig::dpa(50));
+        app.run(procs, t3d_params(), rt::RuntimeConfig::dpa(50), g_obs);
     const auto caching =
-        app.run(procs, t3d_params(), rt::RuntimeConfig::caching());
+        app.run(procs, t3d_params(), rt::RuntimeConfig::caching(), g_obs);
     const double dpa_s = dpa.total_parallel_seconds();
     const double caching_s = caching.total_parallel_seconds();
     if (procs == 1) dpa_p1 = dpa_s;
@@ -89,9 +90,9 @@ void run_fmm(const FmmConfig& cfg, std::uint32_t max_procs) {
     const auto procs = std::uint32_t(PaperRef::fmm_procs[i]);
     if (procs > max_procs) break;
     const auto dpa =
-        app.run(procs, t3d_params(), rt::RuntimeConfig::dpa(50));
+        app.run(procs, t3d_params(), rt::RuntimeConfig::dpa(50), g_obs);
     const auto caching =
-        app.run(procs, t3d_params(), rt::RuntimeConfig::caching());
+        app.run(procs, t3d_params(), rt::RuntimeConfig::caching(), g_obs);
     const double dpa_s = dpa.total_parallel_seconds();
     if (first_dpa == 0) {
       first_dpa = dpa_s;
@@ -126,6 +127,7 @@ int main(int argc, char** argv) {
   std::int64_t particles = 4096;
   std::int64_t terms = 16;
   std::int64_t steps = 1;
+  dpa::bench::ObsOptions obs;
   dpa::Options options;
   options.flag("paper", &paper,
                "run the full paper-scale workloads (minutes of host time)")
@@ -135,7 +137,12 @@ int main(int argc, char** argv) {
       .i64("terms", &terms, "FMM expansion terms (ignored with --paper)")
       .i64("steps", &steps, "Barnes-Hut steps (ignored with --paper)")
       .str("json", &json_path, "also write results to this JSON file");
+  obs.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
+  // With --json the metrics block is merged into that file, so a session is
+  // attached even without --trace-out/--metrics-out.
+  obs.init(/*force=*/!json_path.empty());
+  dpa::bench::g_obs = obs.get();
 
   dpa::apps::barnes::BarnesConfig bh_cfg;
   dpa::apps::fmm::FmmConfig fmm_cfg;
@@ -159,10 +166,14 @@ int main(int argc, char** argv) {
   dpa::bench::run_barnes(bh_cfg, std::uint32_t(max_procs));
   dpa::bench::run_fmm(fmm_cfg, std::uint32_t(max_procs));
   if (!json_path.empty()) {
+    if (dpa::bench::g_obs != nullptr) {
+      auto metrics = json.obj("metrics");
+      dpa::bench::g_obs->metrics.append_to(json);
+    }
     root.reset();
     std::ofstream out(json_path);
     out << json.str() << "\n";
     std::printf("json written to %s\n", json_path.c_str());
   }
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

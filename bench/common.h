@@ -4,14 +4,81 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/chrome_trace.h"
+#include "obs/session.h"
 #include "runtime/phase.h"
 #include "sim/network.h"
+#include "support/options.h"
 #include "support/table.h"
 
 namespace dpa::bench {
+
+// Observability plumbing shared by the harnesses: --trace-out= and
+// --metrics-out= flags plus the obs::Session the apps report into. The
+// session is only allocated when some output was requested, so plain timing
+// runs keep the instrumented paths on their null-pointer fast path.
+struct ObsOptions {
+  std::string trace_out;    // Chrome/Perfetto trace-event JSON
+  std::string metrics_out;  // metrics snapshot JSON
+  std::unique_ptr<obs::Session> session;
+
+  void add_flags(Options& options) {
+    options
+        .str("trace-out", &trace_out,
+             "write a Chrome trace-event JSON (load in Perfetto) here")
+        .str("metrics-out", &metrics_out,
+             "write a metrics snapshot JSON here");
+  }
+
+  // Call once after parse(). `force` attaches a session even without
+  // --trace-out/--metrics-out (e.g. to merge metrics into --json output).
+  void init(bool force = false) {
+    if (force || !trace_out.empty() || !metrics_out.empty())
+      session = std::make_unique<obs::Session>();
+  }
+
+  obs::Session* get() const { return session.get(); }
+
+  // Writes the requested files; returns false if any write failed.
+  bool finish() const {
+    bool ok = true;
+    if (!trace_out.empty() && session != nullptr) {
+      if (!obs::kTraceEnabled)
+        std::fprintf(stderr,
+                     "warning: compiled with DPA_TRACE=OFF, %s will contain "
+                     "no events\n",
+                     trace_out.c_str());
+      if (session->tracer.dropped() > 0)
+        std::fprintf(stderr,
+                     "warning: trace ring overflowed, oldest %llu of %llu "
+                     "events dropped\n",
+                     (unsigned long long)session->tracer.dropped(),
+                     (unsigned long long)session->tracer.recorded());
+      if (obs::write_chrome_trace(session->tracer, trace_out)) {
+        std::printf("trace written to %s\n", trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+        ok = false;
+      }
+    }
+    if (!metrics_out.empty() && session != nullptr) {
+      std::ofstream out(metrics_out);
+      out << session->metrics.to_json() << "\n";
+      if (out.good()) {
+        std::printf("metrics written to %s\n", metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", metrics_out.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+};
 
 // Cray T3D as seen through Illinois Fast Messages: a few microseconds of
 // software overhead per message, a few microseconds of latency, ~30 MB/s

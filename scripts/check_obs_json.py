@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Schema checks for the observability JSON artifacts the benches emit.
+
+Usage:
+  check_obs_json.py --trace trace.json [--require-events]
+  check_obs_json.py --metrics metrics.json
+  check_obs_json.py --bench t2.json
+
+Validates that a Chrome trace is loadable (well-formed traceEvents with
+monotone-ready timestamps), that a metrics snapshot follows
+dpa.metrics.v1, and that bench --json output embeds a metrics block.
+Exits non-zero on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_obs_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path, require_events):
+    with open(path) as f:
+        doc = json.load(f)
+    for key in ("traceEvents", "recorded_events", "dropped_events"):
+        if key not in doc:
+            fail(f"{path}: missing key {key!r}")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not a list")
+    valid_ph = {"X", "B", "E", "i", "M"}
+    last_ts = None
+    timed = 0
+    for i, ev in enumerate(events):
+        if ev.get("ph") not in valid_ph:
+            fail(f"{path}: event {i} has unexpected ph {ev.get('ph')!r}")
+        if "pid" not in ev or "tid" not in ev or "name" not in ev:
+            fail(f"{path}: event {i} missing pid/tid/name")
+        if ev["ph"] == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"{path}: event {i} has no numeric ts")
+        if last_ts is not None and ts < last_ts:
+            fail(f"{path}: timestamps not sorted at event {i}: "
+                 f"{ts} < {last_ts}")
+        last_ts = ts
+        timed += 1
+        if ev["ph"] == "X" and not isinstance(ev.get("dur"), (int, float)):
+            fail(f"{path}: X event {i} missing dur")
+    if require_events and timed == 0:
+        fail(f"{path}: no timed events (expected some with DPA_TRACE=ON)")
+    print(f"check_obs_json: OK: {path}: {timed} timed events, "
+          f"{doc['dropped_events']} dropped")
+
+
+def check_metrics_block(block, origin):
+    for key in ("counters", "gauges", "histograms"):
+        if key not in block or not isinstance(block[key], dict):
+            fail(f"{origin}: missing or malformed {key!r} object")
+    for name, v in block["counters"].items():
+        if not isinstance(v, int) or v < 0:
+            fail(f"{origin}: counter {name!r} is not a non-negative int")
+    for name, g in block["gauges"].items():
+        if not {"current", "high_water"} <= set(g):
+            fail(f"{origin}: gauge {name!r} missing current/high_water")
+    for name, h in block["histograms"].items():
+        if not {"count", "p50", "p90", "p99", "buckets"} <= set(h):
+            fail(f"{origin}: histogram {name!r} missing fields")
+        if sum(h["buckets"]) != h["count"]:
+            fail(f"{origin}: histogram {name!r} buckets do not sum to count")
+    if "rt.phases" in block["counters"] and block["counters"]["rt.phases"] == 0:
+        fail(f"{origin}: rt.phases is zero — no phase published metrics")
+    print(f"check_obs_json: OK: {origin}: {len(block['counters'])} counters, "
+          f"{len(block['gauges'])} gauges, "
+          f"{len(block['histograms'])} histograms")
+
+
+def check_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "dpa.metrics.v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             f"expected 'dpa.metrics.v1'")
+    check_metrics_block(doc, path)
+
+
+def check_bench(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "metrics" not in doc:
+        fail(f"{path}: bench JSON has no embedded 'metrics' block")
+    check_metrics_block(doc["metrics"], f"{path}#metrics")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace-event JSON to validate")
+    ap.add_argument("--metrics", help="metrics snapshot JSON to validate")
+    ap.add_argument("--bench", help="bench --json output to validate")
+    ap.add_argument("--require-events", action="store_true",
+                    help="fail if the trace holds no timed events")
+    args = ap.parse_args()
+    if not (args.trace or args.metrics or args.bench):
+        ap.error("nothing to check: pass --trace/--metrics/--bench")
+    if args.trace:
+        check_trace(args.trace, args.require_events)
+    if args.metrics:
+        check_metrics(args.metrics)
+    if args.bench:
+        check_bench(args.bench)
+
+
+if __name__ == "__main__":
+    main()

@@ -59,9 +59,11 @@ void integrate(std::vector<Body>& bodies, double dt) {
 }  // namespace
 
 BarnesRun BarnesApp::run(std::uint32_t nodes, const sim::NetParams& net,
-                         const rt::RuntimeConfig& rcfg) const {
+                         const rt::RuntimeConfig& rcfg,
+                         obs::Session* obs) const {
   std::vector<Body> bodies = init_;
   rt::Cluster cluster(nodes, net);
+  cluster.attach_obs(obs);
   rt::PhaseRunner runner(cluster, rcfg);
 
   BarnesRun result;
@@ -98,7 +100,7 @@ BarnesRun BarnesApp::run(std::uint32_t nodes, const sim::NetParams& net,
     // --- the timed phase ---
     BarnesStep st;
     st.phase =
-        runner.run(make_force_work(bodies, owned, root, &params));
+        runner.run(make_force_work(bodies, owned, root, &params), "bh.force");
     DPA_CHECK(st.phase.completed)
         << "Barnes-Hut force phase deadlocked:\n"
         << st.phase.diagnostics;

@@ -79,9 +79,10 @@ double Em3dApp::remote_edge_fraction() const {
   return total ? double(remote) / double(total) : 0.0;
 }
 
-Em3dRun Em3dApp::run(const sim::NetParams& net,
-                     const rt::RuntimeConfig& rcfg) const {
+Em3dRun Em3dApp::run(const sim::NetParams& net, const rt::RuntimeConfig& rcfg,
+                     obs::Session* obs) const {
   rt::Cluster cluster(nodes_, net);
+  cluster.attach_obs(obs);
   rt::PhaseRunner runner(cluster, rcfg);
 
   auto alloc_side = [&](const Side& side) {
@@ -100,7 +101,7 @@ Em3dRun Em3dApp::run(const sim::NetParams& net,
   auto relax_phase = [&](const Side& to_side,
                          const std::vector<gas::GPtr<GNode>>& to_ptrs,
                          const std::vector<gas::GPtr<GNode>>& from_ptrs,
-                         std::uint32_t per_node) {
+                         std::uint32_t per_node, std::string_view name) {
     std::vector<rt::NodeWork> work(nodes_);
     for (std::uint32_t n = 0; n < nodes_; ++n) {
       work[n].count = per_node;
@@ -120,18 +121,18 @@ Em3dRun Em3dApp::run(const sim::NetParams& net,
         }
       };
     }
-    return runner.run(std::move(work));
+    return runner.run(std::move(work), name);
   };
 
   Em3dRun result;
   for (std::uint32_t it = 0; it < cfg_.iters; ++it) {
     Em3dStep e_step;
-    e_step.phase = relax_phase(e_, e_ptrs, h_ptrs, cfg_.e_per_node);
+    e_step.phase = relax_phase(e_, e_ptrs, h_ptrs, cfg_.e_per_node, "em3d.E");
     DPA_CHECK(e_step.phase.completed) << e_step.phase.diagnostics;
     result.steps.push_back(std::move(e_step));
 
     Em3dStep h_step;
-    h_step.phase = relax_phase(h_, h_ptrs, e_ptrs, cfg_.h_per_node);
+    h_step.phase = relax_phase(h_, h_ptrs, e_ptrs, cfg_.h_per_node, "em3d.H");
     DPA_CHECK(h_step.phase.completed) << h_step.phase.diagnostics;
     result.steps.push_back(std::move(h_step));
   }

@@ -53,7 +53,10 @@ class Em3dApp {
   // count is reproducible.
   Em3dApp(Em3dConfig cfg, std::uint32_t nodes);
 
-  Em3dRun run(const sim::NetParams& net, const rt::RuntimeConfig& rcfg) const;
+  // When `obs` is non-null the cluster reports into it: phases trace as
+  // "em3d.E" / "em3d.H" and their totals land in the metrics registry.
+  Em3dRun run(const sim::NetParams& net, const rt::RuntimeConfig& rcfg,
+              obs::Session* obs = nullptr) const;
 
   // Host-only reference over the same graph.
   struct SeqResult {

@@ -53,9 +53,10 @@ void integrate(std::vector<Particle>& particles, double dt) {
 }  // namespace
 
 FmmRun FmmApp::run(std::uint32_t nodes, const sim::NetParams& net,
-                   const rt::RuntimeConfig& rcfg) const {
+                   const rt::RuntimeConfig& rcfg, obs::Session* obs) const {
   std::vector<Particle> particles = init_;
   rt::Cluster cluster(nodes, net);
+  cluster.attach_obs(obs);
   rt::PhaseRunner runner(cluster, rcfg);
 
   FmmRun result;
@@ -77,7 +78,7 @@ FmmRun FmmApp::run(std::uint32_t nodes, const sim::NetParams& net,
 
     // --- the timed interaction phase ---
     FmmStep st;
-    st.phase = runner.run(make_interaction_work(&pc, part));
+    st.phase = runner.run(make_interaction_work(&pc, part), "fmm.interact");
     DPA_CHECK(st.phase.completed)
         << "FMM interaction phase deadlocked:\n" << st.phase.diagnostics;
 

@@ -36,8 +36,10 @@ class FmmApp {
  public:
   explicit FmmApp(FmmConfig cfg);
 
+  // When `obs` is non-null the cluster reports into it: each interaction
+  // phase is traced as "fmm.interact".
   FmmRun run(std::uint32_t nodes, const sim::NetParams& net,
-             const rt::RuntimeConfig& rcfg) const;
+             const rt::RuntimeConfig& rcfg, obs::Session* obs = nullptr) const;
 
   struct SeqResult {
     std::vector<Cmplx> forces;  // first step's forces

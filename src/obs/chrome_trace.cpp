@@ -1,0 +1,118 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "support/json.h"
+
+namespace dpa::obs {
+
+namespace {
+
+constexpr std::int64_t kMachinePid = 0;
+constexpr std::int64_t kNetworkPid = 1;
+constexpr std::int64_t kPhaseTid = 0;  // node n gets tid n+1
+
+double to_us(Time t) { return double(t) / 1000.0; }
+
+void meta_event(JsonWriter& w, const char* what, std::int64_t pid,
+                std::int64_t tid, std::string_view name) {
+  auto e = w.obj();
+  w.field("ph", "M").field("name", what).field("pid", pid).field("tid", tid);
+  auto args = w.obj("args");
+  w.field("name", name);
+}
+
+void common_fields(JsonWriter& w, std::string_view name, const char* ph,
+                   std::int64_t pid, std::int64_t tid, Time at) {
+  w.field("name", name).field("ph", ph).field("pid", pid).field("tid", tid);
+  w.field("ts", to_us(at));
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  std::vector<TraceEvent> events = tracer.snapshot();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.at < b.at;
+                   });
+
+  std::set<NodeId> machine_nodes, network_nodes;
+  for (const TraceEvent& ev : events)
+    (ev.kind == Ev::kWire ? network_nodes : machine_nodes).insert(ev.node);
+
+  JsonWriter w;
+  {
+    auto root = w.obj();
+    w.field("displayTimeUnit", "ms");
+    w.field("recorded_events", tracer.recorded());
+    w.field("dropped_events", tracer.dropped());
+    auto arr = w.arr("traceEvents");
+
+    meta_event(w, "process_name", kMachinePid, 0, "machine");
+    meta_event(w, "process_name", kNetworkPid, 0, "network");
+    meta_event(w, "thread_name", kMachinePid, kPhaseTid, "phases");
+    for (const NodeId n : machine_nodes)
+      meta_event(w, "thread_name", kMachinePid, std::int64_t(n) + 1,
+                 "node " + std::to_string(n));
+    for (const NodeId n : network_nodes)
+      meta_event(w, "thread_name", kNetworkPid, std::int64_t(n) + 1,
+                 "nic " + std::to_string(n));
+
+    for (const TraceEvent& ev : events) {
+      auto e = w.obj();
+      const std::int64_t node_tid = std::int64_t(ev.node) + 1;
+      switch (ev.kind) {
+        case Ev::kTask: {
+          common_fields(w, "task", "X", kMachinePid, node_tid, ev.at);
+          w.field("dur", to_us(ev.end - ev.at));
+          break;
+        }
+        case Ev::kWire: {
+          common_fields(w, "wire", "X", kNetworkPid, node_tid, ev.at);
+          w.field("dur", to_us(ev.end - ev.at));
+          auto args = w.obj("args");
+          w.field("dst", std::uint64_t(ev.peer)).field("bytes", ev.arg);
+          break;
+        }
+        case Ev::kPhaseBegin:
+        case Ev::kPhaseEnd: {
+          common_fields(w, ev.label != nullptr ? ev.label : "phase",
+                        ev.kind == Ev::kPhaseBegin ? "B" : "E", kMachinePid,
+                        kPhaseTid, ev.at);
+          break;
+        }
+        case Ev::kMsgDepart:
+        case Ev::kMsgArrive: {
+          std::string name = to_string(ev.cause);
+          name += ev.kind == Ev::kMsgDepart ? ".depart" : ".arrive";
+          common_fields(w, name, "i", kMachinePid, node_tid, ev.at);
+          w.field("s", "t");
+          auto args = w.obj("args");
+          w.field("peer", std::uint64_t(ev.peer)).field("bytes", ev.arg);
+          break;
+        }
+        default: {  // lifecycle instants
+          common_fields(w, ev.label != nullptr ? ev.label : to_string(ev.kind),
+                        "i", kMachinePid, node_tid, ev.at);
+          w.field("s", "t");
+          auto args = w.obj("args");
+          w.field("arg", ev.arg);
+          break;
+        }
+      }
+    }
+  }
+  return w.str();
+}
+
+bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json(tracer) << "\n";
+  return bool(out);
+}
+
+}  // namespace dpa::obs

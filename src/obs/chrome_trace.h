@@ -1,0 +1,27 @@
+// Chrome trace-event JSON export (the "JSON Array / trace events" format
+// both chrome://tracing and Perfetto load).
+//
+// Track layout:
+//   pid 0 "machine"  — tid n+1 = "node n": task spans plus runtime instants
+//                      (thread/tile lifecycle, cause-tagged msg instants);
+//                      tid 0 = "phases": named begin/end phase spans.
+//   pid 1 "network"  — tid n+1 = "nic n": wire-flight spans, one per
+//                      message fragment, with dst/bytes args.
+//
+// Timestamps are microseconds (the format's unit) with nanosecond
+// fractions; events are emitted sorted by timestamp.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace dpa::obs {
+
+// The full document: {"displayTimeUnit":..., "traceEvents":[...]}.
+std::string chrome_trace_json(const Tracer& tracer);
+
+// Writes chrome_trace_json(tracer) to `path`; false on I/O failure.
+bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace dpa::obs

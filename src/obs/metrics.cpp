@@ -1,0 +1,107 @@
+#include "obs/metrics.h"
+
+#include "support/json.h"
+
+namespace dpa::obs {
+
+namespace {
+
+// Heterogeneous get-or-create for map<string, T, less<>>: find by view,
+// insert by materialized string only on miss.
+template <class Map>
+typename Map::mapped_type* get_or_create(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end())
+    it = map.emplace(std::string(name), typename Map::mapped_type{}).first;
+  return &it->second;
+}
+
+}  // namespace
+
+std::uint64_t* MetricsRegistry::counter(std::string_view name) {
+  return get_or_create(counters_, name);
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  return get_or_create(gauges_, name);
+}
+
+Pow2Histogram* MetricsRegistry::histogram(std::string_view name) {
+  return get_or_create(histograms_, name);
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Pow2Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::for_each_counter(
+    const std::function<void(const std::string&, std::uint64_t)>& fn) const {
+  for (const auto& [name, v] : counters_) fn(name, v);
+}
+
+void MetricsRegistry::for_each_gauge(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  for (const auto& [name, g] : gauges_) fn(name, g);
+}
+
+void MetricsRegistry::for_each_histogram(
+    const std::function<void(const std::string&, const Pow2Histogram&)>& fn)
+    const {
+  for (const auto& [name, h] : histograms_) fn(name, h);
+}
+
+void MetricsRegistry::append_to(JsonWriter& w) const {
+  {
+    auto counters = w.obj("counters");
+    for (const auto& [name, v] : counters_) w.field(name, v);
+  }
+  {
+    auto gauges = w.obj("gauges");
+    for (const auto& [name, g] : gauges_) {
+      auto one = w.obj(name);
+      w.field("current", std::int64_t(g.current()))
+          .field("high_water", std::int64_t(g.high_water()));
+    }
+  }
+  auto histograms = w.obj("histograms");
+  for (const auto& [name, h] : histograms_) {
+    auto one = w.obj(name);
+    w.field("count", h.count());
+    w.field("p50", h.quantile_bound(0.5))
+        .field("p90", h.quantile_bound(0.9))
+        .field("p99", h.quantile_bound(0.99));
+    auto buckets = w.arr("buckets");  // bucket i: values in [2^(i-1), 2^i)
+    for (std::size_t i = 0; i < h.num_buckets(); ++i)
+      w.value(std::int64_t(h.bucket(i)));
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  {
+    auto root = w.obj();
+    w.field("schema", "dpa.metrics.v1");
+    append_to(w);
+  }
+  return w.str();
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace dpa::obs

@@ -1,0 +1,67 @@
+// Metrics registry: named counters, gauges and log-scale (power-of-two)
+// histograms with a JSON snapshot export.
+//
+// This is the single sink the runtime engines, the phase runner and the
+// bench harnesses publish into, replacing hand-summed counter structs as the
+// source of machine-readable output. Names are dotted paths ("rt.tiles_run",
+// "net.bytes"); lookup is get-or-create and the returned pointers are stable
+// for the registry's lifetime, so hot paths resolve a metric once and bump
+// it through the pointer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "support/stats.h"
+
+namespace dpa {
+class JsonWriter;
+}  // namespace dpa
+
+namespace dpa::obs {
+
+class MetricsRegistry {
+ public:
+  // Get-or-create. Pointers remain valid until clear()/destruction (the
+  // containers are node-based maps).
+  std::uint64_t* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Pow2Histogram* histogram(std::string_view name);
+
+  // Read-only lookup; zero/empty defaults when the metric was never touched.
+  std::uint64_t counter_value(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Pow2Histogram* find_histogram(std::string_view name) const;
+
+  std::size_t num_counters() const { return counters_.size(); }
+  std::size_t num_gauges() const { return gauges_.size(); }
+  std::size_t num_histograms() const { return histograms_.size(); }
+
+  // Iteration in name order (export determinism).
+  void for_each_counter(
+      const std::function<void(const std::string&, std::uint64_t)>& fn) const;
+  void for_each_gauge(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void for_each_histogram(
+      const std::function<void(const std::string&, const Pow2Histogram&)>& fn)
+      const;
+
+  // Writes "counters" / "gauges" / "histograms" keyed objects into the
+  // writer's currently open object (for merging into bench JSON output).
+  void append_to(JsonWriter& w) const;
+
+  // Standalone snapshot document: {"schema":"dpa.metrics.v1", ...}.
+  std::string to_json() const;
+
+  void clear();
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Pow2Histogram, std::less<>> histograms_;
+};
+
+}  // namespace dpa::obs

@@ -1,0 +1,22 @@
+// An observability session: one tracer plus one metrics registry, attached
+// to a Cluster (see runtime/engine.h) so every layer — sim machine, network,
+// FM, runtime engines, phase runner — reports into the same two sinks for
+// the lifetime of an experiment.
+#pragma once
+
+#include <cstddef>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dpa::obs {
+
+struct Session {
+  Tracer tracer;
+  MetricsRegistry metrics;
+
+  explicit Session(std::size_t trace_capacity = Tracer::kDefaultCapacity)
+      : tracer(trace_capacity) {}
+};
+
+}  // namespace dpa::obs

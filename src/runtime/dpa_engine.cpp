@@ -18,7 +18,14 @@ DpaEngine::DpaEngine(Cluster& cluster, NodeId node, const RuntimeConfig& cfg,
                      fm::HandlerId h_accum)
     : EngineBase(cluster, node, cfg, h_req, h_reply, h_accum),
       agg_(cluster.num_nodes()),
-      acc_(cluster.num_nodes()) {}
+      acc_(cluster.num_nodes()) {
+  if (cluster.obs != nullptr) {
+    auto& m = cluster.obs->metrics;
+    h_ref_latency_ = m.histogram("rt.ref_latency_ns");
+    h_tile_occupancy_ = m.histogram("rt.tile_occupancy");
+    h_m_residency_ = m.histogram("rt.m_residency");
+  }
+}
 
 void DpaEngine::accumulate(sim::Cpu& cpu, GlobalRef ref, AccumFn update) {
   if (!cfg_.aggregation || ref.home == node_) {
@@ -42,6 +49,8 @@ void DpaEngine::require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) {
   cpu.charge(cost.thread_create, sim::Work::kRuntime);
   ++stats_.threads_created;
   stats_.outstanding_threads.add(1);
+  DPA_TRACE_EVT(trace_, instant(obs::Ev::kThreadCreated, node_,
+                                cpu.logical_now(), ref.bytes));
 
   if (ref.home == node_) {
     cpu.charge(cost.local_enqueue, sim::Work::kRuntime);
@@ -50,12 +59,16 @@ void DpaEngine::require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) {
     return;
   }
 
+  DPA_TRACE_EVT(trace_, instant(obs::Ev::kThreadSuspended, node_,
+                                cpu.logical_now()));
   auto [it, inserted] = m_.try_emplace(ref.addr);
   Tile& tile = it->second;
   if (inserted) {
     tile.ref = ref;
     tile.waiters.push_back(std::move(thread));
     stats_.m_entries.set(std::int64_t(m_.size()));
+    DPA_TRACE_EVT(trace_, instant(obs::Ev::kTileOpened, node_,
+                                  cpu.logical_now(), m_.size()));
     if (cfg_.aggregation) {
       cpu.charge(cost.req_marshal_per_ref, sim::Work::kComm);
       auto& buf = agg_[ref.home];
@@ -67,6 +80,7 @@ void DpaEngine::require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) {
       // pipelining off the scheduler stalls until outstanding_ drains,
       // giving synchronous-get behaviour (the paper's Base).
       tile.st = Tile::St::kRequested;
+      tile.requested_at = cpu.logical_now();
       ++outstanding_;
       cpu.charge(cost.req_marshal_per_ref, sim::Work::kComm);
       send_request(cpu, ref.home, {ref});
@@ -84,6 +98,9 @@ void DpaEngine::require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) {
 void DpaEngine::on_reply(sim::Cpu& cpu, const ReplyPayload& reply) {
   const auto& cost = cfg_.cost;
   ++stats_.replies_recv;
+  DPA_TRACE_EVT(trace_,
+                msg_event(obs::Ev::kMsgArrive, obs::MsgCause::kReply, node_,
+                          node_, reply.refs.size(), cpu.logical_now()));
   for (const GlobalRef& ref : reply.refs) {
     cpu.charge(cost.reply_unmarshal_per_obj, sim::Work::kComm);
     auto it = m_.find(ref.addr);
@@ -91,6 +108,9 @@ void DpaEngine::on_reply(sim::Cpu& cpu, const ReplyPayload& reply) {
     Tile& tile = it->second;
     DPA_CHECK(tile.st == Tile::St::kRequested);
     tile.st = Tile::St::kReady;
+    if (h_ref_latency_ != nullptr)
+      h_ref_latency_->add(
+          std::uint64_t(cpu.logical_now() - tile.requested_at));
     DPA_CHECK(outstanding_ > 0);
     --outstanding_;
     stats_.outstanding_refs.add(-1);
@@ -114,14 +134,22 @@ bool DpaEngine::run_ready_tile(sim::Cpu& cpu) {
   tile.queued = false;
   cpu.charge(cfg_.cost.tile_dispatch, sim::Work::kRuntime);
   ++stats_.tiles_run;
+  if (h_tile_occupancy_ != nullptr)
+    h_tile_occupancy_->add(tile.waiters.size());
+  DPA_TRACE_EVT(trace_, instant(obs::Ev::kTileDispatched, node_,
+                                cpu.logical_now(), tile.waiters.size()));
 
   // Take the waiters out: running them may append new waiters to this tile.
   auto waiters = std::move(tile.waiters);
   tile.waiters.clear();
   for (const ThreadFn& fn : waiters) {
+    DPA_TRACE_EVT(trace_, instant(obs::Ev::kThreadResumed, node_,
+                                  cpu.logical_now()));
     run_thread(cpu, fn, tile.ref.addr);
     stats_.outstanding_threads.add(-1);
   }
+  DPA_TRACE_EVT(trace_, instant(obs::Ev::kTileClosed, node_,
+                                cpu.logical_now()));
   return true;
 }
 
@@ -160,6 +188,7 @@ void DpaEngine::flush_dest(sim::Cpu& cpu, NodeId dest) {
     DPA_DCHECK(it != m_.end());
     DPA_DCHECK(it->second.st == Tile::St::kFresh);
     it->second.st = Tile::St::kRequested;
+    it->second.requested_at = cpu.logical_now();
   }
   outstanding_ += refs.size();
   cpu.charge(cfg_.cost.flush_fixed, sim::Work::kComm);
@@ -194,6 +223,7 @@ bool DpaEngine::strip_boundary(sim::Cpu& cpu) {
       << "strip boundary with live work on node " << node_;
   if (!m_.empty()) {
     // End of strip: renamed objects and thread slots are released.
+    if (h_m_residency_ != nullptr) h_m_residency_->add(m_.size());
     m_.clear();
     stats_.m_entries.set(0);
   }

@@ -59,6 +59,7 @@ class DpaEngine final : public EngineBase {
     GlobalRef ref;
     St st = St::kFresh;
     bool queued = false;  // present in ready_tiles_
+    sim::Time requested_at = 0;  // when the fetch left (ref-latency metric)
     SmallVector<ThreadFn, 2> waiters;
   };
 
@@ -87,6 +88,11 @@ class DpaEngine final : public EngineBase {
   std::uint64_t outstanding_ = 0;  // refs requested, reply pending
   const void* sync_wait_ = nullptr;  // pipelining off: ref being awaited
   bool loop_done_ = false;
+
+  // Observability histograms (null when no session is attached).
+  Pow2Histogram* h_ref_latency_ = nullptr;     // request depart -> reply, ns
+  Pow2Histogram* h_tile_occupancy_ = nullptr;  // threads per dispatched tile
+  Pow2Histogram* h_m_residency_ = nullptr;     // |M| at each strip boundary
 };
 
 }  // namespace dpa::rt

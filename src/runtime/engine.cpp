@@ -14,7 +14,12 @@ EngineBase::EngineBase(Cluster& cluster, NodeId node,
       cfg_(cfg),
       h_req_(h_req),
       h_reply_(h_reply),
-      h_accum_(h_accum) {}
+      h_accum_(h_accum) {
+  if (cluster.obs != nullptr) {
+    trace_ = &cluster.obs->tracer;
+    h_msg_bytes_ = cluster.obs->metrics.histogram("rt.msg_bytes");
+  }
+}
 
 void EngineBase::accumulate(sim::Cpu& cpu, GlobalRef ref, AccumFn update) {
   // Default (baseline engines): apply locally or send one message per
@@ -41,6 +46,9 @@ void EngineBase::send_accum(
       cost.msg_header_bytes +
       std::uint32_t(items.size()) *
           (cost.req_bytes_per_ref + cost.accum_payload_bytes);
+  if (h_msg_bytes_ != nullptr) h_msg_bytes_->add(bytes);
+  DPA_TRACE_EVT(trace_, msg_event(obs::Ev::kMsgDepart, obs::MsgCause::kAccum,
+                                  node_, home, bytes, cpu.logical_now()));
   auto payload = std::make_shared<AccumPayload>();
   payload->items = std::move(items);
   cluster_.fm.send(cpu, node_, home, h_accum_, std::move(payload), bytes);
@@ -48,6 +56,9 @@ void EngineBase::send_accum(
 
 void EngineBase::serve_accum(sim::Cpu& cpu, const AccumPayload& payload) {
   const auto& cost = cfg_.cost;
+  DPA_TRACE_EVT(trace_, msg_event(obs::Ev::kMsgArrive, obs::MsgCause::kAccum,
+                                  node_, node_, payload.items.size(),
+                                  cpu.logical_now()));
   for (const auto& [ref, fn] : payload.items) {
     DPA_DCHECK(ref.home == node_);
     cpu.charge(cost.accum_apply, sim::Work::kCompute);
@@ -83,6 +94,9 @@ void EngineBase::send_request(sim::Cpu& cpu, NodeId home,
   const std::uint32_t bytes =
       cost.msg_header_bytes +
       cost.req_bytes_per_ref * std::uint32_t(refs.size());
+  if (h_msg_bytes_ != nullptr) h_msg_bytes_->add(bytes);
+  DPA_TRACE_EVT(trace_, msg_event(obs::Ev::kMsgDepart, obs::MsgCause::kRequest,
+                                  node_, home, bytes, cpu.logical_now()));
   auto payload = std::make_shared<ReqPayload>();
   payload->requester = node_;
   payload->refs = std::move(refs);
@@ -93,6 +107,9 @@ void EngineBase::serve_request(sim::Cpu& cpu, const ReqPayload& req) {
   const auto& cost = cfg_.cost;
   ++stats_.requests_served;
   stats_.refs_served += req.refs.size();
+  DPA_TRACE_EVT(trace_,
+                msg_event(obs::Ev::kMsgArrive, obs::MsgCause::kRequest, node_,
+                          req.requester, req.refs.size(), cpu.logical_now()));
 
   std::uint32_t bytes = cost.msg_header_bytes;
   for (const GlobalRef& ref : req.refs) {
@@ -102,6 +119,10 @@ void EngineBase::serve_request(sim::Cpu& cpu, const ReqPayload& req) {
     cpu.charge(cost.serve_lookup_per_ref, sim::Work::kComm);
     bytes += cost.obj_header_bytes + ref.bytes;
   }
+  if (h_msg_bytes_ != nullptr) h_msg_bytes_->add(bytes);
+  DPA_TRACE_EVT(trace_,
+                msg_event(obs::Ev::kMsgDepart, obs::MsgCause::kReply, node_,
+                          req.requester, bytes, cpu.logical_now()));
   auto payload = std::make_shared<ReplyPayload>();
   payload->refs = req.refs;
   cluster_.fm.send(cpu, node_, req.requester, h_reply_, std::move(payload),
@@ -114,6 +135,8 @@ void EngineBase::run_thread(sim::Cpu& cpu, const ThreadFn& fn,
   ++stats_.threads_run;
   Ctx ctx(*this, cpu);
   fn(ctx, data);
+  DPA_TRACE_EVT(trace_, instant(obs::Ev::kThreadRetired, node_,
+                                cpu.logical_now()));
 }
 
 std::uint32_t Ctx::num_nodes() const {

@@ -26,6 +26,7 @@
 #include "fm/fm.h"
 #include "gas/global_ptr.h"
 #include "gas/heap.h"
+#include "obs/session.h"
 #include "runtime/config.h"
 #include "runtime/stats.h"
 #include "sim/machine.h"
@@ -59,11 +60,24 @@ struct Cluster {
   sim::Machine machine;
   fm::FmLayer fm;
   gas::GlobalHeap heap;
+  obs::Session* obs = nullptr;  // optional, non-owning
 
   Cluster(std::uint32_t num_nodes, sim::NetParams params)
       : machine(num_nodes, params), fm(machine), heap(num_nodes) {}
 
   std::uint32_t num_nodes() const { return machine.num_nodes(); }
+
+  // Attaches (or detaches, with nullptr) an observability session: the
+  // machine and network report task/wire events into its tracer, engines
+  // record structured events and histograms, and the phase runner publishes
+  // per-phase totals into its metrics registry. In DPA_TRACE=OFF builds the
+  // tracer is never hooked up; metrics publication still works.
+  void attach_obs(obs::Session* session) {
+    obs = session;
+    machine.set_trace(session != nullptr && obs::kTraceEnabled
+                          ? &session->tracer
+                          : nullptr);
+  }
 };
 
 // Wire payloads. The simulation shares one address space; `bytes` on the FM
@@ -147,6 +161,11 @@ class EngineBase {
   std::uint64_t next_root_ = 0;
   bool sched_pending_ = false;
   RtNodeStats stats_;
+
+  // Observability handles, resolved once at construction (null when no
+  // session is attached). trace_ is used through DPA_TRACE_EVT only.
+  obs::Tracer* trace_ = nullptr;
+  Pow2Histogram* h_msg_bytes_ = nullptr;  // request/reply/accum wire sizes
 };
 
 // The per-thread execution context: thin wrapper over the node Cpu plus the

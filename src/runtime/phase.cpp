@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "runtime/dpa_engine.h"
 #include "runtime/prefetch_engine.h"
 #include "runtime/sync_engine.h"
@@ -72,7 +73,8 @@ std::unique_ptr<EngineBase> PhaseRunner::make_engine(NodeId node) {
   DPA_PANIC("unknown engine kind");
 }
 
-PhaseResult PhaseRunner::run(std::vector<NodeWork> work) {
+PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
+                             std::string_view name) {
   const std::uint32_t n = cluster_.num_nodes();
   DPA_CHECK(work.size() == n)
       << "phase needs one NodeWork per node: " << work.size() << " != " << n;
@@ -83,10 +85,15 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work) {
 
   cluster_.machine.begin_phase();
   cluster_.fm.reset_stats();
+  const Time phase_start = cluster_.machine.phase_start();
+  if (cluster_.obs != nullptr)
+    cluster_.obs->tracer.phase_begin(name, phase_start);
   for (NodeId i = 0; i < n; ++i) engines_[i]->start(std::move(work[i]));
 
   PhaseResult result;
   result.elapsed = cluster_.machine.run_phase();
+  if (cluster_.obs != nullptr)
+    cluster_.obs->tracer.phase_end(name, phase_start + result.elapsed);
 
   result.completed = true;
   std::ostringstream diag;
@@ -111,6 +118,19 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work) {
   }
   result.net = cluster_.machine.network().stats();
   result.fm_total = cluster_.fm.aggregate_stats();
+
+  if (cluster_.obs != nullptr) {
+    auto& m = cluster_.obs->metrics;
+    result.rt.publish(m);
+    *m.counter("rt.phases") += 1;
+    *m.counter("net.messages") += result.net.messages;
+    *m.counter("net.bytes") += result.net.bytes;
+    *m.counter("fm.msgs_sent") += result.fm_total.msgs_sent;
+    *m.counter("fm.frags_sent") += result.fm_total.frags_sent;
+    *m.counter("fm.msgs_recv") += result.fm_total.msgs_recv;
+    *m.counter("fm.bytes_sent") += result.fm_total.bytes_sent;
+    *m.counter("fm.bytes_recv") += result.fm_total.bytes_recv;
+  }
   return result;
 }
 

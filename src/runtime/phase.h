@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "runtime/engine.h"
@@ -53,7 +54,13 @@ class PhaseRunner {
   // Runs one phase: work[i] is node i's conc loop. Blocks (in simulation)
   // until every node quiesces; if the phase cannot complete (a scheduling
   // bug would deadlock it), returns completed=false with diagnostics.
-  PhaseResult run(std::vector<NodeWork> work);
+  //
+  // When the cluster has an obs::Session attached, the phase is bracketed
+  // with phase_begin/phase_end trace events under `name` and the phase's
+  // totals (rt.*, net.*, fm.*) are published into the metrics registry, so
+  // the registry's counters equal the sum of every published PhaseResult.
+  PhaseResult run(std::vector<NodeWork> work,
+                  std::string_view name = "phase");
 
   const RuntimeConfig& config() const { return cfg_; }
 

@@ -17,6 +17,8 @@ void PrefetchEngine::require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) {
   cpu.charge(cfg_.cost.sync_push, sim::Work::kRuntime);
   ++stats_.threads_created;
   stats_.outstanding_threads.add(1);
+  DPA_TRACE_EVT(trace_, instant(obs::Ev::kThreadCreated, node_,
+                                cpu.logical_now(), ref.bytes));
   if (creating_roots_)
     root_window_.emplace_back(ref, std::move(thread));
   else
@@ -29,6 +31,8 @@ void PrefetchEngine::run_now(sim::Cpu& cpu, const ThreadFn& fn,
   ++stats_.threads_run;
   Ctx ctx(*this, cpu);
   fn(ctx, data);
+  DPA_TRACE_EVT(trace_, instant(obs::Ev::kThreadRetired, node_,
+                                cpu.logical_now()));
 }
 
 void PrefetchEngine::prefetch_one(sim::Cpu& cpu, const GlobalRef& ref,
@@ -105,6 +109,8 @@ void PrefetchEngine::sched(sim::Cpu& cpu) {
     waiting_addr_ = ref.addr;
     wait_ref_ = ref;
     wait_fn_ = std::move(fn);
+    DPA_TRACE_EVT(trace_, instant(obs::Ev::kThreadSuspended, node_,
+                                  cpu.logical_now()));
     if (inflight_.count(ref.addr) == 0) {
       // Not prefetched in time: demand fetch.
       cpu.charge(cfg_.cost.sync_issue, sim::Work::kComm);
@@ -123,6 +129,9 @@ void PrefetchEngine::on_reply(sim::Cpu& cpu, const ReplyPayload& reply) {
   cpu.charge(cfg_.cost.reply_unmarshal_per_obj, sim::Work::kComm);
   cpu.charge(cfg_.cost.cache_insert, sim::Work::kRuntime);
   stats_.outstanding_refs.add(-1);
+  DPA_TRACE_EVT(trace_,
+                msg_event(obs::Ev::kMsgArrive, obs::MsgCause::kReply, node_,
+                          node_, reply.refs.size(), cpu.logical_now()));
   inflight_.erase(ref.addr);
   cache_.insert(ref.addr);
   if (waiting_ && waiting_addr_ == ref.addr) {
@@ -130,6 +139,8 @@ void PrefetchEngine::on_reply(sim::Cpu& cpu, const ReplyPayload& reply) {
     waiting_addr_ = nullptr;
     ThreadFn fn = std::move(wait_fn_);
     wait_fn_ = nullptr;
+    DPA_TRACE_EVT(trace_, instant(obs::Ev::kThreadResumed, node_,
+                                  cpu.logical_now()));
     run_now(cpu, fn, wait_ref_.addr);
     issue_prefetches(cpu);
   }

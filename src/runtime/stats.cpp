@@ -1,0 +1,18 @@
+#include "runtime/stats.h"
+
+#include "obs/metrics.h"
+
+namespace dpa::rt {
+
+void RtTotals::publish(obs::MetricsRegistry& metrics) const {
+#define DPA_X(name) *metrics.counter("rt." #name) += name;
+  DPA_RT_COUNTERS(DPA_X)
+#undef DPA_X
+  // Gauges: raise the registry high-water to this phase's maximum, so the
+  // snapshot carries the peak across every published phase.
+#define DPA_X(name) metrics.gauge("rt." #name)->set(max_##name);
+  DPA_RT_GAUGES(DPA_X)
+#undef DPA_X
+}
+
+}  // namespace dpa::rt

@@ -1,48 +1,64 @@
 // Per-node runtime counters. These feed the paper's tables directly:
 // aggregation factor (requests per message), max outstanding threads, M
 // high-water marks, cache hit rates.
+//
+// The counter and gauge sets are declared once via the X-macro field lists
+// below; RtNodeStats, RtTotals, absorb() and the observability export all
+// iterate the same list, so a new counter cannot be silently dropped from
+// the totals or the metrics snapshot.
 #pragma once
 
 #include <cstdint>
 
 #include "support/stats.h"
 
+namespace dpa::obs {
+class MetricsRegistry;
+}  // namespace dpa::obs
+
 namespace dpa::rt {
 
+// One X(name) per per-node counter (all std::uint64_t, summed across nodes).
+#define DPA_RT_COUNTERS(X)                                                 \
+  /* Threads (DPA) / deferred work items (sync engines). */                \
+  X(threads_created)                                                       \
+  X(threads_run)                                                           \
+  X(local_threads)  /* threads on node-local pointers */                   \
+  X(tiles_run)      /* tile dispatches (>=1 thread each) */                \
+  X(roots_created)  /* conc-loop iterations started */                     \
+  X(strips)                                                                \
+  /* Communication (requester side). */                                    \
+  X(refs_requested)   /* remote object fetches issued */                   \
+  X(request_msgs)     /* request messages sent */                          \
+  X(dup_refs_avoided) /* threads that joined an in-flight tile */          \
+  X(replies_recv)                                                          \
+  /* Communication (home side). */                                         \
+  X(refs_served)                                                           \
+  X(requests_served)                                                       \
+  /* Caching engine. */                                                    \
+  X(cache_hits)                                                            \
+  X(cache_misses)                                                          \
+  X(cache_evictions)                                                       \
+  /* Remote accumulation. */                                               \
+  X(accums_issued)  /* updates sent to remote homes */                     \
+  X(accum_msgs)     /* messages carrying them */                           \
+  X(accums_applied) /* updates applied at this home */                     \
+  X(accums_local)   /* updates applied directly (local home) */
+
+// One X(name) per resource gauge (current level + high-water mark; totals
+// keep the max high-water across nodes as max_<name>).
+#define DPA_RT_GAUGES(X)                                                   \
+  X(outstanding_threads) /* suspended thread states held */                \
+  X(m_entries)           /* live entries in M */                           \
+  X(outstanding_refs)    /* remote refs requested but not yet arrived */
+
 struct RtNodeStats {
-  // Threads (DPA) / deferred work items (sync engines).
-  std::uint64_t threads_created = 0;
-  std::uint64_t threads_run = 0;
-  std::uint64_t local_threads = 0;  // threads on node-local pointers
-  std::uint64_t tiles_run = 0;      // tile dispatches (>=1 thread each)
-  std::uint64_t roots_created = 0;  // conc-loop iterations started
-  std::uint64_t strips = 0;
-
-  // Communication (requester side).
-  std::uint64_t refs_requested = 0;   // remote object fetches issued
-  std::uint64_t request_msgs = 0;     // request messages sent
-  std::uint64_t dup_refs_avoided = 0; // threads that joined an in-flight tile
-  std::uint64_t replies_recv = 0;
-
-  // Communication (home side).
-  std::uint64_t refs_served = 0;
-  std::uint64_t requests_served = 0;
-
-  // Caching engine.
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
-  std::uint64_t cache_evictions = 0;
-
-  // Remote accumulation.
-  std::uint64_t accums_issued = 0;   // updates sent to remote homes
-  std::uint64_t accum_msgs = 0;      // messages carrying them
-  std::uint64_t accums_applied = 0;  // updates applied at this home
-  std::uint64_t accums_local = 0;    // updates applied directly (local home)
-
-  // Resource gauges.
-  Gauge outstanding_threads;  // suspended thread states held
-  Gauge m_entries;            // live entries in M
-  Gauge outstanding_refs;     // remote refs requested but not yet arrived
+#define DPA_X(name) std::uint64_t name = 0;
+  DPA_RT_COUNTERS(DPA_X)
+#undef DPA_X
+#define DPA_X(name) Gauge name;
+  DPA_RT_GAUGES(DPA_X)
+#undef DPA_X
 
   double aggregation_factor() const {
     return request_msgs ? double(refs_requested) / double(request_msgs) : 0.0;
@@ -55,56 +71,26 @@ struct RtNodeStats {
 
 // Sums of the counters plus maxima of the gauges across nodes.
 struct RtTotals {
-  std::uint64_t threads_created = 0;
-  std::uint64_t threads_run = 0;
-  std::uint64_t local_threads = 0;
-  std::uint64_t tiles_run = 0;
-  std::uint64_t roots_created = 0;
-  std::uint64_t strips = 0;
-  std::uint64_t refs_requested = 0;
-  std::uint64_t request_msgs = 0;
-  std::uint64_t dup_refs_avoided = 0;
-  std::uint64_t replies_recv = 0;
-  std::uint64_t refs_served = 0;
-  std::uint64_t requests_served = 0;
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
-  std::uint64_t cache_evictions = 0;
-  std::uint64_t accums_issued = 0;
-  std::uint64_t accum_msgs = 0;
-  std::uint64_t accums_applied = 0;
-  std::uint64_t accums_local = 0;
-  std::int64_t max_outstanding_threads = 0;
-  std::int64_t max_m_entries = 0;
-  std::int64_t max_outstanding_refs = 0;
+#define DPA_X(name) std::uint64_t name = 0;
+  DPA_RT_COUNTERS(DPA_X)
+#undef DPA_X
+#define DPA_X(name) std::int64_t max_##name = 0;
+  DPA_RT_GAUGES(DPA_X)
+#undef DPA_X
 
   void absorb(const RtNodeStats& s) {
-    threads_created += s.threads_created;
-    threads_run += s.threads_run;
-    local_threads += s.local_threads;
-    tiles_run += s.tiles_run;
-    roots_created += s.roots_created;
-    strips += s.strips;
-    refs_requested += s.refs_requested;
-    request_msgs += s.request_msgs;
-    dup_refs_avoided += s.dup_refs_avoided;
-    replies_recv += s.replies_recv;
-    refs_served += s.refs_served;
-    requests_served += s.requests_served;
-    cache_hits += s.cache_hits;
-    cache_misses += s.cache_misses;
-    cache_evictions += s.cache_evictions;
-    accums_issued += s.accums_issued;
-    accum_msgs += s.accum_msgs;
-    accums_applied += s.accums_applied;
-    accums_local += s.accums_local;
-    if (s.outstanding_threads.high_water() > max_outstanding_threads)
-      max_outstanding_threads = s.outstanding_threads.high_water();
-    if (s.m_entries.high_water() > max_m_entries)
-      max_m_entries = s.m_entries.high_water();
-    if (s.outstanding_refs.high_water() > max_outstanding_refs)
-      max_outstanding_refs = s.outstanding_refs.high_water();
+#define DPA_X(name) name += s.name;
+    DPA_RT_COUNTERS(DPA_X)
+#undef DPA_X
+#define DPA_X(name) \
+  if (s.name.high_water() > max_##name) max_##name = s.name.high_water();
+    DPA_RT_GAUGES(DPA_X)
+#undef DPA_X
   }
+
+  // Adds every counter into the registry under "rt.<name>" and raises the
+  // "rt.<name>" gauges to the high-water maxima (see src/obs/metrics.h).
+  void publish(obs::MetricsRegistry& metrics) const;
 
   double aggregation_factor() const {
     return request_msgs ? double(refs_requested) / double(request_msgs) : 0.0;

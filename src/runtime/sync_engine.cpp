@@ -27,6 +27,8 @@ void SyncEngine::require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) {
   cpu.charge(cfg_.cost.sync_push, sim::Work::kRuntime);
   ++stats_.threads_created;
   stats_.outstanding_threads.add(1);
+  DPA_TRACE_EVT(trace_, instant(obs::Ev::kThreadCreated, node_,
+                                cpu.logical_now(), ref.bytes));
   stack_.emplace_back(ref, std::move(thread));
 }
 
@@ -36,6 +38,8 @@ void SyncEngine::run_now(sim::Cpu& cpu, const ThreadFn& fn,
   ++stats_.threads_run;
   Ctx ctx(*this, cpu);
   fn(ctx, data);
+  DPA_TRACE_EVT(trace_, instant(obs::Ev::kThreadRetired, node_,
+                                cpu.logical_now()));
 }
 
 void SyncEngine::cache_insert(sim::Cpu& cpu, const void* addr) {
@@ -86,6 +90,8 @@ void SyncEngine::sched(sim::Cpu& cpu) {
     waiting_ = true;
     wait_ref_ = ref;
     wait_fn_ = std::move(fn);
+    DPA_TRACE_EVT(trace_, instant(obs::Ev::kThreadSuspended, node_,
+                                  cpu.logical_now()));
     send_request(cpu, ref.home, {ref});
     return;
   }
@@ -99,10 +105,15 @@ void SyncEngine::on_reply(sim::Cpu& cpu, const ReplyPayload& reply) {
       << "sync engine got an unexpected reply on node " << node_;
   cpu.charge(cfg_.cost.reply_unmarshal_per_obj, sim::Work::kComm);
   stats_.outstanding_refs.add(-1);
+  DPA_TRACE_EVT(trace_,
+                msg_event(obs::Ev::kMsgArrive, obs::MsgCause::kReply, node_,
+                          node_, reply.refs.size(), cpu.logical_now()));
   if (use_cache_) cache_insert(cpu, wait_ref_.addr);
   waiting_ = false;
   ThreadFn fn = std::move(wait_fn_);
   wait_fn_ = nullptr;
+  DPA_TRACE_EVT(trace_, instant(obs::Ev::kThreadResumed, node_,
+                                cpu.logical_now()));
   run_now(cpu, fn, wait_ref_.addr);
   kick();
 }

@@ -15,6 +15,11 @@ namespace dpa {
 
 class JsonWriter {
  public:
+  // Default float formatting (6 significant digits) silently rounds large
+  // values such as nanosecond-scale timestamps; 15 digits round-trips any
+  // integer-valued double the writer will see.
+  JsonWriter() { out_.precision(15); }
+
   class Scope {
    public:
     Scope(Scope&& other) noexcept : w_(other.w_) { other.w_ = nullptr; }

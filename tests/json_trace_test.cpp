@@ -114,6 +114,41 @@ TEST(Trace, DumpIsTimeOrdered) {
   EXPECT_NE(dump.find("node 1"), std::string::npos);
 }
 
+TEST(Trace, NodeBusyOfUntracedNodeIsZero) {
+  sim::Timeline timeline;
+  EXPECT_EQ(timeline.node_busy(0), 0);
+  timeline.task(0, 10, 30);
+  EXPECT_EQ(timeline.node_busy(0), 20);
+  EXPECT_EQ(timeline.node_busy(7), 0);  // never ran anything
+}
+
+TEST(Trace, DumpOrdersMixedEventsByStartTime) {
+  sim::Timeline timeline;
+  timeline.task(1, 500, 600);
+  timeline.message(0, 1, 64, 200, 450);
+  timeline.task(0, 100, 250);
+  const std::string dump = timeline.dump();
+  const auto first = dump.find("[100..250]");
+  const auto second = dump.find("[200..450]");
+  const auto third = dump.find("[500..600]");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  ASSERT_NE(third, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_LT(second, third);
+}
+
+TEST(Trace, DumpHonorsLimitAndReportsOverflow) {
+  sim::Timeline timeline;
+  for (int i = 0; i < 5; ++i)
+    timeline.task(0, sim::Time(i * 10), sim::Time(i * 10 + 5));
+  const std::string dump = timeline.dump(/*limit=*/2);
+  EXPECT_NE(dump.find("[0..5]"), std::string::npos);
+  EXPECT_NE(dump.find("[10..15]"), std::string::npos);
+  EXPECT_EQ(dump.find("[20..25]"), std::string::npos);
+  EXPECT_NE(dump.find("... (3 more)"), std::string::npos);
+}
+
 TEST(Trace, WholePhaseUnderDpaTracesConsistently) {
   struct Obj {
     double v;

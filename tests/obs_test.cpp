@@ -1,0 +1,433 @@
+// Tests for the observability layer: metrics registry, structured tracer,
+// Chrome-trace / metrics JSON exporters, and the end-to-end wiring through
+// the runtime (counters in the registry must equal the hand-collected
+// RtTotals of the published phases).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "apps/em3d/em3d.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/session.h"
+#include "obs/trace.h"
+#include "runtime/phase.h"
+#include "support/json.h"
+
+namespace dpa {
+namespace {
+
+// ---------- minimal JSON syntax validator ----------
+//
+// Recursive-descent checker: accepts iff the input is one well-formed JSON
+// value. Values are not materialized; this guards the exporters against
+// missing commas/quotes/braces without pulling in a parser dependency.
+class JsonChecker {
+ public:
+  static bool valid(const std::string& text) {
+    JsonChecker c(text);
+    return c.value() && (c.ws(), c.pos_ == text.size());
+  }
+
+ private:
+  explicit JsonChecker(const std::string& t) : text_(t) {}
+
+  void ws() {
+    while (pos_ < text_.size() && std::isspace(unsigned(text_[pos_]))) ++pos_;
+  }
+  bool eat(char c) {
+    ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        if (++pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    return eat('"');
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(unsigned(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      digits = digits || std::isdigit(unsigned(text_[pos_]));
+      ++pos_;
+    }
+    return digits && pos_ > start;
+  }
+  bool value() {
+    ws();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': {
+        ++pos_;
+        if (eat('}')) return true;
+        do {
+          ws();
+          if (!string() || !eat(':') || !value()) return false;
+        } while (eat(','));
+        return eat('}');
+      }
+      case '[': {
+        ++pos_;
+        if (eat(']')) return true;
+        do {
+          if (!value()) return false;
+        } while (eat(','));
+        return eat(']');
+      }
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonChecker, SelfTest) {
+  EXPECT_TRUE(JsonChecker::valid(R"({"a":[1,2.5,-3e2],"b":{"c":"x\"y"}})"));
+  EXPECT_TRUE(JsonChecker::valid("[]"));
+  EXPECT_FALSE(JsonChecker::valid(R"({"a":1,})"));
+  EXPECT_FALSE(JsonChecker::valid(R"({"a" 1})"));
+  EXPECT_FALSE(JsonChecker::valid(R"({"a":1} trailing)"));
+}
+
+// Every "ts":<number> in emission order (the exporter sorts by time).
+std::vector<double> extract_timestamps(const std::string& json) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"ts\":", pos)) != std::string::npos) {
+    pos += 5;
+    out.push_back(std::stod(json.substr(pos)));
+  }
+  return out;
+}
+
+// ---------- MetricsRegistry ----------
+
+TEST(Metrics, CounterGetOrCreateIsStable) {
+  obs::MetricsRegistry m;
+  std::uint64_t* c = m.counter("rt.tiles_run");
+  *c += 3;
+  EXPECT_EQ(m.counter("rt.tiles_run"), c);  // same pointer on re-lookup
+  *m.counter("rt.tiles_run") += 2;
+  EXPECT_EQ(m.counter_value("rt.tiles_run"), 5u);
+  EXPECT_EQ(m.counter_value("rt.never_touched"), 0u);
+  EXPECT_EQ(m.num_counters(), 1u);
+}
+
+TEST(Metrics, GaugeTracksHighWaterAcrossSets) {
+  obs::MetricsRegistry m;
+  Gauge* g = m.gauge("rt.outstanding_threads");
+  g->set(10);
+  g->set(4);
+  EXPECT_EQ(m.find_gauge("rt.outstanding_threads")->high_water(), 10);
+  EXPECT_EQ(m.find_gauge("rt.outstanding_threads")->current(), 4);
+  EXPECT_EQ(m.find_gauge("rt.absent"), nullptr);
+}
+
+TEST(Metrics, HistogramBucketsAndSnapshotJson) {
+  obs::MetricsRegistry m;
+  Pow2Histogram* h = m.histogram("rt.msg_bytes");
+  h->add(1);
+  h->add(100);
+  h->add(100000);
+  *m.counter("net.bytes") += 42;
+  m.gauge("rt.m_entries")->set(9);
+
+  const std::string json = m.to_json();
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  EXPECT_NE(json.find("\"schema\":\"dpa.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"net.bytes\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"rt.msg_bytes\""), std::string::npos);
+  EXPECT_NE(json.find("\"high_water\":9"), std::string::npos);
+  EXPECT_EQ(m.find_histogram("rt.msg_bytes")->count(), 3u);
+}
+
+TEST(Metrics, AppendToMergesIntoOpenObject) {
+  obs::MetricsRegistry m;
+  *m.counter("rt.strips") += 7;
+  JsonWriter w;
+  {
+    auto root = w.obj();
+    w.field("bench", "unit");
+    auto metrics = w.obj("metrics");
+    m.append_to(w);
+  }
+  const std::string json = w.str();
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  EXPECT_NE(json.find("\"bench\":\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"rt.strips\":7"), std::string::npos);
+}
+
+TEST(Metrics, RtTotalsPublishCoversEveryField) {
+  // Fill every counter and gauge with distinct values via the X-macro so a
+  // field dropped from publish() would be caught.
+  rt::RtTotals totals;
+  std::uint64_t v = 1;
+#define DPA_X(name) totals.name = v++;
+  DPA_RT_COUNTERS(DPA_X)
+#undef DPA_X
+#define DPA_X(name) totals.max_##name = std::int64_t(v++);
+  DPA_RT_GAUGES(DPA_X)
+#undef DPA_X
+
+  obs::MetricsRegistry m;
+  totals.publish(m);
+  totals.publish(m);  // counters add, gauges keep the max
+#define DPA_X(name) \
+  EXPECT_EQ(m.counter_value("rt." #name), 2 * totals.name) << #name;
+  DPA_RT_COUNTERS(DPA_X)
+#undef DPA_X
+#define DPA_X(name)                                     \
+  ASSERT_NE(m.find_gauge("rt." #name), nullptr);        \
+  EXPECT_EQ(m.find_gauge("rt." #name)->high_water(),    \
+            totals.max_##name)                          \
+      << #name;
+  DPA_RT_GAUGES(DPA_X)
+#undef DPA_X
+}
+
+// ---------- Tracer ring buffer ----------
+
+TEST(Tracer, RecordsAndSnapshotsInOrder) {
+  if (!obs::kTraceEnabled) GTEST_SKIP() << "compiled with DPA_TRACE=OFF";
+  obs::Tracer t(/*capacity=*/16);
+  for (int i = 0; i < 10; ++i)
+    t.instant(obs::Ev::kThreadCreated, 0, sim::Time(i * 100), unsigned(i));
+  EXPECT_EQ(t.size(), 10u);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 0u);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 10u);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].arg, i);
+}
+
+TEST(Tracer, RingKeepsTrailingWindowWhenFull) {
+  if (!obs::kTraceEnabled) GTEST_SKIP() << "compiled with DPA_TRACE=OFF";
+  obs::Tracer t(/*capacity=*/8);
+  for (int i = 0; i < 20; ++i)
+    t.instant(obs::Ev::kThreadRetired, 0, sim::Time(i), unsigned(i));
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.recorded(), 20u);
+  EXPECT_EQ(t.dropped(), 12u);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].arg, 12 + i);  // oldest 12 overwritten
+}
+
+TEST(Tracer, InternedPhaseNamesAreStable) {
+  if (!obs::kTraceEnabled) GTEST_SKIP() << "compiled with DPA_TRACE=OFF";
+  obs::Tracer t;
+  const char* a = t.intern("bh.force");
+  const char* b = t.intern(std::string("bh.") + "force");
+  EXPECT_EQ(a, b);  // same storage for equal names
+  t.phase_begin("bh.force", 0);
+  t.phase_end("bh.force", 100);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].label, "bh.force");
+  EXPECT_EQ(events[0].kind, obs::Ev::kPhaseBegin);
+  EXPECT_EQ(events[1].kind, obs::Ev::kPhaseEnd);
+}
+
+TEST(Tracer, ZeroCapacityDropsEverything) {
+  obs::Tracer t(0);
+  t.instant(obs::Ev::kThreadCreated, 0, 5);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+// ---------- Chrome trace export ----------
+
+TEST(ChromeTrace, ExportIsValidJsonWithMonotonicTimestamps) {
+  if (!obs::kTraceEnabled) GTEST_SKIP() << "compiled with DPA_TRACE=OFF";
+  obs::Tracer t;
+  t.phase_begin("unit.phase", 0);
+  t.task(0, 1000, 3000);
+  t.message(0, 1, 64, 1500, 2500);
+  t.msg_event(obs::Ev::kMsgDepart, obs::MsgCause::kRequest, 0, 1, 64, 1400);
+  t.msg_event(obs::Ev::kMsgArrive, obs::MsgCause::kRequest, 1, 0, 64, 2600);
+  t.instant(obs::Ev::kTileDispatched, 1, 2700, 3);
+  t.phase_end("unit.phase", 4000);
+
+  const std::string json = obs::chrome_trace_json(t);
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  // Structure: both processes named, spans and instants present.
+  EXPECT_NE(json.find("\"machine\""), std::string::npos);
+  EXPECT_NE(json.find("\"network\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit.phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"request.depart\""), std::string::npos);
+  EXPECT_NE(json.find("\"request.arrive\""), std::string::npos);
+  EXPECT_NE(json.find("\"tile_dispatched\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  const auto ts = extract_timestamps(json);
+  ASSERT_GE(ts.size(), 7u);
+  for (std::size_t i = 1; i < ts.size(); ++i)
+    EXPECT_LE(ts[i - 1], ts[i]) << "timestamp order broken at " << i;
+}
+
+TEST(ChromeTrace, LargeTimestampsSurviveFormatting) {
+  if (!obs::kTraceEnabled) GTEST_SKIP() << "compiled with DPA_TRACE=OFF";
+  // Seconds-scale sim times: microsecond values in the millions must not be
+  // rounded by the JSON writer (6-sig-digit default would collapse them).
+  obs::Tracer t;
+  const sim::Time base = 12'345'678'901;  // ~12.3 s in ns
+  t.task(0, base, base + 1);
+  t.task(0, base + 2, base + 5);
+  const std::string json = obs::chrome_trace_json(t);
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+  const auto ts = extract_timestamps(json);
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts[0], double(base) / 1000.0);
+  EXPECT_DOUBLE_EQ(ts[1], double(base + 2) / 1000.0);
+  EXPECT_LT(ts[0], ts[1]);
+}
+
+// ---------- end-to-end: runtime -> session -> exporters ----------
+
+TEST(ObsIntegration, PhaseCountersEqualRtTotals) {
+  obs::Session session;
+  struct Obj {
+    double v;
+  };
+  rt::Cluster cluster(2, sim::NetParams{});
+  cluster.attach_obs(&session);
+  std::vector<gas::GPtr<Obj>> objs;
+  for (int i = 0; i < 32; ++i)
+    objs.push_back(cluster.heap.make<Obj>(1, Obj{1.0}));
+  std::vector<rt::NodeWork> work(2);
+  work[0].count = 32;
+  work[0].item = [&objs](rt::Ctx& ctx, std::uint64_t i) {
+    ctx.require(objs[std::size_t(i)],
+                [](rt::Ctx& c, const Obj&) { c.charge(500); });
+  };
+  rt::PhaseRunner runner(cluster, rt::RuntimeConfig::dpa(8));
+  const auto r = runner.run(std::move(work), "unit.phase");
+  ASSERT_TRUE(r.completed);
+
+  const auto& m = session.metrics;
+  // Every rt.* counter in the snapshot equals the phase's hand-summed total.
+#define DPA_X(name) \
+  EXPECT_EQ(m.counter_value("rt." #name), r.rt.name) << #name;
+  DPA_RT_COUNTERS(DPA_X)
+#undef DPA_X
+  EXPECT_EQ(m.counter_value("rt.phases"), 1u);
+  EXPECT_EQ(m.counter_value("net.messages"), r.net.messages);
+  EXPECT_EQ(m.counter_value("net.bytes"), r.net.bytes);
+  EXPECT_EQ(m.counter_value("fm.msgs_sent"), r.fm_total.msgs_sent);
+  // The message-size histogram saw every request/reply the engines sent.
+  ASSERT_NE(m.find_histogram("rt.msg_bytes"), nullptr);
+  EXPECT_EQ(m.find_histogram("rt.msg_bytes")->count(),
+            r.rt.request_msgs + r.rt.requests_served + r.rt.accum_msgs);
+
+  if (obs::kTraceEnabled) {
+    // The tracer saw the phase markers and the runtime vocabulary.
+    bool phase_begin = false, thread_created = false, tile_dispatched = false;
+    for (const auto& ev : session.tracer.snapshot()) {
+      phase_begin |= ev.kind == obs::Ev::kPhaseBegin;
+      thread_created |= ev.kind == obs::Ev::kThreadCreated;
+      tile_dispatched |= ev.kind == obs::Ev::kTileDispatched;
+    }
+    EXPECT_TRUE(phase_begin);
+    EXPECT_TRUE(thread_created);
+    EXPECT_TRUE(tile_dispatched);
+  } else {
+    EXPECT_EQ(session.tracer.recorded(), 0u);
+  }
+}
+
+TEST(ObsIntegration, Em3dMetricsAccumulateAcrossPhases) {
+  obs::Session session;
+  apps::em3d::Em3dConfig cfg;
+  cfg.e_per_node = 64;
+  cfg.h_per_node = 64;
+  cfg.iters = 2;
+  apps::em3d::Em3dApp app(cfg, 2);
+  const auto run =
+      app.run(sim::NetParams{}, rt::RuntimeConfig::dpa(32), &session);
+  ASSERT_TRUE(run.all_completed());
+  ASSERT_EQ(run.steps.size(), 4u);  // 2 iters x (E phase + H phase)
+
+  rt::RtTotals sum;
+  std::uint64_t net_messages = 0;
+  for (const auto& s : run.steps) {
+    net_messages += s.phase.net.messages;
+#define DPA_X(name) sum.name += s.phase.rt.name;
+    DPA_RT_COUNTERS(DPA_X)
+#undef DPA_X
+  }
+  const auto& m = session.metrics;
+  EXPECT_EQ(m.counter_value("rt.phases"), 4u);
+  EXPECT_EQ(m.counter_value("rt.threads_created"), sum.threads_created);
+  EXPECT_EQ(m.counter_value("rt.request_msgs"), sum.request_msgs);
+  EXPECT_EQ(m.counter_value("net.messages"), net_messages);
+
+  const std::string json = m.to_json();
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+
+  if (obs::kTraceEnabled) {
+    int e_phases = 0, h_phases = 0;
+    for (const auto& ev : session.tracer.snapshot()) {
+      if (ev.kind != obs::Ev::kPhaseBegin) continue;
+      ASSERT_NE(ev.label, nullptr);
+      e_phases += std::string(ev.label) == "em3d.E";
+      h_phases += std::string(ev.label) == "em3d.H";
+    }
+    EXPECT_EQ(e_phases, 2);
+    EXPECT_EQ(h_phases, 2);
+
+    const std::string trace = obs::chrome_trace_json(session.tracer);
+    EXPECT_TRUE(JsonChecker::valid(trace));
+    EXPECT_NE(trace.find("\"em3d.E\""), std::string::npos);
+    const auto ts = extract_timestamps(trace);
+    for (std::size_t i = 1; i < ts.size(); ++i) ASSERT_LE(ts[i - 1], ts[i]);
+  }
+}
+
+TEST(ObsIntegration, DetachedClusterRecordsNothing) {
+  obs::Session session;
+  apps::em3d::Em3dConfig cfg;
+  cfg.e_per_node = 16;
+  cfg.h_per_node = 16;
+  apps::em3d::Em3dApp app(cfg, 2);
+  // No session passed: the run must leave the (unattached) session empty.
+  const auto run = app.run(sim::NetParams{}, rt::RuntimeConfig::dpa(16));
+  ASSERT_TRUE(run.all_completed());
+  EXPECT_EQ(session.metrics.num_counters(), 0u);
+  EXPECT_EQ(session.tracer.recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace dpa
