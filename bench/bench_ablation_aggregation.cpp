@@ -12,14 +12,18 @@ int main(int argc, char** argv) {
   std::int64_t procs = 16;
   std::int64_t e_per_node = 2048;
   dpa::bench::ObsOptions obs;
+  dpa::bench::FaultOptions faults;
   dpa::Options options;
   options.i64("procs", &procs, "node count")
       .i64("per-node", &e_per_node, "graph nodes per processor and side");
   obs.add_flags(options);
+  faults.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
   obs.init();
 
   using namespace dpa;
+  const auto base_net = faults.applied(bench::t3d_params());
+  faults.announce();
 
   apps::em3d::Em3dConfig em;
   em.e_per_node = std::uint32_t(e_per_node);
@@ -34,7 +38,7 @@ int main(int argc, char** argv) {
   for (const std::uint32_t cap : {1u, 4u, 16u, 64u, 256u}) {
     auto cfg = rt::RuntimeConfig::dpa(256);
     cfg.agg_max_refs = cap;
-    const auto run = app.run(bench::t3d_params(), cfg, obs.get());
+    const auto run = app.run(base_net, cfg, obs.get());
     const auto& p = run.steps[0].phase;
     table.add_row({std::to_string(cap),
                    Table::num(run.total_parallel_seconds(), 3),
@@ -48,7 +52,7 @@ int main(int argc, char** argv) {
   std::printf("\n=== Ablation: MTU (agg max 256) ===\n\n");
   Table mtu_table({"mtu bytes", "time(s)", "wire msgs (fragments)"});
   for (const std::uint32_t mtu : {256u, 1024u, 4096u, 16384u}) {
-    auto net = bench::t3d_params();
+    auto net = base_net;
     net.mtu_bytes = mtu;
     auto cfg = rt::RuntimeConfig::dpa(256);
     cfg.agg_max_refs = 256;

@@ -12,12 +12,15 @@
 int main(int argc, char** argv) {
   std::int64_t bodies = 4096;
   std::int64_t procs = 16;
+  dpa::bench::FaultOptions faults;
   dpa::Options options;
   options.i64("bodies", &bodies, "Barnes-Hut bodies")
       .i64("procs", &procs, "node count");
+  faults.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
 
   using namespace dpa;
+  faults.announce();
 
   apps::barnes::BarnesConfig bh;
   bh.nbodies = std::uint32_t(bodies);
@@ -45,9 +48,9 @@ int main(int argc, char** argv) {
                    Table::num(prefetch, 3), Table::num(dpa / caching, 2)});
   };
 
-  row("zero-cost (pure tiling)", sim::NetParams::zero());
+  row("zero-cost (pure tiling)", faults.applied(sim::NetParams::zero()));
   for (const double scale : {0.25, 1.0, 4.0, 16.0}) {
-    auto net = bench::t3d_params();
+    auto net = faults.applied(bench::t3d_params());
     net.latency = sim::Time(double(net.latency) * scale);
     net.send_overhead = sim::Time(double(net.send_overhead) * scale);
     net.recv_overhead = sim::Time(double(net.recv_overhead) * scale);

@@ -14,13 +14,17 @@ int main(int argc, char** argv) {
   std::int64_t bodies = 4096;
   std::int64_t procs = 16;
   std::int64_t strip = 100;
+  dpa::bench::FaultOptions faults;
   dpa::Options options;
   options.i64("bodies", &bodies, "Barnes-Hut bodies")
       .i64("procs", &procs, "node count")
       .i64("strip", &strip, "strip size");
+  faults.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
 
   using namespace dpa;
+  const auto net = faults.applied(bench::t3d_params());
+  faults.announce();
 
   std::printf("=== Ablation: scheduling templates (strip %lld, %lld nodes) ===\n\n",
               (long long)strip, (long long)procs);
@@ -44,15 +48,14 @@ int main(int argc, char** argv) {
 
   for (const auto t : {rt::SchedTemplate::kCreateAllThenRun,
                        rt::SchedTemplate::kInterleaved}) {
-    const auto bh_run =
-        bh_app.run(std::uint32_t(procs), bench::t3d_params(), cfg_for(t));
+    const auto bh_run = bh_app.run(std::uint32_t(procs), net, cfg_for(t));
     const auto& bp = bh_run.steps[0].phase;
     table.add_row({"barnes-hut", rt::to_string(t),
                    Table::num(bh_run.total_parallel_seconds(), 3),
                    Table::num(bp.rt.aggregation_factor(), 1),
                    std::to_string(bp.rt.max_outstanding_threads),
                    std::to_string(bp.rt.request_msgs)});
-    const auto em_run = em_app.run(bench::t3d_params(), cfg_for(t));
+    const auto em_run = em_app.run(net, cfg_for(t));
     const auto& ep = em_run.steps[0].phase;
     table.add_row({"em3d", rt::to_string(t),
                    Table::num(em_run.total_parallel_seconds(), 3),

@@ -16,13 +16,17 @@ int main(int argc, char** argv) {
   std::int64_t bodies = 4096;
   std::string procs_list = "4,16,64";
   dpa::bench::ObsOptions obs;
+  dpa::bench::FaultOptions faults;
   dpa::Options options;
   options.flag("paper", &paper, "full 16,384-body configuration")
       .i64("bodies", &bodies, "bodies (ignored with --paper)")
       .str("procs", &procs_list, "comma-separated node counts");
   obs.add_flags(options);
+  faults.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
   obs.init();
+  const auto net = faults.applied(dpa::bench::t3d_params());
+  faults.announce();
 
   using namespace dpa;
   using apps::barnes::BarnesApp;
@@ -65,7 +69,7 @@ int main(int argc, char** argv) {
     Table table({"version", "total(s)", "local(s)", "comm(s)", "idle(s)",
                  "speedup"});
     for (const auto& v : versions) {
-      const auto run = app.run(p, bench::t3d_params(), v.cfg, obs.get());
+      const auto run = app.run(p, net, v.cfg, obs.get());
       bench::print_breakdown_row(table, v.name, run.steps[0].phase,
                                  seq_seconds);
     }

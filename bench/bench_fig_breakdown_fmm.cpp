@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   std::int64_t procs = 16;
   std::int64_t strip = 300;
   dpa::bench::ObsOptions obs;
+  dpa::bench::FaultOptions faults;
   dpa::Options options;
   options.flag("paper", &paper, "full 32,768-particle / 29-term run")
       .i64("particles", &particles, "particles (ignored with --paper)")
@@ -22,8 +23,11 @@ int main(int argc, char** argv) {
       .i64("procs", &procs, "node count (paper: 16)")
       .i64("strip", &strip, "strip size (paper: 300)");
   obs.add_flags(options);
+  faults.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
   obs.init();
+  const auto net = faults.applied(dpa::bench::t3d_params());
+  faults.announce();
 
   using namespace dpa;
   using apps::fmm::FmmApp;
@@ -57,8 +61,7 @@ int main(int argc, char** argv) {
   Table table(
       {"version", "total(s)", "local(s)", "comm(s)", "idle(s)", "speedup"});
   for (const auto& v : versions) {
-    const auto run =
-        app.run(std::uint32_t(procs), bench::t3d_params(), v.cfg, obs.get());
+    const auto run = app.run(std::uint32_t(procs), net, v.cfg, obs.get());
     bench::print_breakdown_row(table, v.name, run.steps[0].phase,
                                seq.seconds);
   }

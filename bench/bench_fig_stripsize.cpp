@@ -14,13 +14,13 @@ namespace {
 
 template <class App, class StepOf>
 void sweep(const char* name, const App& app, std::uint32_t procs,
-           double seq_seconds, StepOf step_of) {
+           const dpa::sim::NetParams& net, double seq_seconds,
+           StepOf step_of) {
   std::printf("--- %s on %u nodes ---\n", name, procs);
   dpa::Table table({"strip", "time(s)", "speedup", "agg factor",
                     "max outstanding", "max |M|", "thread mem (KB)"});
   for (const std::uint32_t strip : {10u, 25u, 50u, 100u, 300u, 1000u}) {
-    const auto run =
-        app.run(procs, dpa::bench::t3d_params(), dpa::rt::RuntimeConfig::dpa(strip));
+    const auto run = app.run(procs, net, dpa::rt::RuntimeConfig::dpa(strip));
     const dpa::rt::PhaseResult& phase = step_of(run);
     const double mem_kb =
         double(phase.rt.max_outstanding_threads) * 64.0 / 1024.0;
@@ -42,14 +42,18 @@ int main(int argc, char** argv) {
   std::int64_t particles = 4096;
   std::int64_t terms = 16;
   std::int64_t procs = 16;
+  dpa::bench::FaultOptions faults;
   dpa::Options options;
   options.i64("bodies", &bodies, "Barnes-Hut bodies")
       .i64("particles", &particles, "FMM particles")
       .i64("terms", &terms, "FMM expansion terms")
       .i64("procs", &procs, "node count");
+  faults.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
 
   using namespace dpa;
+  const auto net = faults.applied(bench::t3d_params());
+  faults.announce();
 
   std::printf("=== Figure: strip-size sensitivity ===\n\n");
 
@@ -57,7 +61,7 @@ int main(int argc, char** argv) {
   bh.nbodies = std::uint32_t(bodies);
   apps::barnes::BarnesApp bh_app(bh);
   const double bh_seq = bh_app.run_sequential()[0].seconds;
-  sweep("Barnes-Hut", bh_app, std::uint32_t(procs), bh_seq,
+  sweep("Barnes-Hut", bh_app, std::uint32_t(procs), net, bh_seq,
         [](const apps::barnes::BarnesRun& r) -> const rt::PhaseResult& {
           return r.steps[0].phase;
         });
@@ -67,7 +71,7 @@ int main(int argc, char** argv) {
   fm.terms = std::uint32_t(terms);
   apps::fmm::FmmApp fmm_app(fm);
   const double fmm_seq = fmm_app.run_sequential().seconds;
-  sweep("FMM", fmm_app, std::uint32_t(procs), fmm_seq,
+  sweep("FMM", fmm_app, std::uint32_t(procs), net, fmm_seq,
         [](const apps::fmm::FmmRun& r) -> const rt::PhaseResult& {
           return r.steps[0].phase;
         });

@@ -13,12 +13,15 @@
 
 int main(int argc, char** argv) {
   std::int64_t procs = 16;
+  dpa::bench::FaultOptions faults;
   dpa::Options options;
   options.i64("procs", &procs, "simulated nodes");
+  faults.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
 
   using namespace dpa;
-  const auto net = bench::t3d_params();
+  const auto net = faults.applied(bench::t3d_params());
+  faults.announce();
   const auto nodes = std::uint32_t(procs);
 
   struct EngineRow {

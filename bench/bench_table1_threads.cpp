@@ -126,11 +126,15 @@ int main(int argc, char** argv) {
   std::int64_t bodies = 4096;
   std::int64_t particles = 4096;
   std::int64_t procs = 16;
+  dpa::bench::FaultOptions faults;
   dpa::Options options;
   options.i64("bodies", &bodies, "Barnes-Hut bodies")
       .i64("particles", &particles, "FMM particles")
       .i64("procs", &procs, "node count for the dynamic half");
+  faults.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
+  const auto net = faults.applied(dpa::bench::t3d_params());
+  faults.announce();
 
   std::printf("=== Table 1: thread statistics ===\n\n");
   std::printf("-- static (compiler partitioner on kernel IR) --\n");
@@ -151,8 +155,7 @@ int main(int argc, char** argv) {
   apps::fmm::FmmApp fmm_app(fm);
 
   for (const std::uint32_t strip : {50u, 300u}) {
-    const auto bh_run = bh_app.run(std::uint32_t(procs),
-                                   dpa::bench::t3d_params(),
+    const auto bh_run = bh_app.run(std::uint32_t(procs), net,
                                    dpa::rt::RuntimeConfig::dpa(strip));
     const auto& bp = bh_run.steps[0].phase.rt;
     table.add_row({"barnes-hut", std::to_string(strip),
@@ -160,8 +163,7 @@ int main(int argc, char** argv) {
                    std::to_string(bp.max_m_entries),
                    dpa::Table::num(
                        double(bp.max_outstanding_threads) * 64.0 / 1024, 1)});
-    const auto fmm_run = fmm_app.run(std::uint32_t(procs),
-                                     dpa::bench::t3d_params(),
+    const auto fmm_run = fmm_app.run(std::uint32_t(procs), net,
                                      dpa::rt::RuntimeConfig::dpa(strip));
     const auto& fp = fmm_run.steps[0].phase.rt;
     table.add_row({"fmm", std::to_string(strip),

@@ -28,6 +28,7 @@ using apps::fmm::FmmConfig;
 
 JsonWriter* g_json = nullptr;     // optional machine-readable output
 obs::Session* g_obs = nullptr;    // optional tracing + metrics sink
+sim::NetParams g_net = t3d_params();  // network (faulted when --faults=)
 
 void run_barnes(const BarnesConfig& cfg, std::uint32_t max_procs) {
   BarnesApp app(cfg);
@@ -48,9 +49,9 @@ void run_barnes(const BarnesConfig& cfg, std::uint32_t max_procs) {
     const auto procs = std::uint32_t(PaperRef::bh_procs[i]);
     if (procs > max_procs) break;
     const auto dpa =
-        app.run(procs, t3d_params(), rt::RuntimeConfig::dpa(50), g_obs);
+        app.run(procs, g_net, rt::RuntimeConfig::dpa(50), g_obs);
     const auto caching =
-        app.run(procs, t3d_params(), rt::RuntimeConfig::caching(), g_obs);
+        app.run(procs, g_net, rt::RuntimeConfig::caching(), g_obs);
     const double dpa_s = dpa.total_parallel_seconds();
     const double caching_s = caching.total_parallel_seconds();
     if (procs == 1) dpa_p1 = dpa_s;
@@ -90,9 +91,9 @@ void run_fmm(const FmmConfig& cfg, std::uint32_t max_procs) {
     const auto procs = std::uint32_t(PaperRef::fmm_procs[i]);
     if (procs > max_procs) break;
     const auto dpa =
-        app.run(procs, t3d_params(), rt::RuntimeConfig::dpa(50), g_obs);
+        app.run(procs, g_net, rt::RuntimeConfig::dpa(50), g_obs);
     const auto caching =
-        app.run(procs, t3d_params(), rt::RuntimeConfig::caching(), g_obs);
+        app.run(procs, g_net, rt::RuntimeConfig::caching(), g_obs);
     const double dpa_s = dpa.total_parallel_seconds();
     if (first_dpa == 0) {
       first_dpa = dpa_s;
@@ -128,6 +129,7 @@ int main(int argc, char** argv) {
   std::int64_t terms = 16;
   std::int64_t steps = 1;
   dpa::bench::ObsOptions obs;
+  dpa::bench::FaultOptions faults;
   dpa::Options options;
   options.flag("paper", &paper,
                "run the full paper-scale workloads (minutes of host time)")
@@ -138,7 +140,10 @@ int main(int argc, char** argv) {
       .i64("steps", &steps, "Barnes-Hut steps (ignored with --paper)")
       .str("json", &json_path, "also write results to this JSON file");
   obs.add_flags(options);
+  faults.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
+  faults.apply(&dpa::bench::g_net);
+  faults.announce();
   // With --json the metrics block is merged into that file, so a session is
   // attached even without --trace-out/--metrics-out.
   obs.init(/*force=*/!json_path.empty());

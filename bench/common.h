@@ -80,6 +80,47 @@ struct ObsOptions {
   }
 };
 
+// Chaos plumbing shared by the harnesses: --faults= / --fault-seed= flags
+// plus the apply() call that installs the parsed FaultPlan into the network
+// parameters a run uses. With no --faults the plan stays inactive and the
+// fault hooks never allocate an injector, so timings are unchanged.
+struct FaultOptions {
+  std::string spec;
+  std::int64_t seed = -1;  // -1 = keep the plan's default / spec's seed=
+
+  void add_flags(Options& options) {
+    options
+        .str("faults", &spec,
+             "run under an unreliable fabric; spec: 'chaos' or "
+             "drop=P,dup=P,reorder=P[:ns],delay=P[:ns],pause=P[:ns],jitter "
+             "(see sim/fault.h)")
+        .i64("fault-seed", &seed, "seed for the fault schedule RNG");
+  }
+
+  bool active() const { return !spec.empty(); }
+
+  // Call on every NetParams the harness builds, after parse().
+  void apply(sim::NetParams* params) const {
+    if (spec.empty()) return;
+    params->faults = sim::FaultPlan::parse(spec);
+    if (seed >= 0) params->faults.seed = std::uint64_t(seed);
+  }
+
+  // Convenience: an already-faulted copy of `params`.
+  sim::NetParams applied(sim::NetParams params) const {
+    apply(&params);
+    return params;
+  }
+
+  void announce() const {
+    if (spec.empty()) return;
+    sim::NetParams p;
+    apply(&p);
+    std::printf("fault injection: %s (retry protocol engaged)\n\n",
+                p.faults.describe().c_str());
+  }
+};
+
 // Cray T3D as seen through Illinois Fast Messages: a few microseconds of
 // software overhead per message, a few microseconds of latency, ~30 MB/s
 // deliverable bandwidth (FM-on-T3D regime, Karamcheti & Chien 1995).

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Golden-regression check for the execution-time table.
+
+Usage:
+  check_golden.py --bench path/to/bench_table2_exec_times \\
+                  --golden tests/golden/table2_small.json [--regen] \\
+                  [--tolerance 0.005]
+
+Re-runs the table-2 harness at a small fixed scale with --json output and
+compares every timing cell (dpa_s / caching_s per row) against the
+checked-in snapshot within a relative tolerance (default +-0.5%). The
+simulator is deterministic, so any drift beyond tolerance means the cost
+model or runtime behavior changed; rerun with --regen to bless an
+intentional change (and say why in the commit).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Small fixed workload: seconds of host time, stable shape.
+BENCH_ARGS = ["--bodies=256", "--particles=256", "--terms=8", "--max-procs=8"]
+TIMING_KEYS = ("dpa_s", "caching_s")
+
+
+def fail(msg):
+    print(f"check_golden: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_bench(bench):
+    with tempfile.NamedTemporaryFile(
+        suffix=".json", prefix="table2_golden_", delete=False
+    ) as tmp:
+        out_path = tmp.name
+    try:
+        subprocess.run(
+            [bench, *BENCH_ARGS, f"--json={out_path}"],
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        with open(out_path) as f:
+            doc = json.load(f)
+    finally:
+        os.unlink(out_path)
+    # Keep only the result tables; the embedded metrics block counts every
+    # instrumented event and is covered by the determinism test instead.
+    tables = {}
+    for app in ("barnes_hut", "fmm"):
+        if app not in doc:
+            fail(f"bench output is missing the {app!r} table")
+        tables[app] = doc[app]
+    return tables
+
+
+def compare(golden, fresh, tolerance):
+    bad = []
+    for app, rows in golden.items():
+        fresh_rows = fresh.get(app, [])
+        if len(rows) != len(fresh_rows):
+            fail(f"{app}: row count changed {len(rows)} -> {len(fresh_rows)}")
+        for want, got in zip(rows, fresh_rows):
+            if want["procs"] != got["procs"]:
+                fail(f"{app}: procs column changed: {want['procs']} -> "
+                     f"{got['procs']}")
+            for key in TIMING_KEYS:
+                w, g = want[key], got[key]
+                rel = abs(g - w) / w if w else abs(g - w)
+                if rel > tolerance:
+                    bad.append(f"{app} P={want['procs']} {key}: "
+                               f"golden {w:.6f} vs fresh {g:.6f} "
+                               f"({rel * 100:.3f}% > {tolerance * 100:.2f}%)")
+    if bad:
+        fail("timing drift:\n  " + "\n  ".join(bad))
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True,
+                    help="path to bench_table2_exec_times")
+    ap.add_argument("--golden", required=True, help="snapshot JSON path")
+    ap.add_argument("--regen", action="store_true",
+                    help="rewrite the snapshot from a fresh run")
+    ap.add_argument("--tolerance", type=float, default=0.005,
+                    help="max relative drift per timing cell")
+    args = ap.parse_args()
+
+    fresh = run_bench(args.bench)
+    if args.regen:
+        with open(args.golden, "w") as f:
+            json.dump(fresh, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"check_golden: wrote {args.golden}")
+        return
+    if not os.path.exists(args.golden):
+        fail(f"{args.golden} missing; run with --regen to create it")
+    with open(args.golden) as f:
+        golden = json.load(f)
+    compare(golden, fresh, args.tolerance)
+    rows = sum(len(v) for v in golden.values())
+    print(f"check_golden: OK ({rows} rows within "
+          f"{args.tolerance * 100:.2f}%)")
+
+
+if __name__ == "__main__":
+    main()

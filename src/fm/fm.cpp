@@ -31,43 +31,69 @@ void FmLayer::send(sim::Cpu& cpu, NodeId src, NodeId dst, HandlerId handler,
   st.bytes_sent += bytes;
 
   ++sends_seen_;
+  bool lost = false;
   if (drop_at_ != 0 && sends_seen_ == drop_at_) {
-    // Fault injection: the message vanishes after paying the send cost.
-    cpu.charge(net.params().send_overhead * sim::Time(nfrags),
-               sim::Work::kComm);
+    // Targeted fault injection: the message vanishes after paying the send
+    // cost and occupying the wire.
     ++dropped_;
-    return;
+    lost = true;
   }
 
   Packet packet{src, dst, handler, std::move(data), bytes};
 
-  std::uint32_t remaining = bytes;
+  auto* injector = net.injector();
+  if (injector != nullptr && !lost && injector->roll_msg_drop(src, dst)) {
+    ++dropped_;
+    lost = true;
+  }
+  send_train(&cpu, cpu.logical_now(), packet, nfrags, lost);
+  if (injector != nullptr && !lost && injector->roll_msg_dup(src, dst)) {
+    // The fabric duplicated the message: the copy occupies the NIC and wire
+    // but costs the sending processor nothing (it never re-entered software).
+    send_train(nullptr, cpu.logical_now(), packet, nfrags, /*lost=*/false);
+  }
+}
+
+void FmLayer::send_train(sim::Cpu* cpu, sim::Time depart, const Packet& packet,
+                         std::uint32_t nfrags, bool lost) {
+  auto& net = machine_.network();
+  const std::uint32_t mtu = net.params().mtu_bytes;
+  const std::uint64_t train = ++next_train_;
+  std::uint32_t remaining = packet.bytes;
   for (std::uint32_t f = 0; f < nfrags; ++f) {
     const std::uint32_t frag_bytes = std::min(remaining, mtu);
     remaining -= frag_bytes;
     // Per-fragment software send overhead on the source processor.
-    cpu.charge(net.params().send_overhead, sim::Work::kComm);
-    const bool last = (f + 1 == nfrags);
-    // NIC serialization (inside Network::send) keeps fragments ordered, so
-    // the handler fires with the final fragment.
+    if (cpu != nullptr) {
+      cpu->charge(net.params().send_overhead, sim::Work::kComm);
+      depart = cpu->logical_now();
+    }
+    if (lost) {
+      net.send_lost(packet.src, packet.dst, frag_bytes, depart);
+      continue;
+    }
     Packet copy = packet;  // shared_ptr copy; payload itself is shared
-    net.send(src, dst, frag_bytes, cpu.logical_now(),
-             [this, copy = std::move(copy), last, frag_bytes]() mutable {
-               deliver(copy, last, frag_bytes);
-             });
+    net.send(packet.src, packet.dst, frag_bytes, depart,
+             [this, copy = std::move(copy), train, nfrags,
+              frag_bytes]() mutable { deliver(copy, train, nfrags, frag_bytes); });
   }
 }
 
-void FmLayer::deliver(const Packet& packet, bool is_last_fragment,
-                      std::uint32_t frag_bytes) {
+void FmLayer::deliver(const Packet& packet, std::uint64_t train,
+                      std::uint32_t nfrags, std::uint32_t frag_bytes) {
   auto& node = machine_.node(packet.dst);
   auto& st = stats_[packet.dst];
   st.bytes_recv += frag_bytes;
-  if (is_last_fragment) ++st.msgs_recv;
+  bool complete = true;
+  if (nfrags > 1) {
+    const std::uint32_t got = ++partial_[train];
+    complete = (got == nfrags);
+    if (complete) partial_.erase(train);
+  }
+  if (complete) ++st.msgs_recv;
 
   const Time recv_overhead = machine_.network().params().recv_overhead;
-  const Handler* fn = is_last_fragment ? &handlers_[packet.handler].fn
-                                       : nullptr;
+  const Handler* fn = complete ? &handlers_[packet.handler].fn : nullptr;
   node.post([recv_overhead, fn, packet](sim::Cpu& cpu) {
     cpu.charge(recv_overhead, sim::Work::kComm);
     if (fn != nullptr) (*fn)(cpu, packet);

@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/machine.h"
@@ -75,11 +76,11 @@ class FmLayer {
   }
   sim::Machine& machine() { return machine_; }
 
-  // Fault injection (deterministic, for tests): silently drop the `nth`
-  // message sent from now on (1 = the very next). The runtime above has no
-  // retransmission — the T3D fabric was reliable — so a dropped message
-  // must surface as an incomplete phase with diagnostics, which is exactly
-  // what this hook lets tests assert.
+  // Targeted fault injection (deterministic, for tests): silently drop the
+  // `nth` message sent from now on (1 = the very next). Unlike the
+  // probabilistic FaultPlan on the network, this drops one specific message,
+  // which is what tests of unrecovered loss (no retry protocol configured)
+  // need: the phase must surface as incomplete with diagnostics.
   void drop_nth_message(std::uint64_t nth) { drop_at_ = sends_seen_ + nth; }
   std::uint64_t dropped_messages() const { return dropped_; }
 
@@ -89,8 +90,14 @@ class FmLayer {
     Handler fn;
   };
 
-  void deliver(const Packet& packet, bool is_last_fragment,
-               std::uint32_t frag_bytes);
+  // One fragment train = one logical message on the wire. Whole-message
+  // faults (drop/dup) apply to trains: a duplicated message is re-sent as a
+  // complete second train with its own id, and the handler fires once per
+  // completed train (so the layer above sees a genuine duplicate delivery).
+  void send_train(sim::Cpu* cpu, sim::Time depart, const Packet& packet,
+                  std::uint32_t nfrags, bool lost);
+  void deliver(const Packet& packet, std::uint64_t train,
+               std::uint32_t nfrags, std::uint32_t frag_bytes);
 
   sim::Machine& machine_;
   std::vector<Entry> handlers_;
@@ -98,6 +105,11 @@ class FmLayer {
   std::uint64_t sends_seen_ = 0;
   std::uint64_t drop_at_ = 0;  // 0 = disabled
   std::uint64_t dropped_ = 0;
+  std::uint64_t next_train_ = 0;
+  // Fragments received per incomplete multi-fragment train. With timing
+  // faults fragments may arrive out of order, so completion is by count,
+  // not by which fragment was sent last.
+  std::unordered_map<std::uint64_t, std::uint32_t> partial_;
 };
 
 }  // namespace dpa::fm

@@ -15,6 +15,17 @@ void RuntimeConfig::validate() const {
         << "aggregation requires pipelining: a synchronous engine blocks on "
            "each request and never accumulates a batch";
   }
+  if (deterministic) {
+    DPA_CHECK(sched_template == SchedTemplate::kCreateAllThenRun)
+        << "deterministic dispatch needs the create-all template: the "
+           "consumption order is the creation order, so all of a strip's "
+           "threads must exist before any tile runs";
+  }
+  DPA_CHECK(retry.timeout_ns > 0);
+  DPA_CHECK(retry.backoff >= 1.0)
+      << "retry backoff < 1 would retransmit ever faster";
+  DPA_CHECK(retry.max_timeout_ns >= retry.timeout_ns);
+  DPA_CHECK(retry.max_retries > 0);
 }
 
 std::string RuntimeConfig::describe() const {
@@ -23,7 +34,8 @@ std::string RuntimeConfig::describe() const {
   if (kind == EngineKind::kDpa) {
     os << "(strip=" << strip_size << ", pipe=" << (pipelining ? "on" : "off")
        << ", agg=" << (aggregation ? "on" : "off")
-       << ", template=" << to_string(sched_template) << ")";
+       << ", template=" << to_string(sched_template)
+       << (deterministic ? ", det" : "") << ")";
   } else if (kind == EngineKind::kCaching) {
     os << "(capacity=";
     if (cache_capacity == 0)
@@ -41,6 +53,12 @@ RuntimeConfig RuntimeConfig::dpa(std::uint32_t strip) {
   c.strip_size = strip;
   c.pipelining = true;
   c.aggregation = true;
+  return c;
+}
+
+RuntimeConfig RuntimeConfig::dpa_deterministic(std::uint32_t strip) {
+  RuntimeConfig c = dpa(strip);
+  c.deterministic = true;
   return c;
 }
 

@@ -9,6 +9,25 @@
 
 namespace dpa::rt {
 
+// Reliable-delivery protocol knobs (see EngineBase in runtime/engine.h:
+// sequence-numbered messages, receiver-side dedup + acks, sender-side
+// timeout/retransmit with exponential backoff). Engages automatically when
+// the cluster's network carries a FaultPlan; `enabled` forces it on over a
+// reliable fabric (useful for measuring the protocol's own overhead).
+struct RetryParams {
+  bool enabled = false;
+  // First retransmit fires this long after a send with no ack.
+  sim::Time timeout_ns = 2'000'000;
+  // Each unanswered attempt multiplies the timeout by this factor...
+  double backoff = 2.0;
+  // ...up to this ceiling.
+  sim::Time max_timeout_ns = 64'000'000;
+  // A message unacked after this many retransmissions aborts the run: with
+  // exponential backoff the fabric had seconds to deliver one message, so
+  // this is a livelock/bug guard, not a tuning knob.
+  std::uint32_t max_retries = 100;
+};
+
 enum class EngineKind : std::uint8_t {
   kDpa,       // the paper's contribution
   kCaching,   // Olden-style software caching (the paper's comparator)
@@ -41,6 +60,14 @@ struct RuntimeConfig {
   // Flush an aggregation buffer once it holds this many refs.
   std::uint32_t agg_max_refs = 64;
   SchedTemplate sched_template = SchedTemplate::kCreateAllThenRun;
+  // Consume tiles in thread-creation order instead of reply-arrival order.
+  // Arrival order depends on message timing, so under faults (retries,
+  // delays) the *order* of floating-point accumulation — and therefore the
+  // bit pattern of the results — would differ from a fault-free run even
+  // though every value is identical as a set. In-order dispatch trades some
+  // overlap for a timing-invariant execution order; chaos_test relies on it
+  // to assert bit-identical physics. Requires kCreateAllThenRun.
+  bool deterministic = false;
 
   // --- caching parameters ---
   // Cache capacity in objects; 0 = unbounded.
@@ -57,6 +84,8 @@ struct RuntimeConfig {
   // (models FM poll placement granularity).
   std::uint32_t poll_batch = 32;
 
+  RetryParams retry;
+
   CostModel cost;
 
   void validate() const;
@@ -64,6 +93,8 @@ struct RuntimeConfig {
 
   // The paper's named configurations.
   static RuntimeConfig dpa(std::uint32_t strip = 50);        // full DPA
+  // Full DPA with deterministic in-order tile dispatch (chaos testing).
+  static RuntimeConfig dpa_deterministic(std::uint32_t strip = 50);
   static RuntimeConfig dpa_base(std::uint32_t strip = 50);   // tiling only
   static RuntimeConfig dpa_pipelined(std::uint32_t strip = 50);  // no agg
   static RuntimeConfig caching();

@@ -15,8 +15,8 @@ constexpr std::size_t kLocalBatch = 8;
 
 DpaEngine::DpaEngine(Cluster& cluster, NodeId node, const RuntimeConfig& cfg,
                      fm::HandlerId h_req, fm::HandlerId h_reply,
-                     fm::HandlerId h_accum)
-    : EngineBase(cluster, node, cfg, h_req, h_reply, h_accum),
+                     fm::HandlerId h_accum, fm::HandlerId h_ack)
+    : EngineBase(cluster, node, cfg, h_req, h_reply, h_accum, h_ack),
       agg_(cluster.num_nodes()),
       acc_(cluster.num_nodes()) {
   if (cluster.obs != nullptr) {
@@ -55,7 +55,11 @@ void DpaEngine::require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) {
   if (ref.home == node_) {
     cpu.charge(cost.local_enqueue, sim::Work::kRuntime);
     ++stats_.local_threads;
-    local_ready_.emplace_back(ref, std::move(thread));
+    if (cfg_.deterministic) {
+      order_.push_back(OrderUnit{nullptr, ref, std::move(thread)});
+    } else {
+      local_ready_.emplace_back(ref, std::move(thread));
+    }
     return;
   }
 
@@ -69,6 +73,10 @@ void DpaEngine::require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) {
     stats_.m_entries.set(std::int64_t(m_.size()));
     DPA_TRACE_EVT(trace_, instant(obs::Ev::kTileOpened, node_,
                                   cpu.logical_now(), m_.size()));
+    if (cfg_.deterministic) {
+      tile.queued = true;
+      order_.push_back(OrderUnit{ref.addr, {}, {}});
+    }
     if (cfg_.aggregation) {
       cpu.charge(cost.req_marshal_per_ref, sim::Work::kComm);
       auto& buf = agg_[ref.home];
@@ -88,7 +96,14 @@ void DpaEngine::require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) {
   } else {
     ++stats_.dup_refs_avoided;
     tile.waiters.push_back(std::move(thread));
-    if (tile.st == Tile::St::kReady && !tile.queued) {
+    if (cfg_.deterministic) {
+      // Re-enqueue in creation order if the tile's previous order entry was
+      // already consumed (joins before that point share the entry).
+      if (!tile.queued) {
+        tile.queued = true;
+        order_.push_back(OrderUnit{ref.addr, {}, {}});
+      }
+    } else if (tile.st == Tile::St::kReady && !tile.queued) {
       tile.queued = true;
       ready_tiles_.push_back(ref.addr);
     }
@@ -114,7 +129,9 @@ void DpaEngine::on_reply(sim::Cpu& cpu, const ReplyPayload& reply) {
     DPA_CHECK(outstanding_ > 0);
     --outstanding_;
     stats_.outstanding_refs.add(-1);
-    if (!tile.waiters.empty() && !tile.queued) {
+    // Deterministic mode: the tile already sits in order_ at its creation
+    // position; becoming ready only unblocks the head-of-line consumer.
+    if (!cfg_.deterministic && !tile.waiters.empty() && !tile.queued) {
       tile.queued = true;
       ready_tiles_.push_back(ref.addr);
     }
@@ -122,16 +139,7 @@ void DpaEngine::on_reply(sim::Cpu& cpu, const ReplyPayload& reply) {
   kick();
 }
 
-bool DpaEngine::run_ready_tile(sim::Cpu& cpu) {
-  if (ready_tiles_.empty()) return false;
-  const void* addr = ready_tiles_.front();
-  ready_tiles_.pop_front();
-  auto it = m_.find(addr);
-  DPA_DCHECK(it != m_.end());
-  // References into unordered_map nodes are stable across the rehash that a
-  // nested require() may trigger; only strip-boundary erase invalidates.
-  Tile& tile = it->second;
-  tile.queued = false;
+void DpaEngine::dispatch_tile(sim::Cpu& cpu, Tile& tile) {
   cpu.charge(cfg_.cost.tile_dispatch, sim::Work::kRuntime);
   ++stats_.tiles_run;
   if (h_tile_occupancy_ != nullptr)
@@ -150,6 +158,42 @@ bool DpaEngine::run_ready_tile(sim::Cpu& cpu) {
   }
   DPA_TRACE_EVT(trace_, instant(obs::Ev::kTileClosed, node_,
                                 cpu.logical_now()));
+}
+
+bool DpaEngine::run_ready_tile(sim::Cpu& cpu) {
+  if (ready_tiles_.empty()) return false;
+  const void* addr = ready_tiles_.front();
+  ready_tiles_.pop_front();
+  auto it = m_.find(addr);
+  DPA_DCHECK(it != m_.end());
+  // References into unordered_map nodes are stable across the rehash that a
+  // nested require() may trigger; only strip-boundary erase invalidates.
+  Tile& tile = it->second;
+  tile.queued = false;
+  dispatch_tile(cpu, tile);
+  return true;
+}
+
+bool DpaEngine::run_in_order(sim::Cpu& cpu) {
+  if (order_.empty()) return false;
+  OrderUnit& head = order_.front();
+  if (head.tile == nullptr) {
+    OrderUnit unit = std::move(head);
+    order_.pop_front();
+    run_thread(cpu, unit.fn, unit.ref.addr);
+    stats_.outstanding_threads.add(-1);
+    return true;
+  }
+  auto it = m_.find(head.tile);
+  DPA_DCHECK(it != m_.end());
+  Tile& tile = it->second;
+  // Shouldn't happen under the create-all template (buffers are flushed
+  // before consumption), but make progress possible regardless.
+  if (tile.st == Tile::St::kFresh) flush_dest(cpu, tile.ref.home);
+  if (tile.st != Tile::St::kReady) return false;  // head-of-line wait
+  order_.pop_front();
+  tile.queued = false;
+  dispatch_tile(cpu, tile);
   return true;
 }
 
@@ -218,7 +262,7 @@ bool DpaEngine::flush_all(sim::Cpu& cpu) {
 
 bool DpaEngine::strip_boundary(sim::Cpu& cpu) {
   if (loop_done_) return false;
-  DPA_CHECK(ready_tiles_.empty() && local_ready_.empty() &&
+  DPA_CHECK(ready_tiles_.empty() && local_ready_.empty() && order_.empty() &&
             outstanding_ == 0 && agg_total_ == 0 && acc_total_ == 0)
       << "strip boundary with live work on node " << node_;
   if (!m_.empty()) {
@@ -242,7 +286,14 @@ void DpaEngine::sched(sim::Cpu& cpu) {
     if (!cfg_.pipelining && outstanding_ > 0) return;  // synchronous gets
 
     bool did = false;
-    if (cfg_.sched_template == SchedTemplate::kCreateAllThenRun) {
+    if (cfg_.deterministic) {
+      // As create-all, but consumption is strictly in creation order via
+      // order_; a not-yet-ready head parks the scheduler until the reply's
+      // kick (correctness over overlap — see RuntimeConfig::deterministic).
+      did = create_next_root(cpu) ||
+            (!strip_has_uncreated() && flush_requests(cpu)) ||
+            run_in_order(cpu);
+    } else if (cfg_.sched_template == SchedTemplate::kCreateAllThenRun) {
       // Once the strip's roots are all created, push the batched requests
       // out *before* chewing through local work: the transfers then overlap
       // with it (this ordering is the point of the create-all template).
@@ -269,14 +320,16 @@ void DpaEngine::sched(sim::Cpu& cpu) {
 
 bool DpaEngine::done() const {
   return loop_done_ && ready_tiles_.empty() && local_ready_.empty() &&
-         outstanding_ == 0 && agg_total_ == 0 && acc_total_ == 0;
+         order_.empty() && outstanding_ == 0 && agg_total_ == 0 &&
+         acc_total_ == 0;
 }
 
 std::string DpaEngine::state_dump() const {
   std::ostringstream os;
   os << "dpa node " << node_ << ": roots " << next_root_ << "/" << work_.count
      << " strip_end " << strip_end_ << " ready " << ready_tiles_.size()
-     << " local " << local_ready_.size() << " outstanding " << outstanding_
+     << " local " << local_ready_.size() << " order " << order_.size()
+     << " outstanding " << outstanding_
      << " agg " << agg_total_ << " m " << m_.size()
      << (loop_done_ ? " loop-done" : " loop-running");
   return os.str();

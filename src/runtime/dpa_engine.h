@@ -41,7 +41,7 @@ class DpaEngine final : public EngineBase {
  public:
   DpaEngine(Cluster& cluster, NodeId node, const RuntimeConfig& cfg,
             fm::HandlerId h_req, fm::HandlerId h_reply,
-            fm::HandlerId h_accum);
+            fm::HandlerId h_accum, fm::HandlerId h_ack);
 
   void require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) override;
   void accumulate(sim::Cpu& cpu, GlobalRef ref, AccumFn update) override;
@@ -58,20 +58,34 @@ class DpaEngine final : public EngineBase {
     };
     GlobalRef ref;
     St st = St::kFresh;
-    bool queued = false;  // present in ready_tiles_
+    bool queued = false;  // present in ready_tiles_ / order_
     sim::Time requested_at = 0;  // when the fetch left (ref-latency metric)
     SmallVector<ThreadFn, 2> waiters;
+  };
+
+  // Deterministic mode (cfg.deterministic): one entry per dispatchable unit
+  // in thread-creation order — either a tile (by address) or a single
+  // local-pointer thread. Consumed strictly head-first; a head tile whose
+  // reply has not arrived stalls consumption (head-of-line wait), which is
+  // what makes the execution order — and the floating-point accumulation
+  // order — independent of message timing.
+  struct OrderUnit {
+    const void* tile = nullptr;  // null => local thread below
+    GlobalRef ref;
+    ThreadFn fn;
   };
 
   void sched(sim::Cpu& cpu) override;
 
   // Scheduler actions; each returns true if it did a unit of work.
   bool run_ready_tile(sim::Cpu& cpu);
+  bool run_in_order(sim::Cpu& cpu);  // deterministic-mode consumer
   bool run_local_threads(sim::Cpu& cpu);
   bool create_next_root(sim::Cpu& cpu);
   bool flush_all(sim::Cpu& cpu);       // requests + accumulations
   bool flush_requests(sim::Cpu& cpu);  // request buffers only
 
+  void dispatch_tile(sim::Cpu& cpu, Tile& tile);
   void flush_dest(sim::Cpu& cpu, NodeId dest);
   bool strip_boundary(sim::Cpu& cpu);
   bool strip_has_uncreated() const;
@@ -79,6 +93,7 @@ class DpaEngine final : public EngineBase {
   std::unordered_map<const void*, Tile> m_;
   std::deque<const void*> ready_tiles_;
   std::deque<std::pair<GlobalRef, ThreadFn>> local_ready_;
+  std::deque<OrderUnit> order_;  // deterministic mode only
   std::vector<std::vector<GlobalRef>> agg_;  // per-destination Fresh refs
   std::uint32_t agg_total_ = 0;
   // Per-destination buffered accumulations (flushed with the requests).

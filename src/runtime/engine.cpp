@@ -1,5 +1,6 @@
 #include "runtime/engine.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "support/assert.h"
@@ -8,17 +9,95 @@ namespace dpa::rt {
 
 EngineBase::EngineBase(Cluster& cluster, NodeId node,
                        const RuntimeConfig& cfg, fm::HandlerId h_req,
-                       fm::HandlerId h_reply, fm::HandlerId h_accum)
+                       fm::HandlerId h_reply, fm::HandlerId h_accum,
+                       fm::HandlerId h_ack)
     : cluster_(cluster),
       node_(node),
       cfg_(cfg),
       h_req_(h_req),
       h_reply_(h_reply),
-      h_accum_(h_accum) {
+      h_accum_(h_accum),
+      h_ack_(h_ack) {
   if (cluster.obs != nullptr) {
     trace_ = &cluster.obs->tracer;
     h_msg_bytes_ = cluster.obs->metrics.histogram("rt.msg_bytes");
   }
+  rel_enabled_ = cfg.retry.enabled ||
+                 cluster.machine.network().injector() != nullptr;
+  if (rel_enabled_) rel_seen_.resize(cluster.num_nodes());
+}
+
+void EngineBase::rel_track(sim::Cpu& cpu, NodeId dst, fm::HandlerId handler,
+                           std::shared_ptr<void> data, std::uint32_t bytes,
+                           std::uint64_t seq, obs::MsgCause cause) {
+  (void)cause;
+  RelPending pending;
+  pending.dst = dst;
+  pending.handler = handler;
+  pending.data = std::move(data);
+  pending.bytes = bytes;
+  pending.timeout = cfg_.retry.timeout_ns;
+  const Time deadline = cpu.logical_now() + pending.timeout;
+  rel_pending_.emplace(seq, std::move(pending));
+  cluster_.machine.engine().schedule_at(deadline,
+                                        [this, seq] { rel_timer(seq); });
+}
+
+void EngineBase::rel_timer(std::uint64_t seq) {
+  if (rel_pending_.find(seq) == rel_pending_.end()) return;  // acked
+  cluster_.machine.node(node_).post(
+      [this, seq](sim::Cpu& cpu) { rel_retry(cpu, seq); });
+}
+
+void EngineBase::rel_retry(sim::Cpu& cpu, std::uint64_t seq) {
+  auto it = rel_pending_.find(seq);
+  if (it == rel_pending_.end()) return;  // ack raced the posted task
+  RelPending& p = it->second;
+  ++p.attempts;
+  DPA_CHECK(p.attempts <= cfg_.retry.max_retries)
+      << "node " << node_ << " gave up on seq " << seq << " to node " << p.dst
+      << " after " << p.attempts << " attempts — fabric unusable or the "
+      << "reliability layer is broken";
+  ++stats_.retries;
+  // Exponential backoff, capped: attempt n waits timeout * backoff^n.
+  p.timeout = std::min<Time>(Time(double(p.timeout) * cfg_.retry.backoff),
+                             cfg_.retry.max_timeout_ns);
+  cpu.charge(cfg_.cost.flush_fixed, sim::Work::kComm);
+  DPA_TRACE_EVT(trace_, msg_event(obs::Ev::kMsgDepart, obs::MsgCause::kRetry,
+                                  node_, p.dst, p.bytes, cpu.logical_now()));
+  cluster_.fm.send(cpu, node_, p.dst, p.handler, p.data, p.bytes);
+  cluster_.machine.engine().schedule_at(cpu.logical_now() + p.timeout,
+                                        [this, seq] { rel_timer(seq); });
+}
+
+bool EngineBase::rel_accept(sim::Cpu& cpu, NodeId src, std::uint64_t seq) {
+  if (seq == 0) return true;  // unsequenced: sender runs without the protocol
+  DPA_CHECK(rel_enabled_)
+      << "sequenced message on node " << node_ << " but its engine has the "
+      << "reliability layer off — mismatched RuntimeConfigs?";
+  // Ack every copy, duplicates included: the ack for an earlier copy may
+  // itself have been lost, and acks are idempotent at the sender.
+  ++stats_.acks_sent;
+  auto ack = std::make_shared<AckPayload>();
+  ack->from = node_;
+  ack->seq = seq;
+  DPA_TRACE_EVT(trace_, msg_event(obs::Ev::kMsgDepart, obs::MsgCause::kAck,
+                                  node_, src, cfg_.cost.msg_header_bytes,
+                                  cpu.logical_now()));
+  cluster_.fm.send(cpu, node_, src, h_ack_, std::move(ack),
+                   cfg_.cost.msg_header_bytes);
+  if (!rel_seen_[src].insert(seq).second) {
+    ++stats_.dup_msgs_dropped;
+    return false;
+  }
+  return true;
+}
+
+void EngineBase::on_ack(sim::Cpu& cpu, const AckPayload& ack) {
+  (void)cpu;  // recv overhead is already charged by the FM layer
+  DPA_TRACE_EVT(trace_, msg_event(obs::Ev::kMsgArrive, obs::MsgCause::kAck,
+                                  node_, ack.from, 0, cpu.logical_now()));
+  if (rel_pending_.erase(ack.seq) > 0) ++stats_.acks_recv;
 }
 
 void EngineBase::accumulate(sim::Cpu& cpu, GlobalRef ref, AccumFn update) {
@@ -51,7 +130,8 @@ void EngineBase::send_accum(
                                   node_, home, bytes, cpu.logical_now()));
   auto payload = std::make_shared<AccumPayload>();
   payload->items = std::move(items);
-  cluster_.fm.send(cpu, node_, home, h_accum_, std::move(payload), bytes);
+  rel_send(cpu, home, h_accum_, std::move(payload), bytes,
+           obs::MsgCause::kAccum);
 }
 
 void EngineBase::serve_accum(sim::Cpu& cpu, const AccumPayload& payload) {
@@ -100,7 +180,8 @@ void EngineBase::send_request(sim::Cpu& cpu, NodeId home,
   auto payload = std::make_shared<ReqPayload>();
   payload->requester = node_;
   payload->refs = std::move(refs);
-  cluster_.fm.send(cpu, node_, home, h_req_, std::move(payload), bytes);
+  rel_send(cpu, home, h_req_, std::move(payload), bytes,
+           obs::MsgCause::kRequest);
 }
 
 void EngineBase::serve_request(sim::Cpu& cpu, const ReqPayload& req) {
@@ -125,8 +206,8 @@ void EngineBase::serve_request(sim::Cpu& cpu, const ReqPayload& req) {
                           req.requester, bytes, cpu.logical_now()));
   auto payload = std::make_shared<ReplyPayload>();
   payload->refs = req.refs;
-  cluster_.fm.send(cpu, node_, req.requester, h_reply_, std::move(payload),
-                   bytes);
+  rel_send(cpu, req.requester, h_reply_, std::move(payload), bytes,
+           obs::MsgCause::kReply);
 }
 
 void EngineBase::run_thread(sim::Cpu& cpu, const ThreadFn& fn,

@@ -21,6 +21,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "fm/fm.h"
@@ -82,22 +84,35 @@ struct Cluster {
 
 // Wire payloads. The simulation shares one address space; `bytes` on the FM
 // packet models the marshalled size.
+//
+// `rel_seq` is the reliability layer's per-sender sequence number: 0 means
+// unsequenced (protocol off), otherwise the receiver acks it and dedups
+// retransmitted copies (see EngineBase::rel_accept).
 struct ReqPayload {
+  std::uint64_t rel_seq = 0;
   NodeId requester = 0;
   std::vector<GlobalRef> refs;
 };
 struct ReplyPayload {
+  std::uint64_t rel_seq = 0;
   std::vector<GlobalRef> refs;
 };
 struct AccumPayload {
+  std::uint64_t rel_seq = 0;
   std::vector<std::pair<GlobalRef, AccumFn>> items;
+};
+// Acks are themselves unsequenced and never retried: a lost ack simply
+// means the original message is retransmitted and re-acked.
+struct AckPayload {
+  NodeId from = 0;  // the node that received the acked message
+  std::uint64_t seq = 0;
 };
 
 class EngineBase {
  public:
   EngineBase(Cluster& cluster, NodeId node, const RuntimeConfig& cfg,
              fm::HandlerId h_req, fm::HandlerId h_reply,
-             fm::HandlerId h_accum);
+             fm::HandlerId h_accum, fm::HandlerId h_ack);
   virtual ~EngineBase() = default;
 
   EngineBase(const EngineBase&) = delete;
@@ -130,6 +145,23 @@ class EngineBase {
   // Home side: apply an accumulation message.
   void serve_accum(sim::Cpu& cpu, const AccumPayload& payload);
 
+  // --- Reliability layer (sequence numbers + ack/timeout/retry) ---
+  //
+  // Engaged when the network carries a FaultPlan or cfg.retry.enabled is
+  // set; otherwise every path below is dead and messages fly exactly as on
+  // the reliable fabric (rel_seq stays 0, no acks, no timers).
+  //
+  // Receiver side, called by the phase runner's handlers before dispatching
+  // a sequenced message: acks it and returns false if this sequence number
+  // was already delivered (a retransmitted or fabric-duplicated copy the
+  // caller must drop).
+  bool rel_accept(sim::Cpu& cpu, NodeId src, std::uint64_t seq);
+
+  // Sender side: an ack arrived for one of our in-flight messages.
+  void on_ack(sim::Cpu& cpu, const AckPayload& ack);
+
+  bool rel_enabled() const { return rel_enabled_; }
+
   NodeId node_id() const { return node_; }
   Cluster& cluster() { return cluster_; }
   RtNodeStats& stats() { return stats_; }
@@ -151,12 +183,27 @@ class EngineBase {
   void send_accum(sim::Cpu& cpu, NodeId home,
                   std::vector<std::pair<GlobalRef, AccumFn>> items);
 
+  // Sends `payload` to `dst` through the reliability layer: stamps a
+  // sequence number and arms the retransmit timer when the protocol is
+  // engaged, otherwise degenerates to a bare fm.send.
+  template <class Payload>
+  void rel_send(sim::Cpu& cpu, NodeId dst, fm::HandlerId handler,
+                std::shared_ptr<Payload> payload, std::uint32_t bytes,
+                obs::MsgCause cause) {
+    if (rel_enabled_ && dst != node_) {
+      payload->rel_seq = ++rel_next_seq_;
+      rel_track(cpu, dst, handler, payload, bytes, payload->rel_seq, cause);
+    }
+    cluster_.fm.send(cpu, node_, dst, handler, std::move(payload), bytes);
+  }
+
   Cluster& cluster_;
   NodeId node_;
   const RuntimeConfig& cfg_;
   fm::HandlerId h_req_;
   fm::HandlerId h_reply_;
   fm::HandlerId h_accum_;
+  fm::HandlerId h_ack_;
   NodeWork work_;
   std::uint64_t next_root_ = 0;
   bool sched_pending_ = false;
@@ -166,6 +213,33 @@ class EngineBase {
   // session is attached). trace_ is used through DPA_TRACE_EVT only.
   obs::Tracer* trace_ = nullptr;
   Pow2Histogram* h_msg_bytes_ = nullptr;  // request/reply/accum wire sizes
+
+ private:
+  // One unacked in-flight message. `data` keeps the payload alive for
+  // retransmission; a retry re-sends the same bytes under the same seq.
+  struct RelPending {
+    NodeId dst = 0;
+    fm::HandlerId handler = 0;
+    std::shared_ptr<void> data;
+    std::uint32_t bytes = 0;
+    std::uint32_t attempts = 0;  // retransmissions so far
+    Time timeout = 0;            // current (backed-off) timer interval
+  };
+
+  void rel_track(sim::Cpu& cpu, NodeId dst, fm::HandlerId handler,
+                 std::shared_ptr<void> data, std::uint32_t bytes,
+                 std::uint64_t seq, obs::MsgCause cause);
+  // Raw engine event at timer expiry: re-posts onto the node if still
+  // pending (a stale timer for an acked message does nothing and charges
+  // nothing, so it cannot perturb phase timing).
+  void rel_timer(std::uint64_t seq);
+  void rel_retry(sim::Cpu& cpu, std::uint64_t seq);
+
+  bool rel_enabled_ = false;
+  std::uint64_t rel_next_seq_ = 0;
+  std::unordered_map<std::uint64_t, RelPending> rel_pending_;
+  // Per-source sets of delivered sequence numbers (receiver-side dedup).
+  std::vector<std::unordered_set<std::uint64_t>> rel_seen_;
 };
 
 // The per-thread execution context: thin wrapper over the node Cpu plus the

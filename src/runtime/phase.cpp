@@ -36,20 +36,34 @@ double PhaseResult::mean_idle_s() const {
 PhaseRunner::PhaseRunner(Cluster& cluster, RuntimeConfig cfg)
     : cluster_(cluster), cfg_(std::move(cfg)) {
   cfg_.validate();
+  // Every sequenced message passes rel_accept first: it acks the copy and
+  // rejects retransmitted / fabric-duplicated deliveries, so the engine
+  // proper sees exactly-once semantics even on a lossy network.
   h_req_ = cluster_.fm.register_handler(
       "rt.request", [this](sim::Cpu& cpu, const fm::Packet& pkt) {
         auto* req = static_cast<ReqPayload*>(pkt.data.get());
-        engines_[pkt.dst]->serve_request(cpu, *req);
+        auto& engine = *engines_[pkt.dst];
+        if (!engine.rel_accept(cpu, pkt.src, req->rel_seq)) return;
+        engine.serve_request(cpu, *req);
       });
   h_reply_ = cluster_.fm.register_handler(
       "rt.reply", [this](sim::Cpu& cpu, const fm::Packet& pkt) {
         auto* reply = static_cast<ReplyPayload*>(pkt.data.get());
-        engines_[pkt.dst]->on_reply(cpu, *reply);
+        auto& engine = *engines_[pkt.dst];
+        if (!engine.rel_accept(cpu, pkt.src, reply->rel_seq)) return;
+        engine.on_reply(cpu, *reply);
       });
   h_accum_ = cluster_.fm.register_handler(
       "rt.accum", [this](sim::Cpu& cpu, const fm::Packet& pkt) {
         auto* payload = static_cast<AccumPayload*>(pkt.data.get());
-        engines_[pkt.dst]->serve_accum(cpu, *payload);
+        auto& engine = *engines_[pkt.dst];
+        if (!engine.rel_accept(cpu, pkt.src, payload->rel_seq)) return;
+        engine.serve_accum(cpu, *payload);
+      });
+  h_ack_ = cluster_.fm.register_handler(
+      "rt.ack", [this](sim::Cpu& cpu, const fm::Packet& pkt) {
+        auto* ack = static_cast<AckPayload*>(pkt.data.get());
+        engines_[pkt.dst]->on_ack(cpu, *ack);
       });
 }
 
@@ -57,18 +71,18 @@ std::unique_ptr<EngineBase> PhaseRunner::make_engine(NodeId node) {
   switch (cfg_.kind) {
     case EngineKind::kDpa:
       return std::make_unique<DpaEngine>(cluster_, node, cfg_, h_req_,
-                                         h_reply_, h_accum_);
+                                         h_reply_, h_accum_, h_ack_);
     case EngineKind::kCaching:
       return std::make_unique<SyncEngine>(cluster_, node, cfg_, h_req_,
-                                          h_reply_, h_accum_,
+                                          h_reply_, h_accum_, h_ack_,
                                           /*use_cache=*/true);
     case EngineKind::kBlocking:
       return std::make_unique<SyncEngine>(cluster_, node, cfg_, h_req_,
-                                          h_reply_, h_accum_,
+                                          h_reply_, h_accum_, h_ack_,
                                           /*use_cache=*/false);
     case EngineKind::kPrefetch:
       return std::make_unique<PrefetchEngine>(cluster_, node, cfg_, h_req_,
-                                              h_reply_, h_accum_);
+                                              h_reply_, h_accum_, h_ack_);
   }
   DPA_PANIC("unknown engine kind");
 }
@@ -117,6 +131,8 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
     result.rt.absorb(engines_[i]->stats());
   }
   result.net = cluster_.machine.network().stats();
+  if (const auto* injector = cluster_.machine.network().injector())
+    result.faults = injector->stats();
   result.fm_total = cluster_.fm.aggregate_stats();
 
   if (cluster_.obs != nullptr) {
@@ -130,6 +146,12 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
     *m.counter("fm.msgs_recv") += result.fm_total.msgs_recv;
     *m.counter("fm.bytes_sent") += result.fm_total.bytes_sent;
     *m.counter("fm.bytes_recv") += result.fm_total.bytes_recv;
+    if (cluster_.machine.network().injector() != nullptr) {
+      *m.counter("net.fault.dropped_msgs") += result.faults.dropped_msgs;
+      *m.counter("net.fault.dup_msgs") += result.faults.dup_msgs;
+      *m.counter("net.fault.delayed_frags") += result.faults.delayed_frags;
+      *m.counter("net.fault.pauses") += result.faults.pauses;
+    }
   }
   return result;
 }

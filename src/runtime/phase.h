@@ -30,6 +30,7 @@ struct PhaseResult {
   std::vector<NodeBreakdown> nodes;
   RtTotals rt;
   sim::NetStats net;
+  sim::FaultStats faults;  // zero on a reliable (fault-free) network
   fm::FmNodeStats fm_total;
   std::string diagnostics;  // per-node state dumps if !completed
 
@@ -73,6 +74,7 @@ class PhaseRunner {
   fm::HandlerId h_req_;
   fm::HandlerId h_reply_;
   fm::HandlerId h_accum_;
+  fm::HandlerId h_ack_;
 };
 
 }  // namespace dpa::rt

@@ -10,8 +10,9 @@ namespace dpa::rt {
 
 PrefetchEngine::PrefetchEngine(Cluster& cluster, NodeId node,
                                const RuntimeConfig& cfg, fm::HandlerId h_req,
-                               fm::HandlerId h_reply, fm::HandlerId h_accum)
-    : EngineBase(cluster, node, cfg, h_req, h_reply, h_accum) {}
+                               fm::HandlerId h_reply, fm::HandlerId h_accum,
+                               fm::HandlerId h_ack)
+    : EngineBase(cluster, node, cfg, h_req, h_reply, h_accum, h_ack) {}
 
 void PrefetchEngine::require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) {
   cpu.charge(cfg_.cost.sync_push, sim::Work::kRuntime);

@@ -24,7 +24,7 @@ class PrefetchEngine final : public EngineBase {
  public:
   PrefetchEngine(Cluster& cluster, NodeId node, const RuntimeConfig& cfg,
                  fm::HandlerId h_req, fm::HandlerId h_reply,
-                 fm::HandlerId h_accum);
+                 fm::HandlerId h_accum, fm::HandlerId h_ack);
 
   void require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) override;
   void on_reply(sim::Cpu& cpu, const ReplyPayload& reply) override;

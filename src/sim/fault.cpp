@@ -1,0 +1,164 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/assert.h"
+
+namespace dpa::sim {
+
+namespace {
+
+// One item of the spec: "key", "key=prob" or "key=prob:ns".
+struct Item {
+  std::string key;
+  double prob = 0.0;
+  Time ns = 0;
+  bool has_prob = false;
+  bool has_ns = false;
+};
+
+Item parse_item(std::string_view text) {
+  Item item;
+  const auto eq = text.find('=');
+  if (eq == std::string_view::npos) {
+    item.key = std::string(text);
+    return item;
+  }
+  item.key = std::string(text.substr(0, eq));
+  std::string rest(text.substr(eq + 1));
+  std::string ns_part;
+  const auto colon = rest.find(':');
+  if (colon != std::string::npos) {
+    ns_part = rest.substr(colon + 1);
+    rest.resize(colon);
+  }
+  char* end = nullptr;
+  item.prob = std::strtod(rest.c_str(), &end);
+  DPA_CHECK(end != nullptr && *end == '\0' && !rest.empty())
+      << "faults: bad number '" << rest << "' in item '" << item.key << "'";
+  item.has_prob = true;
+  if (!ns_part.empty()) {
+    item.ns = Time(std::strtoll(ns_part.c_str(), &end, 10));
+    DPA_CHECK(end != nullptr && *end == '\0')
+        << "faults: bad duration '" << ns_part << "' in item '" << item.key
+        << "'";
+    DPA_CHECK(item.ns >= 0) << "faults: negative duration in '" << item.key
+                            << "'";
+    item.has_ns = true;
+  }
+  return item;
+}
+
+void check_prob(const Item& item) {
+  DPA_CHECK(item.has_prob) << "faults: '" << item.key << "' needs =<prob>";
+  DPA_CHECK(item.prob >= 0.0 && item.prob <= 1.0)
+      << "faults: probability out of [0,1] in '" << item.key << "'";
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    auto comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view raw = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (raw.empty()) continue;
+    const Item item = parse_item(raw);
+    if (item.key == "chaos") {
+      // Moderate everything: enough churn to exercise every recovery path
+      // without drowning the run in retransmissions.
+      plan.drop = 0.02;
+      plan.dup = 0.01;
+      plan.reorder = 0.05;
+      plan.delay = 0.02;
+      plan.pause = 0.005;
+    } else if (item.key == "jitter") {
+      plan.link_jitter = true;
+    } else if (item.key == "seed") {
+      DPA_CHECK(item.has_prob) << "faults: 'seed' needs =<value>";
+      plan.seed = std::uint64_t(item.prob);
+    } else if (item.key == "drop") {
+      check_prob(item);
+      plan.drop = item.prob;
+    } else if (item.key == "dup") {
+      check_prob(item);
+      plan.dup = item.prob;
+    } else if (item.key == "reorder") {
+      check_prob(item);
+      plan.reorder = item.prob;
+      if (item.has_ns) plan.reorder_window = item.ns;
+    } else if (item.key == "delay") {
+      check_prob(item);
+      plan.delay = item.prob;
+      if (item.has_ns) plan.delay_spike = item.ns;
+    } else if (item.key == "pause") {
+      check_prob(item);
+      plan.pause = item.prob;
+      if (item.has_ns) plan.pause_time = item.ns;
+    } else {
+      DPA_PANIC("faults: unknown spec item '" + item.key +
+                "' (want chaos|drop|dup|reorder|delay|pause|jitter|seed)");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "drop=" << drop << " dup=" << dup << " reorder=" << reorder << ":"
+     << reorder_window << "ns delay=" << delay << ":" << delay_spike
+     << "ns pause=" << pause << ":" << pause_time << "ns jitter="
+     << (link_jitter ? "on" : "off") << " seed=" << seed;
+  return os.str();
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), rng_(plan.seed) {}
+
+double FaultInjector::link_p(double base, std::uint32_t src,
+                             std::uint32_t dst) const {
+  if (!plan_.link_jitter || base <= 0.0) return base;
+  // A fixed per-link factor in [0.5, 1.5): stable across the run, distinct
+  // per (seed, src, dst). Drawn from SplitMix64 so it consumes no state from
+  // the decision stream.
+  SplitMix64 mix(plan_.seed ^
+                 ((std::uint64_t(src) << 32) | (std::uint64_t(dst) + 1)));
+  const double factor =
+      0.5 + double(mix.next() >> 11) / double(1ull << 53);
+  return std::min(1.0, base * factor);
+}
+
+bool FaultInjector::roll_msg_drop(std::uint32_t src, std::uint32_t dst) {
+  if (!rng_.chance(link_p(plan_.drop, src, dst))) return false;
+  ++stats_.dropped_msgs;
+  return true;
+}
+
+bool FaultInjector::roll_msg_dup(std::uint32_t src, std::uint32_t dst) {
+  if (!rng_.chance(link_p(plan_.dup, src, dst))) return false;
+  ++stats_.dup_msgs;
+  return true;
+}
+
+Time FaultInjector::roll_frag_delay(std::uint32_t src, std::uint32_t dst) {
+  Time extra = 0;
+  if (rng_.chance(link_p(plan_.delay, src, dst))) extra += plan_.delay_spike;
+  if (rng_.chance(link_p(plan_.reorder, src, dst)) &&
+      plan_.reorder_window > 0)
+    extra += Time(rng_.next_below(std::uint64_t(plan_.reorder_window)));
+  if (extra > 0) ++stats_.delayed_frags;
+  return extra;
+}
+
+bool FaultInjector::roll_pause(std::uint32_t src, std::uint32_t dst) {
+  if (!rng_.chance(link_p(plan_.pause, src, dst))) return false;
+  ++stats_.pauses;
+  return true;
+}
+
+}  // namespace dpa::sim

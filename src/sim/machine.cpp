@@ -55,6 +55,15 @@ Machine::Machine(std::uint32_t num_nodes, NetParams params)
   nodes_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i)
     nodes_.push_back(std::make_unique<NodeProc>(engine_, i));
+  if (network_.injector() != nullptr) {
+    // A pause fault stalls the whole node: it runs as a busy task, so every
+    // queued handler and scheduler step waits it out. Charged as runtime
+    // time (it is neither application work nor messaging overhead).
+    network_.set_pause_hook([this](NodeId id, Time duration) {
+      node(id).post(
+          [duration](Cpu& cpu) { cpu.charge(duration, Work::kRuntime); });
+    });
+  }
 }
 
 NodeProc& Machine::node(NodeId id) {
@@ -71,6 +80,7 @@ void Machine::begin_phase() {
     n->reset_stats();
   }
   network_.stats().reset();
+  if (auto* injector = network_.injector()) injector->reset_stats();
 }
 
 Time Machine::run_phase() {

@@ -10,6 +10,8 @@ namespace dpa::sim {
 Network::Network(Engine& engine, NetParams params, std::uint32_t num_nodes)
     : engine_(engine), params_(params), nic_free_(num_nodes, 0) {
   DPA_CHECK(num_nodes > 0);
+  if (params_.faults.any())
+    injector_ = std::make_unique<FaultInjector>(params_.faults);
   // Near-cubic grid: grow dimensions round-robin until they cover all
   // nodes (8 -> 2x2x2, 64 -> 4x4x4, 12 -> 3x2x2).
   while (dims_[0] * dims_[1] * dims_[2] < num_nodes) {
@@ -46,6 +48,16 @@ std::uint32_t Network::hops(NodeId src, NodeId dst) const {
 
 Time Network::send(NodeId src, NodeId dst, std::uint32_t bytes, Time depart,
                    std::function<void()> on_deliver) {
+  return inject(src, dst, bytes, depart, /*deliverable=*/true, &on_deliver);
+}
+
+Time Network::send_lost(NodeId src, NodeId dst, std::uint32_t bytes,
+                        Time depart) {
+  return inject(src, dst, bytes, depart, /*deliverable=*/false, nullptr);
+}
+
+Time Network::inject(NodeId src, NodeId dst, std::uint32_t bytes, Time depart,
+                     bool deliverable, std::function<void()>* on_deliver) {
   DPA_CHECK(src < nic_free_.size() && dst < nic_free_.size())
       << "bad node id " << src << "->" << dst;
   DPA_CHECK(bytes <= params_.mtu_bytes)
@@ -57,15 +69,23 @@ Time Network::send(NodeId src, NodeId dst, std::uint32_t bytes, Time depart,
   stats_.bytes += bytes;
 
   const Time wire = wire_time(bytes);
-  Time inject = depart;
+  Time at = depart;
   if (params_.nic_serialize) {
-    inject = std::max(inject, nic_free_[src]);
-    nic_free_[src] = inject + wire;
+    at = std::max(at, nic_free_[src]);
+    nic_free_[src] = at + wire;
   }
-  const Time arrive =
-      inject + params_.latency + Time(hops(src, dst)) * params_.per_hop + wire;
-  if (trace_ != nullptr) trace_->message(src, dst, bytes, inject, arrive);
-  engine_.schedule_at(arrive, std::move(on_deliver));
+  Time arrive =
+      at + params_.latency + Time(hops(src, dst)) * params_.per_hop + wire;
+  if (injector_ != nullptr && deliverable) {
+    // Timing faults: latency spikes and reorder jitter push the arrival
+    // back; a pause fault stalls the destination node around arrival time
+    // (the hook posts a busy task there).
+    arrive += injector_->roll_frag_delay(src, dst);
+    if (pause_hook_ && injector_->roll_pause(src, dst))
+      pause_hook_(dst, injector_->plan().pause_time);
+  }
+  if (trace_ != nullptr) trace_->message(src, dst, bytes, at, arrive);
+  if (deliverable) engine_.schedule_at(arrive, std::move(*on_deliver));
   return arrive;
 }
 

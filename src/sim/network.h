@@ -9,9 +9,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "sim/time.h"
 #include "sim/trace.h"
 
@@ -42,6 +44,11 @@ struct NetParams {
   bool nic_serialize = true;
   // Maximum message size; the FM layer segments larger payloads.
   std::uint32_t mtu_bytes = 4096;
+
+  // Unreliable-fabric model (inactive by default: faults.any() == false, in
+  // which case no injector is allocated and every fault hook reduces to a
+  // null-pointer test). See sim/fault.h for the plan and layering.
+  FaultPlan faults;
 
   // A zero-cost network: turns every configuration into a single-address-
   // space machine. Used to study DPA as a pure cache/tiling optimization
@@ -78,6 +85,21 @@ class Network {
   Time send(NodeId src, NodeId dst, std::uint32_t bytes, Time depart,
             std::function<void()> on_deliver);
 
+  // As send(), but the message dies on the wire: it pays NIC serialization
+  // and counts in the stats (it was injected), yet nothing is delivered.
+  // Used by the FM layer for fragments of a fault-dropped message.
+  Time send_lost(NodeId src, NodeId dst, std::uint32_t bytes, Time depart);
+
+  // The fault injector, or nullptr on a reliable (fault-free) network.
+  FaultInjector* injector() { return injector_.get(); }
+  const FaultInjector* injector() const { return injector_.get(); }
+
+  // Called when a pause fault fires: hook(node, duration). Installed by
+  // sim::Machine, which turns it into a busy task on the paused node.
+  void set_pause_hook(std::function<void(NodeId, Time)> hook) {
+    pause_hook_ = std::move(hook);
+  }
+
   const NetParams& params() const { return params_; }
   const NetStats& stats() const { return stats_; }
   NetStats& stats() { return stats_; }
@@ -97,12 +119,17 @@ class Network {
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
  private:
+  Time inject(NodeId src, NodeId dst, std::uint32_t bytes, Time depart,
+              bool deliverable, std::function<void()>* on_deliver);
+
   Engine& engine_;
   NetParams params_;
   NetStats stats_;
   std::vector<Time> nic_free_;  // per-source NIC availability
   std::uint32_t dims_[3] = {1, 1, 1};
   TraceSink* trace_ = nullptr;
+  std::unique_ptr<FaultInjector> injector_;  // null when fault-free
+  std::function<void(NodeId, Time)> pause_hook_;
 };
 
 }  // namespace dpa::sim

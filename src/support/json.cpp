@@ -1,6 +1,8 @@
 #include "support/json.h"
 
+#include <charconv>
 #include <cmath>
+#include <cstdio>
 
 #include "support/assert.h"
 
@@ -152,6 +154,377 @@ JsonWriter& JsonWriter::value(std::int64_t v) {
 std::string JsonWriter::str() const {
   DPA_CHECK(frames_.empty()) << "unclosed JSON scopes";
   return out_.str();
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object())
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser. Every path either produces a value or records
+// an error (message + byte offset) and unwinds; nothing throws, nothing
+// reads past end(), so arbitrary byte soup is safe to feed in.
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  JsonParseResult run() {
+    JsonValue v;
+    if (!parse_value(&v, 0)) return make_error();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after the document");
+      return make_error();
+    }
+    JsonParseResult ok;
+    ok.value = std::move(v);
+    return ok;
+  }
+
+ private:
+  bool parse_value(JsonValue* out, std::size_t depth) {
+    if (depth > max_depth_) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return false;
+        *out = JsonValue(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        *out = JsonValue(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        *out = JsonValue(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        *out = JsonValue(nullptr);
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue* out, std::size_t depth) {
+    ++pos_;  // '{'
+    JsonValue::Object obj;
+    skip_ws();
+    if (peek('}')) {
+      ++pos_;
+      *out = JsonValue(std::move(obj));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected a quoted object key");
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!peek(':')) return fail("expected ':' after object key");
+      ++pos_;
+      JsonValue v;
+      if (!parse_value(&v, depth + 1)) return false;
+      obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (peek(',')) {
+        ++pos_;
+        continue;
+      }
+      if (peek('}')) {
+        ++pos_;
+        *out = JsonValue(std::move(obj));
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue* out, std::size_t depth) {
+    ++pos_;  // '['
+    JsonValue::Array arr;
+    skip_ws();
+    if (peek(']')) {
+      ++pos_;
+      *out = JsonValue(std::move(arr));
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!parse_value(&v, depth + 1)) return false;
+      arr.push_back(std::move(v));
+      skip_ws();
+      if (peek(',')) {
+        ++pos_;
+        continue;
+      }
+      if (peek(']')) {
+        ++pos_;
+        *out = JsonValue(std::move(arr));
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // opening '"'
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const unsigned char c = (unsigned char)text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out->push_back(char(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // '\'
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      switch (text_[pos_]) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(&cp)) return false;
+          if (cp >= 0xDC00 && cp <= 0xDFFF)
+            return fail("lone low surrogate");
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if (pos_ + 2 >= text_.size() || text_[pos_ + 1] != '\\' ||
+                text_[pos_ + 2] != 'u')
+              return fail("high surrogate not followed by \\u escape");
+            pos_ += 2;
+            std::uint32_t lo = 0;
+            if (!parse_hex4(&lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF)
+              return fail("high surrogate not followed by low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail("unknown escape character");
+      }
+      ++pos_;
+    }
+  }
+
+  // Consumes the 4 hex digits after "\u", leaving pos_ on the last digit
+  // (the string loop's ++pos_ steps past it, matching single-char escapes).
+  bool parse_hex4(std::uint32_t* out) {
+    if (pos_ + 4 >= text_.size()) return fail("truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 1; i <= 4; ++i) {
+      const char c = text_[pos_ + i];
+      std::uint32_t d = 0;
+      if (c >= '0' && c <= '9') d = std::uint32_t(c - '0');
+      else if (c >= 'a' && c <= 'f') d = std::uint32_t(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') d = std::uint32_t(c - 'A' + 10);
+      else return fail("bad hex digit in \\u escape");
+      v = (v << 4) | d;
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  static void append_utf8(std::string* out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(char(cp));
+    } else if (cp < 0x800) {
+      out->push_back(char(0xC0 | (cp >> 6)));
+      out->push_back(char(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(char(0xE0 | (cp >> 12)));
+      out->push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(char(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(char(0xF0 | (cp >> 18)));
+      out->push_back(char(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(char(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_number(JsonValue* out) {
+    // Validate the JSON number grammar by hand (from_chars is laxer: it
+    // accepts "inf"/"nan" and leading '+'), then convert the vetted span.
+    const std::size_t start = pos_;
+    if (peek('-')) ++pos_;
+    if (pos_ >= text_.size() || !is_digit(text_[pos_]))
+      return fail_at(start, "invalid value");
+    if (text_[pos_] == '0') {
+      ++pos_;  // no leading zeros
+    } else {
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !is_digit(text_[pos_]))
+        return fail("digit required after decimal point");
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (pos_ >= text_.size() || !is_digit(text_[pos_]))
+        return fail("digit required in exponent");
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    double v = 0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v);
+    if (ec != std::errc() || end != text_.data() + pos_)
+      return fail_at(start, "number out of double range");
+    *out = JsonValue(v);
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid value");
+    pos_ += word.size();
+    return true;
+  }
+
+  static bool is_digit(char c) { return c >= '0' && c <= '9'; }
+  bool peek(char c) const { return pos_ < text_.size() && text_[pos_] == c; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool fail(std::string_view msg) { return fail_at(pos_, msg); }
+
+  bool fail_at(std::size_t off, std::string_view msg) {
+    if (error_.empty()) {  // keep the innermost (first) failure
+      error_offset_ = off;
+      error_ = msg;
+    }
+    return false;
+  }
+
+  JsonParseResult make_error() {
+    JsonParseResult r;
+    r.error = "offset " + std::to_string(error_offset_) + ": " + error_;
+    return r;
+  }
+
+  std::string_view text_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+  std::string error_;
+  std::size_t error_offset_ = 0;
+};
+
+void dump_string(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const unsigned char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(char(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void dump_value(std::string* out, const JsonValue& v) {
+  if (v.is_null()) {
+    *out += "null";
+  } else if (v.is_bool()) {
+    *out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    const double d = v.as_number();
+    char buf[32];
+    // Integral doubles print as integers (matches what the writer emits
+    // for counters); everything else uses shortest-round-trip form.
+    if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+      const auto n = std::int64_t(d);
+      const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), n);
+      (void)ec;
+      out->append(buf, p);
+    } else {
+      const auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+      (void)ec;
+      out->append(buf, p);
+    }
+  } else if (v.is_string()) {
+    dump_string(out, v.as_string());
+  } else if (v.is_array()) {
+    out->push_back('[');
+    bool first = true;
+    for (const auto& e : v.as_array()) {
+      if (!first) out->push_back(',');
+      first = false;
+      dump_value(out, e);
+    }
+    out->push_back(']');
+  } else {
+    out->push_back('{');
+    bool first = true;
+    for (const auto& [k, e] : v.as_object()) {
+      if (!first) out->push_back(',');
+      first = false;
+      dump_string(out, k);
+      out->push_back(':');
+      dump_value(out, e);
+    }
+    out->push_back('}');
+  }
+}
+
+}  // namespace
+
+JsonParseResult json_parse(std::string_view text, std::size_t max_depth) {
+  return JsonParser(text, max_depth).run();
+}
+
+std::string json_dump(const JsonValue& v) {
+  std::string out;
+  dump_value(&out, v);
+  return out;
 }
 
 }  // namespace dpa

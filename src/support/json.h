@@ -1,14 +1,26 @@
-// Minimal streaming JSON writer for machine-readable bench output.
+// Minimal JSON support for machine-readable bench output.
 //
-// Scope-based: `obj()`/`arr()` return RAII scopes; `field(...)` writes a
-// key/value inside an object, `value(...)` appends inside an array. The
-// writer validates nesting (writing a bare value inside an object dies).
+// Writer: scope-based streaming. `obj()`/`arr()` return RAII scopes;
+// `field(...)` writes a key/value inside an object, `value(...)` appends
+// inside an array. The writer validates nesting (writing a bare value
+// inside an object dies).
+//
+// Reader: `json_parse` is a strict recursive-descent parser into a small
+// `JsonValue` DOM — used by the golden-regression checker and the fuzz
+// tests. It never dies on malformed input; errors come back as a message
+// with a byte offset. `json_dump` re-serializes a DOM deterministically
+// (object order preserved, shortest-round-trip number formatting), so
+// dump(parse(dump(x))) == dump(x).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <variant>
 #include <vector>
 
 namespace dpa {
@@ -70,5 +82,68 @@ class JsonWriter {
   std::vector<Frame> frames_;
   std::vector<bool> has_items_;
 };
+
+// Parsed JSON document. Objects preserve insertion order (and tolerate
+// duplicate keys — find() returns the first); numbers are doubles, so
+// integers beyond 2^53 lose precision, which the counters and timings
+// written by this repo never reach in practice.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : v_(nullptr) {}
+  JsonValue(std::nullptr_t) : v_(nullptr) {}  // NOLINT(runtime/explicit)
+  JsonValue(bool b) : v_(b) {}                // NOLINT(runtime/explicit)
+  JsonValue(double d) : v_(d) {}              // NOLINT(runtime/explicit)
+  JsonValue(std::string s) : v_(std::move(s)) {}  // NOLINT(runtime/explicit)
+  JsonValue(const char* s) : v_(std::string(s)) {}  // NOLINT
+  JsonValue(Array a) : v_(std::move(a)) {}    // NOLINT(runtime/explicit)
+  JsonValue(Object o) : v_(std::move(o)) {}   // NOLINT(runtime/explicit)
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  double as_number() const { return std::get<double>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  const Object& as_object() const { return std::get<Object>(v_); }
+  Array& as_array() { return std::get<Array>(v_); }
+  Object& as_object() { return std::get<Object>(v_); }
+
+  // First value under `key` in an object, or nullptr when absent (or when
+  // this value is not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  bool operator==(const JsonValue& other) const { return v_ == other.v_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+// Outcome of json_parse: either a value, or an error message carrying the
+// byte offset where parsing failed.
+struct JsonParseResult {
+  std::optional<JsonValue> value;
+  std::string error;  // empty iff value.has_value()
+
+  explicit operator bool() const { return value.has_value(); }
+};
+
+// Strict parse of exactly one JSON document (trailing whitespace allowed,
+// trailing garbage is an error). Rejects: comments, trailing commas,
+// unquoted keys, NaN/Infinity literals, raw control characters in strings,
+// lone UTF-16 surrogates, and nesting deeper than `max_depth`.
+JsonParseResult json_parse(std::string_view text, std::size_t max_depth = 256);
+
+// Deterministic serialization of a DOM (no added whitespace). Numbers use
+// shortest-round-trip formatting; integral values in the int64 range print
+// without an exponent or decimal point.
+std::string json_dump(const JsonValue& v);
 
 }  // namespace dpa

@@ -171,6 +171,71 @@ TEST(Fm, LoopbackSendDeliversToSelf) {
   EXPECT_EQ(fm.node_stats(0).msgs_recv, 1u);
 }
 
+// ---------- Faults at message granularity ----------
+
+TEST(Fm, DroppedMessageNeverReachesTheHandler) {
+  auto p = test_params();
+  p.faults.drop = 1.0;  // every message dies on the wire
+  Machine m(2, p);
+  FmLayer fm(m);
+  int deliveries = 0;
+  const HandlerId h =
+      fm.register_handler("d", [&](Cpu&, const Packet&) { ++deliveries; });
+  m.node(0).post([&](Cpu& cpu) { fm.send(cpu, 0, 1, h, nullptr, 600); });
+  m.engine().run();
+  EXPECT_EQ(deliveries, 0);
+  EXPECT_EQ(fm.node_stats(1).msgs_recv, 0u);
+  EXPECT_EQ(m.network().injector()->stats().dropped_msgs, 1u);
+  // The loss is physical, not accounting: the sender still paid its
+  // per-fragment software overhead and the fragments occupied the wire.
+  EXPECT_EQ(fm.node_stats(0).msgs_sent, 1u);
+  EXPECT_EQ(fm.node_stats(0).frags_sent, 3u);  // ceil(600/256)
+  EXPECT_EQ(m.network().stats().messages, 3u);
+  EXPECT_EQ(m.node(0).stats().busy[int(Work::kComm)], 300);
+}
+
+TEST(Fm, DuplicatedMessageDeliversTwice) {
+  auto p = test_params();
+  p.faults.dup = 1.0;  // every message is doubled
+  Machine m(2, p);
+  FmLayer fm(m);
+  int deliveries = 0;
+  const HandlerId h =
+      fm.register_handler("d", [&](Cpu&, const Packet&) { ++deliveries; });
+  m.node(0).post([&](Cpu& cpu) { fm.send(cpu, 0, 1, h, nullptr, 16); });
+  m.engine().run();
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(m.network().injector()->stats().dup_msgs, 1u);
+  // The duplicate is the NIC's doing: the sender charged software overhead
+  // for one message only.
+  EXPECT_EQ(m.node(0).stats().busy[int(Work::kComm)], 100);
+}
+
+TEST(Fm, SegmentedDuplicateDeliversCompleteTrains) {
+  // Both the original and the duplicate are full multi-fragment trains with
+  // distinct train ids; each completes independently.
+  auto p = test_params();
+  p.faults.dup = 1.0;
+  Machine m(2, p);
+  FmLayer fm(m);
+  int deliveries = 0;
+  const HandlerId h =
+      fm.register_handler("d", [&](Cpu&, const Packet&) { ++deliveries; });
+  m.node(0).post([&](Cpu& cpu) { fm.send(cpu, 0, 1, h, nullptr, 1000); });
+  m.engine().run();
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_EQ(m.network().stats().messages, 8u);  // 2 trains x 4 fragments
+}
+
+TEST(Fm, FaultFreePlanKeepsDeliveryExact) {
+  // A present-but-all-zero plan must behave exactly like no plan at all.
+  auto p = test_params();
+  p.faults = sim::FaultPlan{};
+  Machine m(2, p);
+  FmLayer fm(m);
+  EXPECT_EQ(m.network().injector(), nullptr);
+}
+
 TEST(Fm, MessagesBetweenManyNodesAllArrive) {
   Machine m(8, test_params());
   FmLayer fm(m);

@@ -1,0 +1,225 @@
+// Property / fuzz coverage for the JSON parser (support/json.h).
+//
+// Two properties over a seeded-random corpus:
+//   round-trip  dump(x) parses back to x, and re-dumping is byte-stable
+//   robustness  mutated / truncated documents either parse or fail with an
+//               error — never crash, never read out of bounds
+// plus a table of hand-written accept/reject cases pinning the strict
+// grammar (no trailing commas, no lone surrogates, no raw control chars).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+#include "support/rng.h"
+
+namespace dpa {
+namespace {
+
+// ---------- generators ----------
+
+std::string gen_string(Rng& rng) {
+  std::string s;
+  const auto len = rng.next_below(12);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    switch (rng.next_below(8)) {
+      case 0: s.push_back('"'); break;
+      case 1: s.push_back('\\'); break;
+      case 2: s.push_back(char(rng.next_below(0x20)));  // control char
+        break;
+      case 3: s.push_back(char(0x80 + rng.next_below(0x80)));  // high byte
+        break;
+      default: s.push_back(char(0x20 + rng.next_below(0x5f)));  // printable
+    }
+  }
+  return s;
+}
+
+double gen_number(Rng& rng) {
+  switch (rng.next_below(4)) {
+    case 0: return double(std::int64_t(rng.next_u64() >> 12)) -
+                   double(1ull << 51);
+    case 1: return double(rng.next_below(1000));
+    case 2: return double(rng.next_below(1u << 20)) / 1024.0;  // exact
+    default: return -double(rng.next_below(1u << 30)) * 0.5;
+  }
+}
+
+JsonValue gen_value(Rng& rng, int depth) {
+  // Containers get rarer with depth so documents stay small.
+  const std::uint64_t kinds = depth >= 5 ? 4 : 6;
+  switch (rng.next_below(kinds)) {
+    case 0: return JsonValue(nullptr);
+    case 1: return JsonValue(rng.next_below(2) == 1);
+    case 2: return JsonValue(gen_number(rng));
+    case 3: return JsonValue(gen_string(rng));
+    case 4: {
+      JsonValue::Array a;
+      const auto n = rng.next_below(4);
+      for (std::uint64_t i = 0; i < n; ++i)
+        a.push_back(gen_value(rng, depth + 1));
+      return JsonValue(std::move(a));
+    }
+    default: {
+      JsonValue::Object o;
+      const auto n = rng.next_below(4);
+      for (std::uint64_t i = 0; i < n; ++i)
+        o.emplace_back(gen_string(rng), gen_value(rng, depth + 1));
+      return JsonValue(std::move(o));
+    }
+  }
+}
+
+// ---------- properties ----------
+
+TEST(JsonFuzz, RandomDocumentsRoundTrip) {
+  Rng rng(0x5eed1);
+  for (int iter = 0; iter < 500; ++iter) {
+    const JsonValue doc = gen_value(rng, 0);
+    const std::string text = json_dump(doc);
+    const auto parsed = json_parse(text);
+    ASSERT_TRUE(parsed) << "iter " << iter << ": " << parsed.error
+                        << "\ndoc: " << text;
+    EXPECT_TRUE(doc == *parsed.value) << "iter " << iter << "\ndoc: " << text;
+    EXPECT_EQ(json_dump(*parsed.value), text) << "iter " << iter;
+  }
+}
+
+TEST(JsonFuzz, MutatedDocumentsNeverCrash) {
+  Rng rng(0x5eed2);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string text = json_dump(gen_value(rng, 0));
+    switch (rng.next_below(3)) {
+      case 0:  // truncate
+        text.resize(rng.next_below(text.size() + 1));
+        break;
+      case 1:  // flip a byte
+        if (!text.empty())
+          text[rng.next_below(text.size())] = char(rng.next_below(256));
+        break;
+      default:  // insert a byte
+        text.insert(text.begin() + std::ptrdiff_t(
+                        rng.next_below(text.size() + 1)),
+                    char(rng.next_below(256)));
+    }
+    const auto parsed = json_parse(text);  // must not crash or hang
+    if (!parsed) {
+      EXPECT_FALSE(parsed.error.empty());
+    }
+  }
+}
+
+TEST(JsonFuzz, RandomByteSoupNeverCrashes) {
+  Rng rng(0x5eed3);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string text;
+    const auto len = rng.next_below(64);
+    for (std::uint64_t i = 0; i < len; ++i)
+      text.push_back(char(rng.next_below(256)));
+    const auto parsed = json_parse(text);
+    if (!parsed) {
+      EXPECT_FALSE(parsed.error.empty());
+    }
+  }
+}
+
+// ---------- pinned grammar cases ----------
+
+TEST(JsonParse, AcceptsTheBasics) {
+  const auto r = json_parse(
+      R"({"a": [1, -2.5, 1e3], "b": {"nested": true}, "s": "x\n\u0041",)"
+      R"( "n": null})");
+  ASSERT_TRUE(r) << r.error;
+  const JsonValue& v = *r.value;
+  ASSERT_TRUE(v.is_object());
+  const auto* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_EQ(a->as_array()[0].as_number(), 1.0);
+  EXPECT_EQ(a->as_array()[1].as_number(), -2.5);
+  EXPECT_EQ(a->as_array()[2].as_number(), 1000.0);
+  EXPECT_TRUE(v.find("b")->find("nested")->as_bool());
+  EXPECT_EQ(v.find("s")->as_string(), "x\nA");
+  EXPECT_TRUE(v.find("n")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, AcceptsSurrogatePairs) {
+  const auto r = json_parse(R"(["\ud83d\ude00"])");  // U+1F600
+  ASSERT_TRUE(r) << r.error;
+  EXPECT_EQ(r.value->as_array()[0].as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",            // empty
+      "   ",         // whitespace only
+      "{",           // unterminated object
+      "[1,",         // unterminated array
+      "[1,]",        // trailing comma
+      "{\"a\":1,}",  // trailing comma in object
+      "{a: 1}",      // unquoted key
+      "{\"a\" 1}",   // missing colon
+      "[1 2]",       // missing comma
+      "01",          // leading zero
+      "1.",          // digit required after point
+      "1e",          // digit required in exponent
+      "+1",          // leading plus
+      "NaN",         // not a JSON literal
+      "Infinity",    // not a JSON literal
+      "tru",         // truncated literal
+      "\"abc",       // unterminated string
+      "\"\\x\"",     // unknown escape
+      "\"\\u12\"",   // truncated \u
+      "\"\\ud800\"",         // lone high surrogate
+      "\"\\udc00\"",         // lone low surrogate
+      "\"\\ud800\\u0041\"",  // high surrogate + non-surrogate
+      "\"\x01\"",    // raw control character
+      "{} {}",       // trailing garbage
+      "1 1",         // trailing garbage
+  };
+  for (const char* text : bad) {
+    const auto r = json_parse(text);
+    EXPECT_FALSE(r) << "accepted: " << text;
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_NE(r.error.find("offset"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, RejectsExcessiveNesting) {
+  std::string deep(400, '[');
+  deep += std::string(400, ']');
+  EXPECT_FALSE(json_parse(deep));
+  EXPECT_TRUE(json_parse(deep, /*max_depth=*/500));
+  // The default limit admits reasonable depth.
+  std::string ok(200, '[');
+  ok += std::string(200, ']');
+  EXPECT_TRUE(json_parse(ok));
+}
+
+// The parser must accept what the repo's own writer emits.
+TEST(JsonParse, ReadsJsonWriterOutput) {
+  JsonWriter w;
+  {
+    auto root = w.obj();
+    w.field("name", "bench \"x\"\n");
+    w.field("count", std::uint64_t(123456789));
+    w.field("ratio", 0.25);
+    w.field("ok", true);
+    auto rows = w.arr("rows");
+    for (int i = 0; i < 3; ++i) w.value(std::int64_t(i * 10));
+  }
+  const auto r = json_parse(w.str());
+  ASSERT_TRUE(r) << r.error;
+  EXPECT_EQ(r.value->find("name")->as_string(), "bench \"x\"\n");
+  EXPECT_EQ(r.value->find("count")->as_number(), 123456789.0);
+  EXPECT_EQ(r.value->find("ratio")->as_number(), 0.25);
+  EXPECT_TRUE(r.value->find("ok")->as_bool());
+  EXPECT_EQ(r.value->find("rows")->as_array()[2].as_number(), 20.0);
+}
+
+}  // namespace
+}  // namespace dpa

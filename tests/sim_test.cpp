@@ -208,6 +208,224 @@ TEST(Network, ZeroParamsDeliverInstantly) {
   EXPECT_EQ(arrived, 0);
 }
 
+TEST(Network, ZeroParamsZeroEveryCostTerm) {
+  const NetParams p = NetParams::zero();
+  EXPECT_EQ(p.send_overhead, 0);
+  EXPECT_EQ(p.recv_overhead, 0);
+  EXPECT_EQ(p.latency, 0);
+  EXPECT_EQ(p.ns_per_byte, 0.0);
+  EXPECT_EQ(p.per_msg_wire, 0);
+  EXPECT_FALSE(p.nic_serialize);
+  EXPECT_FALSE(p.faults.any());  // zero-cost is also fault-free
+  // The MTU still applies (the FM layer segments above it).
+  EXPECT_EQ(p.mtu_bytes, NetParams{}.mtu_bytes);
+}
+
+TEST(Network, ZeroParamsBackToBackSendsAllLandAtOnce) {
+  // nic_serialize=false in zero(): no injection bandwidth, so a burst from
+  // one source is not staggered.
+  Engine e;
+  Network net(e, NetParams::zero(), 2);
+  std::vector<Time> arrivals;
+  for (int i = 0; i < 8; ++i)
+    net.send(0, 1, 4096, 0, [&] { arrivals.push_back(e.now()); });
+  e.run();
+  ASSERT_EQ(arrivals.size(), 8u);
+  for (const Time t : arrivals) EXPECT_EQ(t, 0);
+}
+
+// ---------- Fault injection ----------
+
+TEST(FaultPlan, DefaultIsInactive) {
+  EXPECT_FALSE(FaultPlan{}.any());
+  EXPECT_FALSE(NetParams{}.faults.any());
+}
+
+TEST(FaultPlan, ParsesIndividualKnobs) {
+  const auto p = FaultPlan::parse(
+      "drop=0.25,dup=0.5,reorder=0.1:7000,delay=0.2:5000,pause=0.05:9000,"
+      "jitter,seed=42");
+  EXPECT_EQ(p.drop, 0.25);
+  EXPECT_EQ(p.dup, 0.5);
+  EXPECT_EQ(p.reorder, 0.1);
+  EXPECT_EQ(p.reorder_window, 7000);
+  EXPECT_EQ(p.delay, 0.2);
+  EXPECT_EQ(p.delay_spike, 5000);
+  EXPECT_EQ(p.pause, 0.05);
+  EXPECT_EQ(p.pause_time, 9000);
+  EXPECT_TRUE(p.link_jitter);
+  EXPECT_EQ(p.seed, 42u);
+  EXPECT_TRUE(p.any());
+}
+
+TEST(FaultPlan, ChaosPresetActivatesEverything) {
+  const auto p = FaultPlan::parse("chaos");
+  EXPECT_GT(p.drop, 0.0);
+  EXPECT_GT(p.dup, 0.0);
+  EXPECT_GT(p.reorder, 0.0);
+  EXPECT_GT(p.delay, 0.0);
+  EXPECT_GT(p.pause, 0.0);
+  EXPECT_TRUE(p.any());
+}
+
+TEST(FaultPlan, LaterItemsOverrideEarlierOnes) {
+  const auto p = FaultPlan::parse("chaos,drop=0.9,pause=0");
+  EXPECT_EQ(p.drop, 0.9);
+  EXPECT_EQ(p.pause, 0.0);
+  EXPECT_GT(p.dup, 0.0);  // untouched preset value survives
+}
+
+TEST(FaultPlan, MalformedSpecsDie) {
+  EXPECT_DEATH(FaultPlan::parse("bogus"), "unknown spec item");
+  EXPECT_DEATH(FaultPlan::parse("drop"), "needs =<prob>");
+  EXPECT_DEATH(FaultPlan::parse("drop=nope"), "bad number");
+  EXPECT_DEATH(FaultPlan::parse("drop=1.5"), "out of \\[0,1\\]");
+  EXPECT_DEATH(FaultPlan::parse("delay=0.1:xyz"), "bad duration");
+  EXPECT_DEATH(FaultPlan::parse("delay=0.1:-5"), "negative duration");
+}
+
+TEST(FaultInjector, SameSeedSameDecisionStream) {
+  auto draw = [](std::uint64_t seed) {
+    FaultPlan plan = FaultPlan::parse("chaos,jitter");
+    plan.seed = seed;
+    FaultInjector inj(plan);
+    std::vector<std::uint64_t> seq;
+    for (std::uint32_t i = 0; i < 200; ++i) {
+      seq.push_back(inj.roll_msg_drop(i % 4, (i + 1) % 4) ? 1u : 0u);
+      seq.push_back(std::uint64_t(inj.roll_frag_delay(i % 4, (i + 1) % 4)));
+    }
+    return seq;
+  };
+  EXPECT_EQ(draw(7), draw(7));
+  EXPECT_NE(draw(7), draw(8));
+}
+
+TEST(FaultInjector, CountsEachFaultKind) {
+  FaultPlan plan;
+  plan.drop = 1.0;
+  plan.dup = 1.0;
+  plan.delay = 1.0;
+  plan.pause = 1.0;
+  FaultInjector inj(plan);
+  EXPECT_TRUE(inj.roll_msg_drop(0, 1));
+  EXPECT_TRUE(inj.roll_msg_dup(0, 1));
+  EXPECT_GT(inj.roll_frag_delay(0, 1), 0);
+  EXPECT_TRUE(inj.roll_pause(0, 1));
+  EXPECT_EQ(inj.stats().dropped_msgs, 1u);
+  EXPECT_EQ(inj.stats().dup_msgs, 1u);
+  EXPECT_EQ(inj.stats().delayed_frags, 1u);
+  EXPECT_EQ(inj.stats().pauses, 1u);
+  inj.reset_stats();
+  EXPECT_EQ(inj.stats().dropped_msgs, 0u);
+}
+
+TEST(Network, FaultFreeParamsAllocateNoInjector) {
+  Engine e;
+  Network net(e, NetParams{}, 2);
+  EXPECT_EQ(net.injector(), nullptr);
+}
+
+TEST(Network, DelaySpikePushesArrivalBack) {
+  Engine e;
+  NetParams p;
+  p.latency = 1000;
+  p.ns_per_byte = 0;
+  p.per_msg_wire = 0;
+  p.nic_serialize = false;
+  p.faults.delay = 1.0;  // every fragment spikes
+  p.faults.delay_spike = 5000;
+  Network net(e, p, 2);
+  ASSERT_NE(net.injector(), nullptr);
+  Time arrived = -1;
+  net.send(0, 1, 16, 0, [&] { arrived = e.now(); });
+  e.run();
+  EXPECT_EQ(arrived, 1000 + 5000);
+  EXPECT_EQ(net.injector()->stats().delayed_frags, 1u);
+}
+
+TEST(Network, ReorderJitterStaysInsideTheWindow) {
+  Engine e;
+  NetParams p;
+  p.latency = 1000;
+  p.ns_per_byte = 0;
+  p.per_msg_wire = 0;
+  p.nic_serialize = false;
+  p.faults.reorder = 1.0;
+  p.faults.reorder_window = 4000;
+  Network net(e, p, 2);
+  std::vector<Time> arrivals;
+  for (int i = 0; i < 50; ++i)
+    net.send(0, 1, 16, 0, [&] { arrivals.push_back(e.now()); });
+  e.run();
+  ASSERT_EQ(arrivals.size(), 50u);
+  bool jittered = false;
+  for (const Time t : arrivals) {
+    EXPECT_GE(t, 1000);
+    EXPECT_LT(t, 1000 + 4000);
+    jittered |= t != 1000;
+  }
+  EXPECT_TRUE(jittered);  // with p=1 over 50 draws, some jitter lands
+}
+
+TEST(Network, PauseFaultInvokesTheHook) {
+  Engine e;
+  NetParams p;
+  p.latency = 0;
+  p.ns_per_byte = 0;
+  p.per_msg_wire = 0;
+  p.nic_serialize = false;
+  p.faults.pause = 1.0;
+  p.faults.pause_time = 12345;
+  Network net(e, p, 2);
+  NodeId paused = 99;
+  Time duration = 0;
+  net.set_pause_hook([&](NodeId node, Time t) {
+    paused = node;
+    duration = t;
+  });
+  net.send(0, 1, 16, 0, [] {});
+  e.run();
+  EXPECT_EQ(paused, 1u);
+  EXPECT_EQ(duration, 12345);
+  EXPECT_EQ(net.injector()->stats().pauses, 1u);
+}
+
+TEST(Network, LostSendOccupiesTheWireButNeverDelivers) {
+  Engine e;
+  NetParams p;
+  p.latency = 0;
+  p.per_msg_wire = 0;
+  p.ns_per_byte = 1.0;
+  p.nic_serialize = true;
+  Network net(e, p, 2);
+  // A lost 100-byte fragment holds the NIC; the next real message queues
+  // behind it exactly as if it had been delivered.
+  net.send_lost(0, 1, 100, 0);
+  Time arrived = -1;
+  net.send(0, 1, 100, 0, [&] { arrived = e.now(); });
+  e.run();
+  EXPECT_EQ(arrived, 200);
+  EXPECT_EQ(net.stats().messages, 2u);  // injected traffic counts
+  EXPECT_EQ(net.stats().bytes, 200u);
+}
+
+TEST(Machine, PauseFaultChargesTheDestinationNode) {
+  NetParams p;
+  p.latency = 0;
+  p.ns_per_byte = 0;
+  p.per_msg_wire = 0;
+  p.nic_serialize = false;
+  p.faults.pause = 1.0;
+  p.faults.pause_time = 7000;
+  Machine m(2, p);
+  m.node(0).post([&m](Cpu& cpu) {
+    m.network().send(0, 1, 8, cpu.logical_now(), [] {});
+  });
+  m.engine().run();
+  // The machine's hook turns the pause into runtime-busy time on node 1.
+  EXPECT_EQ(m.node(1).stats().busy[int(Work::kRuntime)], 7000);
+}
+
 // ---------- NodeProc / Machine ----------
 
 TEST(NodeProc, TasksRunSeriallyAndChargeTime) {
