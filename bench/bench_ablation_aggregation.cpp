@@ -3,6 +3,7 @@
 // aggregation factor translates almost directly into phase time — until
 // messages hit the MTU and segment.
 #include <cstdio>
+#include <vector>
 
 #include "apps/em3d/em3d.h"
 #include "common.h"
@@ -13,17 +14,20 @@ int main(int argc, char** argv) {
   std::int64_t e_per_node = 2048;
   dpa::bench::ObsOptions obs;
   dpa::bench::FaultOptions faults;
+  dpa::bench::SweepOptions sweep;
   dpa::Options options;
   options.i64("procs", &procs, "node count")
       .i64("per-node", &e_per_node, "graph nodes per processor and side");
   obs.add_flags(options);
   faults.add_flags(options);
+  sweep.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
   obs.init();
 
   using namespace dpa;
   const auto base_net = faults.applied(bench::t3d_params());
   faults.announce();
+  const std::size_t jobs = sweep.resolved(obs.get() != nullptr);
 
   apps::em3d::Em3dConfig em;
   em.e_per_node = std::uint32_t(e_per_node);
@@ -33,14 +37,19 @@ int main(int argc, char** argv) {
 
   std::printf("=== Ablation: aggregation buffer size (em3d, %lld nodes) ===\n\n",
               (long long)procs);
+  const std::uint32_t caps[] = {1u, 4u, 16u, 64u, 256u};
+  const auto cap_runs = bench::sweep_cells<apps::em3d::Em3dRun>(
+      jobs, std::size(caps), [&](std::size_t i) {
+        auto cfg = rt::RuntimeConfig::dpa(256);
+        cfg.agg_max_refs = caps[i];
+        return app.run(base_net, cfg, obs.get());
+      });
   Table table({"agg max refs", "time(s)", "agg factor", "request msgs",
                "wire msgs", "bytes"});
-  for (const std::uint32_t cap : {1u, 4u, 16u, 64u, 256u}) {
-    auto cfg = rt::RuntimeConfig::dpa(256);
-    cfg.agg_max_refs = cap;
-    const auto run = app.run(base_net, cfg, obs.get());
+  for (std::size_t i = 0; i < std::size(caps); ++i) {
+    const auto& run = cap_runs[i];
     const auto& p = run.steps[0].phase;
-    table.add_row({std::to_string(cap),
+    table.add_row({std::to_string(caps[i]),
                    Table::num(run.total_parallel_seconds(), 3),
                    Table::num(p.rt.aggregation_factor(), 1),
                    std::to_string(p.rt.request_msgs),
@@ -50,16 +59,21 @@ int main(int argc, char** argv) {
   table.print();
 
   std::printf("\n=== Ablation: MTU (agg max 256) ===\n\n");
+  const std::uint32_t mtus[] = {256u, 1024u, 4096u, 16384u};
+  const auto mtu_runs = bench::sweep_cells<apps::em3d::Em3dRun>(
+      jobs, std::size(mtus), [&](std::size_t i) {
+        auto net = base_net;
+        net.mtu_bytes = mtus[i];
+        auto cfg = rt::RuntimeConfig::dpa(256);
+        cfg.agg_max_refs = 256;
+        return app.run(net, cfg, obs.get());
+      });
   Table mtu_table({"mtu bytes", "time(s)", "wire msgs (fragments)"});
-  for (const std::uint32_t mtu : {256u, 1024u, 4096u, 16384u}) {
-    auto net = base_net;
-    net.mtu_bytes = mtu;
-    auto cfg = rt::RuntimeConfig::dpa(256);
-    cfg.agg_max_refs = 256;
-    const auto run = app.run(net, cfg, obs.get());
-    mtu_table.add_row({std::to_string(mtu),
-                       Table::num(run.total_parallel_seconds(), 3),
-                       std::to_string(run.steps[0].phase.net.messages)});
+  for (std::size_t i = 0; i < std::size(mtus); ++i) {
+    mtu_table.add_row(
+        {std::to_string(mtus[i]),
+         Table::num(mtu_runs[i].total_parallel_seconds(), 3),
+         std::to_string(mtu_runs[i].steps[0].phase.net.messages)});
   }
   mtu_table.print();
   std::printf(

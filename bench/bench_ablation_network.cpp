@@ -4,6 +4,8 @@
 // tiling/scheduling optimization (the single-address-space "cache
 // optimization" direction the paper's Section 6 sketches).
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "apps/barnes/app.h"
 #include "common.h"
@@ -13,14 +15,17 @@ int main(int argc, char** argv) {
   std::int64_t bodies = 4096;
   std::int64_t procs = 16;
   dpa::bench::FaultOptions faults;
+  dpa::bench::SweepOptions sweep;
   dpa::Options options;
   options.i64("bodies", &bodies, "Barnes-Hut bodies")
       .i64("procs", &procs, "node count");
   faults.add_flags(options);
+  sweep.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
 
   using namespace dpa;
   faults.announce();
+  const std::size_t jobs = sweep.resolved(/*has_obs=*/false);
 
   apps::barnes::BarnesConfig bh;
   bh.nbodies = std::uint32_t(bodies);
@@ -32,23 +37,10 @@ int main(int argc, char** argv) {
       "sequential (modeled): %.3f s\n\n",
       (long long)procs, seq);
 
-  Table table({"network", "DPA(50) (s)", "Caching (s)", "Prefetch (s)",
-               "DPA/Caching"});
-  auto row = [&](const std::string& name, const sim::NetParams& net) {
-    const double dpa = app.run(std::uint32_t(procs), net,
-                               rt::RuntimeConfig::dpa(50))
-                           .total_parallel_seconds();
-    const double caching = app.run(std::uint32_t(procs), net,
-                                   rt::RuntimeConfig::caching())
-                               .total_parallel_seconds();
-    const double prefetch = app.run(std::uint32_t(procs), net,
-                                    rt::RuntimeConfig::prefetching(8))
-                                .total_parallel_seconds();
-    table.add_row({name, Table::num(dpa, 3), Table::num(caching, 3),
-                   Table::num(prefetch, 3), Table::num(dpa / caching, 2)});
-  };
-
-  row("zero-cost (pure tiling)", faults.applied(sim::NetParams::zero()));
+  std::vector<std::string> labels;
+  std::vector<sim::NetParams> nets;
+  labels.push_back("zero-cost (pure tiling)");
+  nets.push_back(faults.applied(sim::NetParams::zero()));
   for (const double scale : {0.25, 1.0, 4.0, 16.0}) {
     auto net = faults.applied(bench::t3d_params());
     net.latency = sim::Time(double(net.latency) * scale);
@@ -56,7 +48,33 @@ int main(int argc, char** argv) {
     net.recv_overhead = sim::Time(double(net.recv_overhead) * scale);
     char label[64];
     std::snprintf(label, sizeof(label), "T3D x %.2f", scale);
-    row(label, net);
+    labels.push_back(label);
+    nets.push_back(net);
+  }
+
+  // Three engine cells per network row, flattened so all rows' runs share
+  // one host-thread pool.
+  const auto configs = [] {
+    std::vector<rt::RuntimeConfig> c;
+    c.push_back(rt::RuntimeConfig::dpa(50));
+    c.push_back(rt::RuntimeConfig::caching());
+    c.push_back(rt::RuntimeConfig::prefetching(8));
+    return c;
+  }();
+  const auto runs = bench::sweep_cells<apps::barnes::BarnesRun>(
+      jobs, nets.size() * configs.size(), [&](std::size_t i) {
+        return app.run(std::uint32_t(procs), nets[i / configs.size()],
+                       configs[i % configs.size()]);
+      });
+
+  Table table({"network", "DPA(50) (s)", "Caching (s)", "Prefetch (s)",
+               "DPA/Caching"});
+  for (std::size_t r = 0; r < nets.size(); ++r) {
+    const double dpa = runs[r * 3].total_parallel_seconds();
+    const double caching = runs[r * 3 + 1].total_parallel_seconds();
+    const double prefetch = runs[r * 3 + 2].total_parallel_seconds();
+    table.add_row({labels[r], Table::num(dpa, 3), Table::num(caching, 3),
+                   Table::num(prefetch, 3), Table::num(dpa / caching, 2)});
   }
   table.print();
   std::printf(

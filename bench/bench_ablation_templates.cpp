@@ -15,16 +15,19 @@ int main(int argc, char** argv) {
   std::int64_t procs = 16;
   std::int64_t strip = 100;
   dpa::bench::FaultOptions faults;
+  dpa::bench::SweepOptions sweep;
   dpa::Options options;
   options.i64("bodies", &bodies, "Barnes-Hut bodies")
       .i64("procs", &procs, "node count")
       .i64("strip", &strip, "strip size");
   faults.add_flags(options);
+  sweep.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
 
   using namespace dpa;
   const auto net = faults.applied(bench::t3d_params());
   faults.announce();
+  const std::size_t jobs = sweep.resolved(/*has_obs=*/false);
 
   std::printf("=== Ablation: scheduling templates (strip %lld, %lld nodes) ===\n\n",
               (long long)strip, (long long)procs);
@@ -46,19 +49,29 @@ int main(int argc, char** argv) {
   em.remote_prob = 0.3;
   apps::em3d::Em3dApp em_app(em, std::uint32_t(procs));
 
-  for (const auto t : {rt::SchedTemplate::kCreateAllThenRun,
-                       rt::SchedTemplate::kInterleaved}) {
-    const auto bh_run = bh_app.run(std::uint32_t(procs), net, cfg_for(t));
-    const auto& bp = bh_run.steps[0].phase;
+  const rt::SchedTemplate templates[] = {rt::SchedTemplate::kCreateAllThenRun,
+                                         rt::SchedTemplate::kInterleaved};
+  // Four independent cells (2 templates x 2 apps), swept on a host pool.
+  const auto bh_runs = bench::sweep_cells<apps::barnes::BarnesRun>(
+      jobs, std::size(templates), [&](std::size_t i) {
+        return bh_app.run(std::uint32_t(procs), net, cfg_for(templates[i]));
+      });
+  const auto em_runs = bench::sweep_cells<apps::em3d::Em3dRun>(
+      jobs, std::size(templates), [&](std::size_t i) {
+        return em_app.run(net, cfg_for(templates[i]));
+      });
+
+  for (std::size_t i = 0; i < std::size(templates); ++i) {
+    const auto t = templates[i];
+    const auto& bp = bh_runs[i].steps[0].phase;
     table.add_row({"barnes-hut", rt::to_string(t),
-                   Table::num(bh_run.total_parallel_seconds(), 3),
+                   Table::num(bh_runs[i].total_parallel_seconds(), 3),
                    Table::num(bp.rt.aggregation_factor(), 1),
                    std::to_string(bp.rt.max_outstanding_threads),
                    std::to_string(bp.rt.request_msgs)});
-    const auto em_run = em_app.run(net, cfg_for(t));
-    const auto& ep = em_run.steps[0].phase;
+    const auto& ep = em_runs[i].steps[0].phase;
     table.add_row({"em3d", rt::to_string(t),
-                   Table::num(em_run.total_parallel_seconds(), 3),
+                   Table::num(em_runs[i].total_parallel_seconds(), 3),
                    Table::num(ep.rt.aggregation_factor(), 1),
                    std::to_string(ep.rt.max_outstanding_threads),
                    std::to_string(ep.rt.request_msgs)});

@@ -4,6 +4,7 @@
 // ceilings it bounds: max outstanding threads, max live entries in M, and
 // the thread-state memory high-water estimate.
 #include <cstdio>
+#include <vector>
 
 #include "apps/barnes/app.h"
 #include "apps/fmm/app.h"
@@ -12,19 +13,26 @@
 
 namespace {
 
-template <class App, class StepOf>
+constexpr std::uint32_t kStrips[] = {10u, 25u, 50u, 100u, 300u, 1000u};
+
+template <class App, class Run, class StepOf>
 void sweep(const char* name, const App& app, std::uint32_t procs,
            const dpa::sim::NetParams& net, double seq_seconds,
-           StepOf step_of) {
+           std::size_t jobs, StepOf step_of) {
   std::printf("--- %s on %u nodes ---\n", name, procs);
+  const std::size_t n = std::size(kStrips);
+  const auto runs =
+      dpa::bench::sweep_cells<Run>(jobs, n, [&](std::size_t i) {
+        return app.run(procs, net, dpa::rt::RuntimeConfig::dpa(kStrips[i]));
+      });
   dpa::Table table({"strip", "time(s)", "speedup", "agg factor",
                     "max outstanding", "max |M|", "thread mem (KB)"});
-  for (const std::uint32_t strip : {10u, 25u, 50u, 100u, 300u, 1000u}) {
-    const auto run = app.run(procs, net, dpa::rt::RuntimeConfig::dpa(strip));
-    const dpa::rt::PhaseResult& phase = step_of(run);
+  for (std::size_t i = 0; i < n; ++i) {
+    const dpa::rt::PhaseResult& phase = step_of(runs[i]);
     const double mem_kb =
         double(phase.rt.max_outstanding_threads) * 64.0 / 1024.0;
-    table.add_row({std::to_string(strip), dpa::Table::num(phase.seconds(), 3),
+    table.add_row({std::to_string(kStrips[i]),
+                   dpa::Table::num(phase.seconds(), 3),
                    dpa::Table::num(seq_seconds / phase.seconds(), 1) + "x",
                    dpa::Table::num(phase.rt.aggregation_factor(), 1),
                    std::to_string(phase.rt.max_outstanding_threads),
@@ -43,17 +51,20 @@ int main(int argc, char** argv) {
   std::int64_t terms = 16;
   std::int64_t procs = 16;
   dpa::bench::FaultOptions faults;
+  dpa::bench::SweepOptions sweep_opts;
   dpa::Options options;
   options.i64("bodies", &bodies, "Barnes-Hut bodies")
       .i64("particles", &particles, "FMM particles")
       .i64("terms", &terms, "FMM expansion terms")
       .i64("procs", &procs, "node count");
   faults.add_flags(options);
+  sweep_opts.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
 
   using namespace dpa;
   const auto net = faults.applied(bench::t3d_params());
   faults.announce();
+  const std::size_t jobs = sweep_opts.resolved(/*has_obs=*/false);
 
   std::printf("=== Figure: strip-size sensitivity ===\n\n");
 
@@ -61,20 +72,22 @@ int main(int argc, char** argv) {
   bh.nbodies = std::uint32_t(bodies);
   apps::barnes::BarnesApp bh_app(bh);
   const double bh_seq = bh_app.run_sequential()[0].seconds;
-  sweep("Barnes-Hut", bh_app, std::uint32_t(procs), net, bh_seq,
-        [](const apps::barnes::BarnesRun& r) -> const rt::PhaseResult& {
-          return r.steps[0].phase;
-        });
+  sweep<apps::barnes::BarnesApp, apps::barnes::BarnesRun>(
+      "Barnes-Hut", bh_app, std::uint32_t(procs), net, bh_seq, jobs,
+      [](const apps::barnes::BarnesRun& r) -> const rt::PhaseResult& {
+        return r.steps[0].phase;
+      });
 
   apps::fmm::FmmConfig fm;
   fm.nparticles = std::uint32_t(particles);
   fm.terms = std::uint32_t(terms);
   apps::fmm::FmmApp fmm_app(fm);
   const double fmm_seq = fmm_app.run_sequential().seconds;
-  sweep("FMM", fmm_app, std::uint32_t(procs), net, fmm_seq,
-        [](const apps::fmm::FmmRun& r) -> const rt::PhaseResult& {
-          return r.steps[0].phase;
-        });
+  sweep<apps::fmm::FmmApp, apps::fmm::FmmRun>(
+      "FMM", fmm_app, std::uint32_t(procs), net, fmm_seq, jobs,
+      [](const apps::fmm::FmmRun& r) -> const rt::PhaseResult& {
+        return r.steps[0].phase;
+      });
 
   std::printf(
       "expected shape (paper): small strips bound memory tightly but leave\n"

@@ -4,10 +4,15 @@
 // simulated machine the harness can afford — not the modeled T3D costs.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <unordered_map>
+
 #include "apps/barnes/plummer.h"
 #include "apps/barnes/tree.h"
 #include "gas/heap.h"
 #include "runtime/phase.h"
+#include "support/flat_map.h"
+#include "support/inline_fn.h"
 #include "support/rng.h"
 
 namespace {
@@ -76,6 +81,80 @@ void BM_DpaRemoteFetch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 512);
 }
 BENCHMARK(BM_DpaRemoteFetch);
+
+// --- Container head-to-head: the M-map access pattern ---
+//
+// One strip of the DPA engine: insert `n` pointer keys (dup joins probe the
+// same keys), look them all up (reply processing), then clear (strip
+// boundary). FlatMap is the production container; the unordered_map twin
+// exists to keep the win measurable on this host.
+
+constexpr int kMapKeys = 512;
+
+template <class Map>
+void map_churn(benchmark::State& state) {
+  struct Obj {
+    double v;
+  };
+  std::vector<Obj> objs(kMapKeys);
+  for (auto _ : state) {
+    Map m;
+    for (int i = 0; i < kMapKeys; ++i) m.try_emplace(&objs[i], 0);
+    std::uint64_t sum = 0;
+    for (int round = 0; round < 4; ++round) {
+      for (int i = 0; i < kMapKeys; ++i) {
+        auto it = m.find(&objs[i]);
+        sum += std::uint64_t(it->second += 1);
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+    m.clear();
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kMapKeys * 5);
+}
+
+void BM_MapChurn_FlatMap(benchmark::State& state) {
+  map_churn<FlatMap<const void*, int>>(state);
+}
+BENCHMARK(BM_MapChurn_FlatMap);
+
+void BM_MapChurn_UnorderedMap(benchmark::State& state) {
+  map_churn<std::unordered_map<const void*, int>>(state);
+}
+BENCHMARK(BM_MapChurn_UnorderedMap);
+
+// --- Callable head-to-head: the thread-continuation pattern ---
+//
+// Create a capturing closure, store it in the runtime's callable type, and
+// invoke it through type erasure — the per-thread cost require() pays.
+
+template <class Fn>
+void closure_roundtrip(benchmark::State& state) {
+  struct Obj {
+    double v = 1.0;
+  };
+  Obj obj;
+  double acc = 0;
+  for (auto _ : state) {
+    Fn fn = [&obj, &acc, scale = 2.0](const void* p) {
+      acc += static_cast<const Obj*>(p)->v * scale;
+    };
+    fn(&obj);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Closure_InlineFn(benchmark::State& state) {
+  closure_roundtrip<InlineFn<void(const void*), 48>>(state);
+}
+BENCHMARK(BM_Closure_InlineFn);
+
+void BM_Closure_StdFunction(benchmark::State& state) {
+  closure_roundtrip<std::function<void(const void*)>>(state);
+}
+BENCHMARK(BM_Closure_StdFunction);
 
 // Local thread creation + dispatch only.
 void BM_DpaLocalThreads(benchmark::State& state) {

@@ -29,6 +29,19 @@ using apps::fmm::FmmConfig;
 JsonWriter* g_json = nullptr;     // optional machine-readable output
 obs::Session* g_obs = nullptr;    // optional tracing + metrics sink
 sim::NetParams g_net = t3d_params();  // network (faulted when --faults=)
+std::size_t g_jobs = 1;           // host threads for sweep cells
+
+// One (procs, engine) sweep cell. Cells run — possibly on a host thread
+// pool — before any printing; rows are then emitted in index order, so the
+// output is identical to a serial sweep.
+struct Cell {
+  std::uint32_t procs = 0;
+  bool dpa = true;
+};
+
+rt::RuntimeConfig cell_config(const Cell& c) {
+  return c.dpa ? rt::RuntimeConfig::dpa(50) : rt::RuntimeConfig::caching();
+}
 
 void run_barnes(const BarnesConfig& cfg, std::uint32_t max_procs) {
   BarnesApp app(cfg);
@@ -40,33 +53,40 @@ void run_barnes(const BarnesConfig& cfg, std::uint32_t max_procs) {
   std::printf("sequential (modeled): %.2f s   [paper: %.2f s]\n\n",
               seq_seconds, PaperRef::bh_seq);
 
+  std::vector<Cell> cells;
+  for (int i = 0; i < 7; ++i) {
+    const auto procs = std::uint32_t(PaperRef::bh_procs[i]);
+    if (procs > max_procs) break;
+    cells.push_back({procs, /*dpa=*/true});
+    cells.push_back({procs, /*dpa=*/false});
+  }
+  const auto runs = sweep_cells<apps::barnes::BarnesRun>(
+      g_jobs, cells.size(), [&](std::size_t i) {
+        return app.run(cells[i].procs, g_net, cell_config(cells[i]), g_obs);
+      });
+
   Table table({"P", "DPA(50)", "Caching", "paper DPA", "paper Caching",
                "DPA speedup"});
   auto json_rows = g_json ? std::optional(g_json->arr("barnes_hut"))
                           : std::nullopt;
   double dpa_p1 = 0;
-  for (int i = 0; i < 7; ++i) {
-    const auto procs = std::uint32_t(PaperRef::bh_procs[i]);
-    if (procs > max_procs) break;
-    const auto dpa =
-        app.run(procs, g_net, rt::RuntimeConfig::dpa(50), g_obs);
-    const auto caching =
-        app.run(procs, g_net, rt::RuntimeConfig::caching(), g_obs);
-    const double dpa_s = dpa.total_parallel_seconds();
-    const double caching_s = caching.total_parallel_seconds();
+  for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+    const auto procs = cells[i].procs;
+    const double dpa_s = runs[i].total_parallel_seconds();
+    const double caching_s = runs[i + 1].total_parallel_seconds();
     if (procs == 1) dpa_p1 = dpa_s;
     table.add_row({std::to_string(procs), Table::num(dpa_s, 2),
                    Table::num(caching_s, 2),
-                   Table::num(PaperRef::bh_dpa50[i], 2),
-                   Table::num(PaperRef::bh_caching[i], 2),
+                   Table::num(PaperRef::bh_dpa50[i / 2], 2),
+                   Table::num(PaperRef::bh_caching[i / 2], 2),
                    Table::num(dpa_p1 > 0 ? dpa_p1 / dpa_s : 1.0, 1) + "x"});
     if (g_json) {
       auto row = g_json->obj();
       g_json->field("procs", std::uint64_t(procs))
           .field("dpa_s", dpa_s)
           .field("caching_s", caching_s)
-          .field("paper_dpa_s", PaperRef::bh_dpa50[i])
-          .field("paper_caching_s", PaperRef::bh_caching[i]);
+          .field("paper_dpa_s", PaperRef::bh_dpa50[i / 2])
+          .field("paper_caching_s", PaperRef::bh_caching[i / 2]);
     }
   }
   json_rows.reset();
@@ -82,33 +102,41 @@ void run_fmm(const FmmConfig& cfg, std::uint32_t max_procs) {
   std::printf("sequential (modeled): %.2f s   [paper: %.2f s]\n\n",
               seq.seconds, PaperRef::fmm_seq);
 
+  std::vector<Cell> cells;
+  for (int i = 0; i < 6; ++i) {
+    const auto procs = std::uint32_t(PaperRef::fmm_procs[i]);
+    if (procs > max_procs) break;
+    cells.push_back({procs, /*dpa=*/true});
+    cells.push_back({procs, /*dpa=*/false});
+  }
+  const auto runs = sweep_cells<apps::fmm::FmmRun>(
+      g_jobs, cells.size(), [&](std::size_t i) {
+        return app.run(cells[i].procs, g_net, cell_config(cells[i]), g_obs);
+      });
+
   Table table({"P", "DPA(50)", "Caching", "paper DPA", "DPA speedup"});
   auto json_rows = g_json ? std::optional(g_json->arr("fmm"))
                           : std::nullopt;
   double first_dpa = 0;
   std::uint32_t first_procs = 0;
-  for (int i = 0; i < 6; ++i) {
-    const auto procs = std::uint32_t(PaperRef::fmm_procs[i]);
-    if (procs > max_procs) break;
-    const auto dpa =
-        app.run(procs, g_net, rt::RuntimeConfig::dpa(50), g_obs);
-    const auto caching =
-        app.run(procs, g_net, rt::RuntimeConfig::caching(), g_obs);
-    const double dpa_s = dpa.total_parallel_seconds();
+  for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+    const auto procs = cells[i].procs;
+    const double dpa_s = runs[i].total_parallel_seconds();
+    const double caching_s = runs[i + 1].total_parallel_seconds();
     if (first_dpa == 0) {
       first_dpa = dpa_s;
       first_procs = procs;
     }
     table.add_row(
         {std::to_string(procs), Table::num(dpa_s, 2),
-         Table::num(caching.total_parallel_seconds(), 2),
-         maybe(PaperRef::fmm_dpa50[i]),
+         Table::num(caching_s, 2),
+         maybe(PaperRef::fmm_dpa50[i / 2]),
          Table::num(first_dpa / dpa_s * double(first_procs), 1) + "x"});
     if (g_json) {
       auto row = g_json->obj();
       g_json->field("procs", std::uint64_t(procs))
           .field("dpa_s", dpa_s)
-          .field("caching_s", caching.total_parallel_seconds());
+          .field("caching_s", caching_s);
     }
   }
   json_rows.reset();
@@ -130,6 +158,7 @@ int main(int argc, char** argv) {
   std::int64_t steps = 1;
   dpa::bench::ObsOptions obs;
   dpa::bench::FaultOptions faults;
+  dpa::bench::SweepOptions sweep;
   dpa::Options options;
   options.flag("paper", &paper,
                "run the full paper-scale workloads (minutes of host time)")
@@ -141,6 +170,7 @@ int main(int argc, char** argv) {
       .str("json", &json_path, "also write results to this JSON file");
   obs.add_flags(options);
   faults.add_flags(options);
+  sweep.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
   faults.apply(&dpa::bench::g_net);
   faults.announce();
@@ -148,6 +178,7 @@ int main(int argc, char** argv) {
   // attached even without --trace-out/--metrics-out.
   obs.init(/*force=*/!json_path.empty());
   dpa::bench::g_obs = obs.get();
+  dpa::bench::g_jobs = sweep.resolved(dpa::bench::g_obs != nullptr);
 
   dpa::apps::barnes::BarnesConfig bh_cfg;
   dpa::apps::fmm::FmmConfig fmm_cfg;

@@ -14,9 +14,53 @@
 #include "runtime/phase.h"
 #include "sim/network.h"
 #include "support/options.h"
+#include "support/parallel.h"
 #include "support/table.h"
 
 namespace dpa::bench {
+
+// --jobs= plumbing for the sweep harnesses. A sweep's cells (one simulated
+// run each) are independent: each builds its own Cluster, so they can run on
+// a pool of host threads. Every cell is itself single-threaded and
+// deterministic, and results are collected into per-cell slots and printed
+// in index order afterwards — the output is byte-identical to --jobs=1.
+//
+// An attached obs::Session is shared mutable state (one metrics registry /
+// trace ring across runs), so observability-enabled invocations fall back
+// to serial; determinism_test exercises the parallel path with per-cell
+// sessions instead.
+struct SweepOptions {
+  std::int64_t jobs = 1;  // 0 = one per host hardware thread
+
+  void add_flags(Options& options) {
+    options.i64("jobs", &jobs,
+                "host threads for independent sweep cells (0 = nproc, 1 = "
+                "serial; results are bit-identical either way)");
+  }
+
+  // Number of worker threads to use for a sweep; `has_obs` forces serial.
+  std::size_t resolved(bool has_obs) const {
+    if (has_obs) {
+      if (jobs != 1)
+        std::fprintf(stderr,
+                     "note: --jobs ignored (observability session attached; "
+                     "running cells serially)\n");
+      return 1;
+    }
+    if (jobs <= 0) return host_concurrency();
+    return std::size_t(jobs);
+  }
+};
+
+// Runs compute(i) for every cell on `jobs` host threads and returns the
+// results in index order. `compute` must only touch cell-local state.
+template <class R, class Fn>
+std::vector<R> sweep_cells(std::size_t jobs, std::size_t count, Fn&& compute) {
+  std::vector<R> results(count);
+  parallel_for_cells(jobs, count,
+                     [&](std::size_t i) { results[i] = compute(i); });
+  return results;
+}
 
 // Observability plumbing shared by the harnesses: --trace-out= and
 // --metrics-out= flags plus the obs::Session the apps report into. The

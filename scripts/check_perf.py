@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Host-performance gate for the simulator hot path.
+
+Usage:
+  check_perf.py --bench path/to/bench_table2_exec_times \\
+                --baseline BENCH_perf.json [--regen] [--tolerance 0.25]
+
+Runs the table-2 harness at a small fixed scale, records host wall-clock
+and simulated events per host second (from the `sim.events` counter in the
+`dpa.metrics.v1` snapshot), and compares events/sec against the committed
+baseline. Throughput below (1 - tolerance) x baseline fails the gate.
+
+Events/sec is the primary metric because it normalizes out workload size:
+the simulated event count is deterministic, so only the host cost per
+event can move it. Wall-clock is recorded for context but not gated (CI
+machines vary too much for an absolute time bound).
+
+Re-bless a deliberate change (new cost model, bigger workload) with
+--regen — and say why in the commit. The baseline stores the machine it
+was recorded on; the default 25% tolerance absorbs normal CI-runner noise
+and generation-to-generation hardware drift, while still catching the
+step-function regressions this gate exists for (an accidental O(n^2), a
+debug container left in the hot path).
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+# Bigger than the golden-check workload so a single run takes a few hundred
+# milliseconds of host time; run a few times and take best-of to keep the
+# measurement stable on noisy shared runners.
+BENCH_ARGS = [
+    "--bodies=2048",
+    "--particles=2048",
+    "--terms=8",
+    "--max-procs=8",
+]
+RUNS = 3
+
+
+def fail(msg):
+    print(f"check_perf: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_bench_once(bench):
+    with tempfile.NamedTemporaryFile(
+        suffix=".json", prefix="perf_metrics_", delete=False
+    ) as tmp:
+        metrics_path = tmp.name
+    try:
+        start = time.perf_counter()
+        proc = subprocess.run(
+            [bench] + BENCH_ARGS + [f"--metrics-out={metrics_path}"],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        wall_s = time.perf_counter() - start
+        if proc.returncode != 0:
+            fail(
+                f"bench exited {proc.returncode}:\n"
+                + proc.stderr.decode(errors="replace")
+            )
+        with open(metrics_path) as f:
+            metrics = json.load(f)
+    finally:
+        os.unlink(metrics_path)
+    if metrics.get("schema") != "dpa.metrics.v1":
+        fail(f"unexpected metrics schema: {metrics.get('schema')!r}")
+    events = metrics.get("counters", {}).get("sim.events")
+    if not events:
+        fail("metrics snapshot has no sim.events counter")
+    return wall_s, events
+
+
+def measure(bench):
+    best = None
+    for _ in range(RUNS):
+        wall_s, events = run_bench_once(bench)
+        if best is None or wall_s < best[0]:
+            best = (wall_s, events)
+    wall_s, events = best
+    return {
+        "bench_args": BENCH_ARGS,
+        "sim_events": events,
+        "wall_s": round(wall_s, 4),
+        "events_per_sec": round(events / wall_s),
+        "machine": platform.machine(),
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--regen", action="store_true")
+    ap.add_argument("--tolerance", type=float, default=0.25)
+    args = ap.parse_args()
+
+    current = measure(args.bench)
+    print(
+        f"check_perf: {current['sim_events']} events in "
+        f"{current['wall_s']:.3f}s host = "
+        f"{current['events_per_sec']:,} events/sec"
+    )
+
+    if args.regen:
+        with open(args.baseline, "w") as f:
+            json.dump(current, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"check_perf: baseline written to {args.baseline}")
+        return
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        fail(f"no baseline at {args.baseline}; run with --regen to create it")
+
+    # The simulated event count is deterministic: a mismatch means the
+    # workload changed and the baseline must be deliberately regenerated.
+    if current["sim_events"] != baseline["sim_events"]:
+        fail(
+            f"sim.events changed: {current['sim_events']} vs baseline "
+            f"{baseline['sim_events']} — workload drifted; re-bless with "
+            "--regen if intentional"
+        )
+
+    floor = baseline["events_per_sec"] * (1.0 - args.tolerance)
+    ratio = current["events_per_sec"] / baseline["events_per_sec"]
+    print(
+        f"check_perf: baseline {baseline['events_per_sec']:,} events/sec "
+        f"(x{ratio:.2f}, floor x{1.0 - args.tolerance:.2f})"
+    )
+    if current["events_per_sec"] < floor:
+        fail(
+            f"events/sec regressed beyond {args.tolerance:.0%}: "
+            f"{current['events_per_sec']:,} < floor {floor:,.0f} "
+            f"(baseline {baseline['events_per_sec']:,} on "
+            f"{baseline.get('machine', '?')})"
+        )
+    print("check_perf: OK")
+
+
+if __name__ == "__main__":
+    main()

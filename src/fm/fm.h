@@ -17,11 +17,11 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/machine.h"
 #include "sim/network.h"
+#include "support/flat_map.h"
 
 namespace dpa::fm {
 
@@ -109,7 +109,7 @@ class FmLayer {
   // Fragments received per incomplete multi-fragment train. With timing
   // faults fragments may arrive out of order, so completion is by count,
   // not by which fragment was sent last.
-  std::unordered_map<std::uint64_t, std::uint32_t> partial_;
+  FlatMap<std::uint64_t, std::uint32_t> partial_;
 };
 
 }  // namespace dpa::fm

@@ -14,9 +14,12 @@ constexpr std::size_t kLocalBatch = 8;
 }  // namespace
 
 DpaEngine::DpaEngine(Cluster& cluster, NodeId node, const RuntimeConfig& cfg,
-                     fm::HandlerId h_req, fm::HandlerId h_reply,
+                     Arena& arena, fm::HandlerId h_req, fm::HandlerId h_reply,
                      fm::HandlerId h_accum, fm::HandlerId h_ack)
-    : EngineBase(cluster, node, cfg, h_req, h_reply, h_accum, h_ack),
+    : EngineBase(cluster, node, cfg, arena, h_req, h_reply, h_accum, h_ack),
+      ready_tiles_(ArenaAllocator<const void*>(&arena)),
+      local_ready_(ArenaAllocator<std::pair<GlobalRef, ThreadFn>>(&arena)),
+      order_(ArenaAllocator<OrderUnit>(&arena)),
       agg_(cluster.num_nodes()),
       acc_(cluster.num_nodes()) {
   if (cluster.obs != nullptr) {
@@ -139,7 +142,11 @@ void DpaEngine::on_reply(sim::Cpu& cpu, const ReplyPayload& reply) {
   kick();
 }
 
-void DpaEngine::dispatch_tile(sim::Cpu& cpu, Tile& tile) {
+void DpaEngine::dispatch_tile(sim::Cpu& cpu, const void* addr) {
+  auto it = m_.find(addr);
+  DPA_DCHECK(it != m_.end());
+  Tile& tile = it->second;
+  tile.queued = false;
   cpu.charge(cfg_.cost.tile_dispatch, sim::Work::kRuntime);
   ++stats_.tiles_run;
   if (h_tile_occupancy_ != nullptr)
@@ -148,12 +155,15 @@ void DpaEngine::dispatch_tile(sim::Cpu& cpu, Tile& tile) {
                                 cpu.logical_now(), tile.waiters.size()));
 
   // Take the waiters out: running them may append new waiters to this tile.
+  // `tile` must not be touched past this point — a nested require() can grow
+  // m_, which relocates entries.
+  const GlobalRef ref = tile.ref;
   auto waiters = std::move(tile.waiters);
   tile.waiters.clear();
   for (const ThreadFn& fn : waiters) {
     DPA_TRACE_EVT(trace_, instant(obs::Ev::kThreadResumed, node_,
                                   cpu.logical_now()));
-    run_thread(cpu, fn, tile.ref.addr);
+    run_thread(cpu, fn, ref.addr);
     stats_.outstanding_threads.add(-1);
   }
   DPA_TRACE_EVT(trace_, instant(obs::Ev::kTileClosed, node_,
@@ -164,13 +174,7 @@ bool DpaEngine::run_ready_tile(sim::Cpu& cpu) {
   if (ready_tiles_.empty()) return false;
   const void* addr = ready_tiles_.front();
   ready_tiles_.pop_front();
-  auto it = m_.find(addr);
-  DPA_DCHECK(it != m_.end());
-  // References into unordered_map nodes are stable across the rehash that a
-  // nested require() may trigger; only strip-boundary erase invalidates.
-  Tile& tile = it->second;
-  tile.queued = false;
-  dispatch_tile(cpu, tile);
+  dispatch_tile(cpu, addr);
   return true;
 }
 
@@ -184,7 +188,8 @@ bool DpaEngine::run_in_order(sim::Cpu& cpu) {
     stats_.outstanding_threads.add(-1);
     return true;
   }
-  auto it = m_.find(head.tile);
+  const void* addr = head.tile;
+  auto it = m_.find(addr);
   DPA_DCHECK(it != m_.end());
   Tile& tile = it->second;
   // Shouldn't happen under the create-all template (buffers are flushed
@@ -192,8 +197,7 @@ bool DpaEngine::run_in_order(sim::Cpu& cpu) {
   if (tile.st == Tile::St::kFresh) flush_dest(cpu, tile.ref.home);
   if (tile.st != Tile::St::kReady) return false;  // head-of-line wait
   order_.pop_front();
-  tile.queued = false;
-  dispatch_tile(cpu, tile);
+  dispatch_tile(cpu, addr);
   return true;
 }
 

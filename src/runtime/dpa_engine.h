@@ -29,7 +29,6 @@
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "runtime/engine.h"
@@ -40,7 +39,7 @@ namespace dpa::rt {
 class DpaEngine final : public EngineBase {
  public:
   DpaEngine(Cluster& cluster, NodeId node, const RuntimeConfig& cfg,
-            fm::HandlerId h_req, fm::HandlerId h_reply,
+            Arena& arena, fm::HandlerId h_req, fm::HandlerId h_reply,
             fm::HandlerId h_accum, fm::HandlerId h_ack);
 
   void require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) override;
@@ -85,15 +84,24 @@ class DpaEngine final : public EngineBase {
   bool flush_all(sim::Cpu& cpu);       // requests + accumulations
   bool flush_requests(sim::Cpu& cpu);  // request buffers only
 
-  void dispatch_tile(sim::Cpu& cpu, Tile& tile);
+  // Dispatches the tile at `addr`: runs its waiters back to back. Looks the
+  // tile up itself and drops the reference before running threads — a
+  // nested require() may grow m_, and the flat table relocates entries.
+  void dispatch_tile(sim::Cpu& cpu, const void* addr);
   void flush_dest(sim::Cpu& cpu, NodeId dest);
   bool strip_boundary(sim::Cpu& cpu);
   bool strip_has_uncreated() const;
 
-  std::unordered_map<const void*, Tile> m_;
-  std::deque<const void*> ready_tiles_;
-  std::deque<std::pair<GlobalRef, ThreadFn>> local_ready_;
-  std::deque<OrderUnit> order_;  // deterministic mode only
+  // Scheduler queues live on the phase arena: entries churn at thread rate
+  // and all die by phase end, so the deques' node blocks recycle through the
+  // arena's free lists instead of the global allocator.
+  template <class T>
+  using ArenaDeque = std::deque<T, ArenaAllocator<T>>;
+
+  FlatMap<const void*, Tile> m_;
+  ArenaDeque<const void*> ready_tiles_;
+  ArenaDeque<std::pair<GlobalRef, ThreadFn>> local_ready_;
+  ArenaDeque<OrderUnit> order_;  // deterministic mode only
   std::vector<std::vector<GlobalRef>> agg_;  // per-destination Fresh refs
   std::uint32_t agg_total_ = 0;
   // Per-destination buffered accumulations (flushed with the requests).

@@ -8,12 +8,13 @@
 namespace dpa::rt {
 
 EngineBase::EngineBase(Cluster& cluster, NodeId node,
-                       const RuntimeConfig& cfg, fm::HandlerId h_req,
-                       fm::HandlerId h_reply, fm::HandlerId h_accum,
-                       fm::HandlerId h_ack)
+                       const RuntimeConfig& cfg, Arena& arena,
+                       fm::HandlerId h_req, fm::HandlerId h_reply,
+                       fm::HandlerId h_accum, fm::HandlerId h_ack)
     : cluster_(cluster),
       node_(node),
       cfg_(cfg),
+      arena_(arena),
       h_req_(h_req),
       h_reply_(h_reply),
       h_accum_(h_accum),
@@ -111,7 +112,9 @@ void EngineBase::accumulate(sim::Cpu& cpu, GlobalRef ref, AccumFn update) {
     return;
   }
   cpu.charge(cost.accum_marshal, sim::Work::kComm);
-  send_accum(cpu, ref.home, {{ref, std::move(update)}});
+  std::vector<std::pair<GlobalRef, AccumFn>> items;
+  items.emplace_back(ref, std::move(update));
+  send_accum(cpu, ref.home, std::move(items));
 }
 
 void EngineBase::send_accum(

@@ -21,8 +21,6 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "fm/fm.h"
@@ -32,6 +30,9 @@
 #include "runtime/config.h"
 #include "runtime/stats.h"
 #include "sim/machine.h"
+#include "support/arena.h"
+#include "support/flat_map.h"
+#include "support/inline_fn.h"
 
 namespace dpa::rt {
 
@@ -43,11 +44,14 @@ using sim::Time;
 class Ctx;
 
 // A non-blocking thread body: runs to completion with its object available.
-using ThreadFn = std::function<void(Ctx&, const void*)>;
+// Move-only with a 48-byte inline capture buffer — every thread creation in
+// the timed phases stays allocation-free (the apps capture a couple of
+// pointers; oversized captures still work via a heap fallback).
+using ThreadFn = InlineFn<void(Ctx&, const void*), 48>;
 
 // A commutative update applied to an object at its home node (the paper's
 // "reductions" extension: remote writes that need no reply).
-using AccumFn = std::function<void(void*)>;
+using AccumFn = InlineFn<void(void*), 48>;
 
 // One node's share of a phase: a top-level conc loop of `count` iterations.
 // `item(ctx, i)` creates the root thread(s) of iteration i.
@@ -110,8 +114,11 @@ struct AckPayload {
 
 class EngineBase {
  public:
+  // `arena` is the phase arena (owned by PhaseRunner, reset between runs):
+  // engines back their scheduling queues with it so per-thread bookkeeping
+  // never touches the general-purpose allocator inside a timed phase.
   EngineBase(Cluster& cluster, NodeId node, const RuntimeConfig& cfg,
-             fm::HandlerId h_req, fm::HandlerId h_reply,
+             Arena& arena, fm::HandlerId h_req, fm::HandlerId h_reply,
              fm::HandlerId h_accum, fm::HandlerId h_ack);
   virtual ~EngineBase() = default;
 
@@ -200,6 +207,7 @@ class EngineBase {
   Cluster& cluster_;
   NodeId node_;
   const RuntimeConfig& cfg_;
+  Arena& arena_;
   fm::HandlerId h_req_;
   fm::HandlerId h_reply_;
   fm::HandlerId h_accum_;
@@ -237,9 +245,9 @@ class EngineBase {
 
   bool rel_enabled_ = false;
   std::uint64_t rel_next_seq_ = 0;
-  std::unordered_map<std::uint64_t, RelPending> rel_pending_;
+  FlatMap<std::uint64_t, RelPending> rel_pending_;
   // Per-source sets of delivered sequence numbers (receiver-side dedup).
-  std::vector<std::unordered_set<std::uint64_t>> rel_seen_;
+  std::vector<FlatSet<std::uint64_t>> rel_seen_;
 };
 
 // The per-thread execution context: thin wrapper over the node Cpu plus the

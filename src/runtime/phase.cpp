@@ -70,19 +70,20 @@ PhaseRunner::PhaseRunner(Cluster& cluster, RuntimeConfig cfg)
 std::unique_ptr<EngineBase> PhaseRunner::make_engine(NodeId node) {
   switch (cfg_.kind) {
     case EngineKind::kDpa:
-      return std::make_unique<DpaEngine>(cluster_, node, cfg_, h_req_,
+      return std::make_unique<DpaEngine>(cluster_, node, cfg_, arena_, h_req_,
                                          h_reply_, h_accum_, h_ack_);
     case EngineKind::kCaching:
-      return std::make_unique<SyncEngine>(cluster_, node, cfg_, h_req_,
-                                          h_reply_, h_accum_, h_ack_,
+      return std::make_unique<SyncEngine>(cluster_, node, cfg_, arena_,
+                                          h_req_, h_reply_, h_accum_, h_ack_,
                                           /*use_cache=*/true);
     case EngineKind::kBlocking:
-      return std::make_unique<SyncEngine>(cluster_, node, cfg_, h_req_,
-                                          h_reply_, h_accum_, h_ack_,
+      return std::make_unique<SyncEngine>(cluster_, node, cfg_, arena_,
+                                          h_req_, h_reply_, h_accum_, h_ack_,
                                           /*use_cache=*/false);
     case EngineKind::kPrefetch:
-      return std::make_unique<PrefetchEngine>(cluster_, node, cfg_, h_req_,
-                                              h_reply_, h_accum_, h_ack_);
+      return std::make_unique<PrefetchEngine>(cluster_, node, cfg_, arena_,
+                                              h_req_, h_reply_, h_accum_,
+                                              h_ack_);
   }
   DPA_PANIC("unknown engine kind");
 }
@@ -93,7 +94,10 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
   DPA_CHECK(work.size() == n)
       << "phase needs one NodeWork per node: " << work.size() << " != " << n;
 
+  // Tear down the previous run's engines *before* resetting the arena their
+  // queues lived on, then hand the recycled chunks to the new engines.
   engines_.clear();
+  arena_.reset();
   engines_.reserve(n);
   for (NodeId i = 0; i < n; ++i) engines_.push_back(make_engine(i));
 
@@ -105,7 +109,10 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
   for (NodeId i = 0; i < n; ++i) engines_[i]->start(std::move(work[i]));
 
   PhaseResult result;
+  const std::uint64_t events_before = cluster_.machine.engine().events_processed();
   result.elapsed = cluster_.machine.run_phase();
+  result.sim_events =
+      cluster_.machine.engine().events_processed() - events_before;
   if (cluster_.obs != nullptr)
     cluster_.obs->tracer.phase_end(name, phase_start + result.elapsed);
 
@@ -139,6 +146,7 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
     auto& m = cluster_.obs->metrics;
     result.rt.publish(m);
     *m.counter("rt.phases") += 1;
+    *m.counter("sim.events") += result.sim_events;
     *m.counter("net.messages") += result.net.messages;
     *m.counter("net.bytes") += result.net.bytes;
     *m.counter("fm.msgs_sent") += result.fm_total.msgs_sent;

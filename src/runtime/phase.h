@@ -32,6 +32,7 @@ struct PhaseResult {
   sim::NetStats net;
   sim::FaultStats faults;  // zero on a reliable (fault-free) network
   fm::FmNodeStats fm_total;
+  std::uint64_t sim_events = 0;  // discrete events the engine processed
   std::string diagnostics;  // per-node state dumps if !completed
 
   double seconds() const { return sim::to_seconds(elapsed); }
@@ -70,6 +71,10 @@ class PhaseRunner {
 
   Cluster& cluster_;
   RuntimeConfig cfg_;
+  // Phase arena backing every engine's scheduler queues. Reset at the top
+  // of run(), strictly after the previous engines are destroyed (their
+  // containers are the only users of the arena).
+  Arena arena_;
   std::vector<std::unique_ptr<EngineBase>> engines_;
   fm::HandlerId h_req_;
   fm::HandlerId h_reply_;

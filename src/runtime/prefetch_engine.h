@@ -13,7 +13,6 @@
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "runtime/engine.h"
@@ -23,7 +22,7 @@ namespace dpa::rt {
 class PrefetchEngine final : public EngineBase {
  public:
   PrefetchEngine(Cluster& cluster, NodeId node, const RuntimeConfig& cfg,
-                 fm::HandlerId h_req, fm::HandlerId h_reply,
+                 Arena& arena, fm::HandlerId h_req, fm::HandlerId h_reply,
                  fm::HandlerId h_accum, fm::HandlerId h_ack);
 
   void require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) override;
@@ -38,14 +37,17 @@ class PrefetchEngine final : public EngineBase {
   void prefetch_one(sim::Cpu& cpu, const GlobalRef& ref,
                     std::uint32_t* budget);
 
+  using StackEntry = std::pair<GlobalRef, ThreadFn>;
+
   // Children of the running traversal: LIFO (depth-first), popped first.
-  std::vector<std::pair<GlobalRef, ThreadFn>> stack_;
+  // Both continuation queues are arena-backed (phase-lifetime churn).
+  std::vector<StackEntry, ArenaAllocator<StackEntry>> stack_;
   // Upcoming conc-loop iterations: FIFO (software pipelining) — a root's
   // prefetch is issued a full window before the root executes.
-  std::deque<std::pair<GlobalRef, ThreadFn>> root_window_;
+  std::deque<StackEntry, ArenaAllocator<StackEntry>> root_window_;
   bool creating_roots_ = false;
-  std::unordered_set<const void*> cache_;     // arrived objects
-  std::unordered_set<const void*> inflight_;  // prefetches not yet back
+  FlatSet<const void*> cache_;     // arrived objects
+  FlatSet<const void*> inflight_;  // prefetches not yet back
   bool waiting_ = false;
   const void* waiting_addr_ = nullptr;
   GlobalRef wait_ref_;

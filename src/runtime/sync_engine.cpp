@@ -8,10 +8,12 @@
 namespace dpa::rt {
 
 SyncEngine::SyncEngine(Cluster& cluster, NodeId node,
-                       const RuntimeConfig& cfg, fm::HandlerId h_req,
-                       fm::HandlerId h_reply, fm::HandlerId h_accum,
-                       fm::HandlerId h_ack, bool use_cache)
-    : EngineBase(cluster, node, cfg, h_req, h_reply, h_accum, h_ack),
+                       const RuntimeConfig& cfg, Arena& arena,
+                       fm::HandlerId h_req, fm::HandlerId h_reply,
+                       fm::HandlerId h_accum, fm::HandlerId h_ack,
+                       bool use_cache)
+    : EngineBase(cluster, node, cfg, arena, h_req, h_reply, h_accum, h_ack),
+      stack_(ArenaAllocator<std::pair<GlobalRef, ThreadFn>>(&arena)),
       use_cache_(use_cache) {}
 
 bool SyncEngine::cache_lookup(const void* addr) {

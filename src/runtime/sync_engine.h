@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <list>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "runtime/engine.h"
@@ -24,7 +23,7 @@ class SyncEngine final : public EngineBase {
   // use_cache=true  -> EngineKind::kCaching
   // use_cache=false -> EngineKind::kBlocking
   SyncEngine(Cluster& cluster, NodeId node, const RuntimeConfig& cfg,
-             fm::HandlerId h_req, fm::HandlerId h_reply,
+             Arena& arena, fm::HandlerId h_req, fm::HandlerId h_reply,
              fm::HandlerId h_accum, fm::HandlerId h_ack, bool use_cache);
 
   void require(sim::Cpu& cpu, GlobalRef ref, ThreadFn thread) override;
@@ -39,10 +38,14 @@ class SyncEngine final : public EngineBase {
 
   bool cache_lookup(const void* addr);  // probes + maintains LRU order
 
-  std::vector<std::pair<GlobalRef, ThreadFn>> stack_;  // LIFO: depth-first
+  // LIFO continuation stack: depth-first. Arena-backed — it churns at
+  // thread rate and dies with the phase.
+  std::vector<std::pair<GlobalRef, ThreadFn>,
+              ArenaAllocator<std::pair<GlobalRef, ThreadFn>>>
+      stack_;
   // Cached object set plus an eviction order list (FIFO or LRU per config).
   std::list<const void*> order_;
-  std::unordered_map<const void*, std::list<const void*>::iterator> cache_;
+  FlatMap<const void*, std::list<const void*>::iterator> cache_;
   bool use_cache_;
   bool waiting_ = false;
   GlobalRef wait_ref_;

@@ -6,18 +6,53 @@
 
 namespace dpa::sim {
 
+namespace {
+constexpr std::size_t kArity = 4;
+}  // namespace
+
 void Engine::schedule_at(Time at, EventFn fn) {
   DPA_CHECK(at >= now_) << "event scheduled in the past: " << at << " < "
                         << now_;
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  heap_.push_back(Event{at, next_seq_++, std::move(fn)});
+  sift_up(heap_.size() - 1);
+}
+
+void Engine::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Engine::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + kArity < n ? first + kArity : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; the function object must be moved out,
-  // so copy the handle then pop.
-  Event ev = queue_.top();
-  queue_.pop();
+  if (heap_.empty()) return false;
+  // Pop the minimum before running it: the handler may schedule new events.
+  Event ev = std::move(heap_.front());
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
   now_ = ev.at;
   ++events_processed_;
   if (event_limit_ != 0 && events_processed_ > event_limit_) {

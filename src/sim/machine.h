@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -19,6 +18,7 @@
 #include "sim/network.h"
 #include "sim/time.h"
 #include "sim/trace.h"
+#include "support/inline_fn.h"
 
 namespace dpa::sim {
 
@@ -52,7 +52,9 @@ class Cpu {
   Time used_[kNumWorkKinds] = {0, 0, 0};
 };
 
-using Task = std::function<void(Cpu&)>;
+// Node tasks capture a handler pointer plus a Packet (FM delivery) at most;
+// like EventFn they stay inline and never heap-allocate in-tree.
+using Task = InlineFn<void(Cpu&), 64>;
 
 struct NodeStats {
   Time busy[kNumWorkKinds] = {0, 0, 0};

@@ -47,7 +47,7 @@ std::uint32_t Network::hops(NodeId src, NodeId dst) const {
 }
 
 Time Network::send(NodeId src, NodeId dst, std::uint32_t bytes, Time depart,
-                   std::function<void()> on_deliver) {
+                   Engine::EventFn on_deliver) {
   return inject(src, dst, bytes, depart, /*deliverable=*/true, &on_deliver);
 }
 
@@ -57,7 +57,7 @@ Time Network::send_lost(NodeId src, NodeId dst, std::uint32_t bytes,
 }
 
 Time Network::inject(NodeId src, NodeId dst, std::uint32_t bytes, Time depart,
-                     bool deliverable, std::function<void()>* on_deliver) {
+                     bool deliverable, Engine::EventFn* on_deliver) {
   DPA_CHECK(src < nic_free_.size() && dst < nic_free_.size())
       << "bad node id " << src << "->" << dst;
   DPA_CHECK(bytes <= params_.mtu_bytes)

@@ -83,7 +83,7 @@ class Network {
   //
   // Returns the arrival time.
   Time send(NodeId src, NodeId dst, std::uint32_t bytes, Time depart,
-            std::function<void()> on_deliver);
+            Engine::EventFn on_deliver);
 
   // As send(), but the message dies on the wire: it pays NIC serialization
   // and counts in the stats (it was injected), yet nothing is delivered.
@@ -120,7 +120,7 @@ class Network {
 
  private:
   Time inject(NodeId src, NodeId dst, std::uint32_t bytes, Time depart,
-              bool deliverable, std::function<void()>* on_deliver);
+              bool deliverable, Engine::EventFn* on_deliver);
 
   Engine& engine_;
   NetParams params_;

@@ -1,0 +1,293 @@
+// Open-addressing hash containers for the runtime's hot lookup structures.
+//
+// The paper's mapping M (pointer -> waiting threads), the baseline engines'
+// software caches, the reliability layer's pending/seen tables and the FM
+// fragment-reassembly table are all keyed by a pointer or a small integer
+// and live on the per-event hot path. std::unordered_map pays a heap node
+// per entry and a pointer chase per probe; FlatMap keeps key/value pairs in
+// one power-of-two slot array with linear probing and backward-shift
+// deletion (no tombstones), so a probe is one strided scan of contiguous
+// memory and clear()/rehash reuse the same allocation.
+//
+// Deliberate differences from std::unordered_map, relied on by callers:
+//   * references and iterators are invalidated by insert AND erase
+//     (backward-shift moves slots); the runtime never holds either across
+//     a mutation
+//   * iteration order is the probe-table order, not insertion order —
+//     nothing that affects simulated behavior may iterate these tables
+//   * keys and values must be movable; only movability is required
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <tuple>
+#include <utility>
+
+namespace dpa {
+
+// Deterministic mixing hash. Heap addresses and sequence numbers are
+// regular (aligned / consecutive), which degrades plain modulo hashing into
+// long probe runs; one splitmix64 round spreads them. No per-process seed:
+// simulated behavior must not depend on it, and keeping it fixed makes any
+// accidental order-dependence reproducible instead of flaky.
+struct FlatHash {
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t operator()(const void* p) const {
+    return mix(std::uint64_t(reinterpret_cast<std::uintptr_t>(p)));
+  }
+  std::uint64_t operator()(std::uint64_t v) const { return mix(v); }
+  std::uint64_t operator()(std::uint32_t v) const { return mix(v); }
+  std::uint64_t operator()(std::int64_t v) const {
+    return mix(std::uint64_t(v));
+  }
+};
+
+template <class K, class V, class Hash = FlatHash>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+
+  FlatMap() = default;
+
+  FlatMap(FlatMap&& other) noexcept { swap(other); }
+  FlatMap& operator=(FlatMap&& other) noexcept {
+    if (this != &other) {
+      free_table();
+      swap(other);
+    }
+    return *this;
+  }
+
+  FlatMap(const FlatMap&) = delete;
+  FlatMap& operator=(const FlatMap&) = delete;
+
+  ~FlatMap() { free_table(); }
+
+  class iterator {
+   public:
+    iterator() = default;
+    value_type& operator*() const { return map_->slots_[idx_]; }
+    value_type* operator->() const { return &map_->slots_[idx_]; }
+    iterator& operator++() {
+      idx_ = map_->next_full(idx_ + 1);
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return idx_ == o.idx_; }
+    bool operator!=(const iterator& o) const { return idx_ != o.idx_; }
+
+   private:
+    friend class FlatMap;
+    iterator(FlatMap* map, std::size_t idx) : map_(map), idx_(idx) {}
+    FlatMap* map_ = nullptr;
+    std::size_t idx_ = 0;
+  };
+  using const_iterator = iterator;  // shallow constness, internal container
+
+  iterator begin() { return iterator(this, next_full(0)); }
+  iterator end() { return iterator(this, cap_); }
+  iterator begin() const {
+    return const_cast<FlatMap*>(this)->begin();
+  }
+  iterator end() const { return const_cast<FlatMap*>(this)->end(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return cap_; }
+
+  iterator find(const K& key) {
+    if (size_ == 0) return end();
+    const std::size_t idx = probe(key);
+    return full_[idx] ? iterator(this, idx) : end();
+  }
+  iterator find(const K& key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  std::size_t count(const K& key) const { return find(key) != end() ? 1 : 0; }
+  bool contains(const K& key) const { return count(key) != 0; }
+
+  template <class... Args>
+  std::pair<iterator, bool> try_emplace(const K& key, Args&&... args) {
+    reserve_for_insert();
+    const std::size_t idx = probe(key);
+    if (full_[idx]) return {iterator(this, idx), false};
+    ::new (static_cast<void*>(slots_ + idx)) value_type(
+        std::piecewise_construct, std::forward_as_tuple(key),
+        std::forward_as_tuple(std::forward<Args>(args)...));
+    full_[idx] = 1;
+    ++size_;
+    return {iterator(this, idx), true};
+  }
+
+  template <class VV>
+  std::pair<iterator, bool> emplace(const K& key, VV&& value) {
+    auto [it, inserted] = try_emplace(key, std::forward<VV>(value));
+    return {it, inserted};
+  }
+
+  std::pair<iterator, bool> insert(value_type kv) {
+    return try_emplace(kv.first, std::move(kv.second));
+  }
+
+  V& operator[](const K& key) { return try_emplace(key).first->second; }
+
+  std::size_t erase(const K& key) {
+    if (size_ == 0) return 0;
+    const std::size_t idx = probe(key);
+    if (!full_[idx]) return 0;
+    erase_slot(idx);
+    return 1;
+  }
+
+  void clear() {
+    if (size_ == 0) return;
+    for (std::size_t i = 0; i < cap_; ++i) {
+      if (full_[i]) {
+        slots_[i].~value_type();
+        full_[i] = 0;
+      }
+    }
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    std::size_t want = kMinCapacity;
+    // Grow until n fits under the 3/4 load ceiling.
+    while (want - want / 4 < n) want *= 2;
+    if (want > cap_) rehash(want);
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  std::size_t mask() const { return cap_ - 1; }
+  std::size_t ideal(const K& key) const {
+    return std::size_t(Hash{}(key)) & mask();
+  }
+
+  // First slot holding `key`, or the empty slot where it would go.
+  std::size_t probe(const K& key) const {
+    std::size_t i = ideal(key);
+    while (full_[i] && !(slots_[i].first == key)) i = (i + 1) & mask();
+    return i;
+  }
+
+  std::size_t next_full(std::size_t i) const {
+    while (i < cap_ && !full_[i]) ++i;
+    return i;
+  }
+
+  void reserve_for_insert() {
+    if (cap_ == 0) {
+      rehash(kMinCapacity);
+    } else if (size_ + 1 > cap_ - cap_ / 4) {  // load factor 3/4
+      rehash(cap_ * 2);
+    }
+  }
+
+  void rehash(std::size_t new_cap) {
+    value_type* old_slots = slots_;
+    std::uint8_t* old_full = full_;
+    const std::size_t old_cap = cap_;
+
+    slots_ = static_cast<value_type*>(
+        ::operator new(new_cap * sizeof(value_type)));
+    full_ = static_cast<std::uint8_t*>(::operator new(new_cap));
+    cap_ = new_cap;
+    for (std::size_t i = 0; i < new_cap; ++i) full_[i] = 0;
+
+    for (std::size_t i = 0; i < old_cap; ++i) {
+      if (!old_full[i]) continue;
+      std::size_t j = ideal(old_slots[i].first);
+      while (full_[j]) j = (j + 1) & mask();
+      ::new (static_cast<void*>(slots_ + j))
+          value_type(std::move(old_slots[i]));
+      full_[j] = 1;
+      old_slots[i].~value_type();
+    }
+    if (old_slots != nullptr) {
+      ::operator delete(old_slots);
+      ::operator delete(old_full);
+    }
+  }
+
+  // Backward-shift deletion: pull every displaced successor in the probe
+  // run one slot back, so lookups never need tombstones.
+  void erase_slot(std::size_t hole) {
+    std::size_t j = hole;
+    while (true) {
+      j = (j + 1) & mask();
+      if (!full_[j]) break;
+      const std::size_t home = ideal(slots_[j].first);
+      // `j` can fill the hole iff its home position lies cyclically at or
+      // before the hole (i.e. the probe run from home passes through it).
+      if (((j - home) & mask()) >= ((j - hole) & mask())) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+    }
+    slots_[hole].~value_type();
+    full_[hole] = 0;
+    --size_;
+  }
+
+  void free_table() {
+    clear();
+    if (slots_ != nullptr) {
+      ::operator delete(slots_);
+      ::operator delete(full_);
+      slots_ = nullptr;
+      full_ = nullptr;
+      cap_ = 0;
+    }
+  }
+
+  void swap(FlatMap& other) {
+    std::swap(slots_, other.slots_);
+    std::swap(full_, other.full_);
+    std::swap(cap_, other.cap_);
+    std::swap(size_, other.size_);
+  }
+
+  value_type* slots_ = nullptr;
+  std::uint8_t* full_ = nullptr;
+  std::size_t cap_ = 0;
+  std::size_t size_ = 0;
+};
+
+// FlatMap with no mapped values: the runtime's membership sets (prefetch
+// cache / in-flight tables, reliability-layer delivered-sequence sets).
+template <class K, class Hash = FlatHash>
+class FlatSet {
+  struct Unit {};
+
+ public:
+  using iterator = typename FlatMap<K, Unit, Hash>::iterator;
+
+  iterator begin() const { return map_.begin(); }
+  iterator end() const { return map_.end(); }
+
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  std::pair<iterator, bool> insert(const K& key) {
+    return map_.try_emplace(key);
+  }
+  std::size_t count(const K& key) const { return map_.count(key); }
+  bool contains(const K& key) const { return map_.contains(key); }
+  std::size_t erase(const K& key) { return map_.erase(key); }
+  void clear() { map_.clear(); }
+  void reserve(std::size_t n) { map_.reserve(n); }
+
+ private:
+  FlatMap<K, Unit, Hash> map_;
+};
+
+}  // namespace dpa

@@ -1,0 +1,53 @@
+// Host-side parallel sweep driver.
+//
+// Every simulated run in this repository is single-threaded and
+// deterministic; the experiment harnesses, however, sweep many independent
+// (engine, node-count, strip, seed) cells and used to run them serially on
+// one core. parallel_for_cells runs the cells on a pool of host threads.
+// Each cell builds its own Cluster/obs::Session and writes its result into
+// its own pre-allocated slot, so nothing is shared between cells and the
+// results — every byte of them — are identical to a serial sweep; only the
+// host wall-clock changes. Determinism_test asserts exactly that.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace dpa {
+
+// Number of host hardware threads (>= 1).
+inline std::size_t host_concurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+// Runs fn(0) .. fn(count-1) on min(jobs, count) host threads. jobs <= 1
+// runs inline, in index order, with no thread machinery at all — the
+// serial baseline a parallel sweep must be bit-identical to. fn must only
+// touch state owned by its cell index.
+inline void parallel_for_cells(std::size_t jobs, std::size_t count,
+                               const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (jobs > count) jobs = count;
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(jobs);
+  for (std::size_t t = 0; t < jobs; ++t) threads.emplace_back(worker);
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace dpa

@@ -1,9 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "support/arena.h"
+#include "support/flat_map.h"
+#include "support/inline_fn.h"
 #include "support/options.h"
 #include "support/rng.h"
 #include "support/small_vector.h"
@@ -275,6 +284,329 @@ TEST(Table, ShortRowsPadded) {
   Table t({"a", "b"});
   t.add_row({"only"});
   EXPECT_NE(t.to_string().find("only"), std::string::npos);
+}
+
+// ---------- FlatMap ----------
+
+TEST(FlatMap, BasicInsertFindErase) {
+  FlatMap<std::uint64_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(7), m.end());
+
+  auto [it, inserted] = m.try_emplace(7, 70);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(it->second, 70);
+  EXPECT_FALSE(m.try_emplace(7, 99).second);
+  EXPECT_EQ(m.find(7)->second, 70);
+
+  m[7] = 71;
+  EXPECT_EQ(m.find(7)->second, 71);
+  m[8] = 80;  // operator[] default-constructs then assigns
+  EXPECT_EQ(m.size(), 2u);
+
+  EXPECT_EQ(m.erase(7), 1u);
+  EXPECT_EQ(m.erase(7), 0u);
+  EXPECT_EQ(m.find(7), m.end());
+  EXPECT_EQ(m.find(8)->second, 80);
+}
+
+TEST(FlatMap, GrowsPastManyRehashes) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t k = 0; k < 10000; ++k) m.try_emplace(k, k * 3);
+  EXPECT_EQ(m.size(), 10000u);
+  for (std::uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_NE(m.find(k), m.end()) << k;
+    EXPECT_EQ(m.find(k)->second, k * 3);
+  }
+}
+
+TEST(FlatMap, ClearKeepsCapacityAndWorks) {
+  FlatMap<std::uint64_t, int> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m.try_emplace(k, 1);
+  const std::size_t cap = m.capacity();
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.capacity(), cap);
+  for (std::uint64_t k = 50; k < 150; ++k) m.try_emplace(k, 2);
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_EQ(m.find(149)->second, 2);
+}
+
+TEST(FlatMap, MoveOnlyValues) {
+  FlatMap<std::uint64_t, std::unique_ptr<int>> m;
+  m.try_emplace(1, std::make_unique<int>(10));
+  m.emplace(2, std::make_unique<int>(20));
+  // Force rehash (moves values) and backward-shift erase (move-assigns).
+  for (std::uint64_t k = 3; k < 200; ++k)
+    m.try_emplace(k, std::make_unique<int>(int(k)));
+  EXPECT_EQ(*m.find(1)->second, 10);
+  m.erase(1);
+  EXPECT_EQ(m.find(1), m.end());
+  EXPECT_EQ(*m.find(2)->second, 20);
+}
+
+// Seeded fuzz: random insert/erase/lookup churn must agree with
+// std::unordered_map at every step, across growth and backward-shift
+// deletion. Keys are drawn from a small universe so collisions, erases of
+// present keys, and duplicate inserts all happen constantly.
+TEST(FlatMap, FuzzAgainstUnorderedMapOracle) {
+  for (const std::uint64_t seed : {1u, 2u, 42u, 1997u}) {
+    Rng rng(seed);
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+    for (int step = 0; step < 20000; ++step) {
+      const std::uint64_t key = rng.next_below(512);
+      switch (rng.next_below(8)) {
+        case 0:
+        case 1:
+        case 2: {  // try_emplace
+          const std::uint64_t v = rng.next_u64();
+          const bool a = map.try_emplace(key, v).second;
+          const bool b = oracle.try_emplace(key, v).second;
+          ASSERT_EQ(a, b);
+          break;
+        }
+        case 3: {  // operator[] overwrite
+          const std::uint64_t v = rng.next_u64();
+          map[key] = v;
+          oracle[key] = v;
+          break;
+        }
+        case 4: {  // erase
+          ASSERT_EQ(map.erase(key), oracle.erase(key));
+          break;
+        }
+        case 5: {  // clear, occasionally
+          if (rng.next_below(64) == 0) {
+            map.clear();
+            oracle.clear();
+          }
+          break;
+        }
+        default: {  // lookup
+          const auto it = map.find(key);
+          const auto oit = oracle.find(key);
+          ASSERT_EQ(it != map.end(), oit != oracle.end());
+          if (oit != oracle.end()) {
+            ASSERT_EQ(it->second, oit->second);
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(map.size(), oracle.size());
+    }
+    // Full final sweep: every oracle entry present with the same value, and
+    // iteration visits exactly size() live entries.
+    for (const auto& [k, v] : oracle) {
+      ASSERT_NE(map.find(k), map.end()) << "seed " << seed << " key " << k;
+      ASSERT_EQ(map.find(k)->second, v);
+    }
+    std::size_t visited = 0;
+    for (const auto& kv : map) {
+      ASSERT_EQ(oracle.at(kv.first), kv.second);
+      ++visited;
+    }
+    ASSERT_EQ(visited, oracle.size());
+  }
+}
+
+TEST(FlatSet, InsertEraseContains) {
+  FlatSet<const void*> s;
+  int a = 0, b = 0;
+  EXPECT_TRUE(s.insert(&a).second);
+  EXPECT_FALSE(s.insert(&a).second);
+  EXPECT_TRUE(s.contains(&a));
+  EXPECT_EQ(s.count(&b), 0u);
+  EXPECT_EQ(s.erase(&a), 1u);
+  EXPECT_FALSE(s.contains(&a));
+  EXPECT_EQ(s.size(), 0u);
+}
+
+// ---------- InlineFn ----------
+
+TEST(InlineFn, EmptyAndNullptr) {
+  InlineFn<int(int)> fn;
+  EXPECT_FALSE(fn);
+  EXPECT_TRUE(fn == nullptr);
+  fn = [](int x) { return x + 1; };
+  EXPECT_TRUE(fn);
+  EXPECT_EQ(fn(1), 2);
+  fn = nullptr;
+  EXPECT_FALSE(fn);
+}
+
+TEST(InlineFn, CaptureSizesStraddlingTheInlineBuffer) {
+  // 8B, 32B, 48B captures fit a 48-byte buffer; 64B and 128B spill to the
+  // heap. Both paths must produce identical results and report accordingly.
+  auto check = [](auto make_fn, bool want_inline) {
+    auto fn = make_fn();
+    EXPECT_EQ(fn.is_inline(), want_inline);
+    EXPECT_EQ(fn(), 42);
+  };
+  using Fn = InlineFn<int(), 48>;
+  check([] { return Fn([] { return 42; }); }, true);
+  check(
+      [] {
+        std::uint64_t a = 40, b = 2;
+        return Fn([a, b] { return int(a + b); });
+      },
+      true);
+  check(
+      [] {
+        std::uint64_t w[6] = {36, 1, 1, 1, 1, 2};
+        return Fn([w] { return int(w[0] + w[1] + w[2] + w[3] + w[4] + w[5]); });
+      },
+      true);
+  check(
+      [] {
+        std::uint64_t w[8] = {35, 1, 1, 1, 1, 1, 1, 1};
+        return Fn([w] {
+          int s = 0;
+          for (auto v : w) s += int(v);
+          return s;
+        });
+      },
+      false);
+  check(
+      [] {
+        std::uint64_t w[16] = {};
+        w[0] = 27;
+        w[15] = 15;
+        return Fn([w] { return int(w[0] + w[15]); });
+      },
+      false);
+}
+
+TEST(InlineFn, MoveTransfersOwnershipBothPaths) {
+  // Inline path: move relocates the capture into the destination buffer.
+  {
+    auto p = std::make_shared<int>(7);
+    InlineFn<int(), 48> a([p] { return *p; });
+    EXPECT_EQ(p.use_count(), 2);
+    InlineFn<int(), 48> b = std::move(a);
+    EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): documented empty
+    EXPECT_EQ(p.use_count(), 2);  // moved, not copied
+    EXPECT_EQ(b(), 7);
+    InlineFn<int(), 48> c;
+    c = std::move(b);
+    EXPECT_EQ(c(), 7);
+    EXPECT_EQ(p.use_count(), 2);
+  }
+  // Heap path: move hands over the heap pointer; the capture never moves.
+  {
+    auto p = std::make_shared<int>(9);
+    std::uint64_t pad[8] = {};
+    InlineFn<int(), 48> a([p, pad] { return *p + int(pad[0]); });
+    EXPECT_FALSE(a.is_inline());
+    EXPECT_EQ(p.use_count(), 2);
+    InlineFn<int(), 48> b = std::move(a);
+    EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(p.use_count(), 2);
+    EXPECT_EQ(b(), 9);
+  }
+}
+
+TEST(InlineFn, DestroysCaptureExactlyOnce) {
+  auto p = std::make_shared<int>(1);
+  {
+    InlineFn<void(), 48> fn([p] {});
+    EXPECT_EQ(p.use_count(), 2);
+    fn = nullptr;  // destroy without invoking
+    EXPECT_EQ(p.use_count(), 1);
+  }
+  {
+    std::uint64_t pad[8] = {};
+    InlineFn<void(), 48> fn([p, pad] { (void)pad; });
+    EXPECT_FALSE(fn.is_inline());
+    EXPECT_EQ(p.use_count(), 2);
+  }
+  EXPECT_EQ(p.use_count(), 1);
+}
+
+TEST(InlineFn, SelfMoveAssignSafe) {
+  InlineFn<int(), 48> fn([] { return 5; });
+  auto* alias = &fn;
+  fn = std::move(*alias);
+  // Self-move leaves the object valid (empty or unchanged); must not crash.
+  if (fn) {
+    EXPECT_EQ(fn(), 5);
+  }
+}
+
+TEST(InlineFn, InvocableWithArgumentsAndConst) {
+  const InlineFn<int(int, int), 48> fn([](int a, int b) { return a * b; });
+  EXPECT_EQ(fn(6, 7), 42);
+}
+
+// ---------- Arena ----------
+
+TEST(Arena, BumpAllocatesAlignedAndResets) {
+  Arena arena(1024);
+  void* a = arena.allocate(100, 8);
+  void* b = arena.allocate(100, 64);
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  EXPECT_GE(arena.bytes_requested(), 200u);
+
+  // Oversized request gets its own chunk rather than failing.
+  void* big = arena.allocate(4096, 16);
+  EXPECT_NE(big, nullptr);
+  const std::size_t chunks = arena.num_chunks();
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_requested(), 0u);
+  // Chunks are recycled, not freed: same pointer comes back first.
+  void* a2 = arena.allocate(100, 8);
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(arena.num_chunks(), chunks);
+}
+
+TEST(Arena, RecycleReusesFreedBlocks) {
+  Arena arena(4096);
+  void* p = arena.allocate(256, 8);
+  arena.recycle(p, 256);
+  void* q = arena.allocate(256, 8);
+  EXPECT_EQ(p, q);  // came off the free list, not the bump pointer
+  // A different size must not hit that bucket.
+  void* r = arena.allocate(128, 8);
+  EXPECT_NE(r, q);
+}
+
+TEST(Arena, ContainerChurnDoesNotGrowWithoutBound) {
+  // A deque pushed and popped far more times than its peak size must reuse
+  // its node blocks through the free lists: reserved bytes stay flat.
+  Arena arena;
+  {
+    std::deque<std::uint64_t, ArenaAllocator<std::uint64_t>> q{
+        ArenaAllocator<std::uint64_t>(&arena)};
+    for (int round = 0; round < 1000; ++round) {
+      for (int i = 0; i < 256; ++i) q.push_back(std::uint64_t(i));
+      while (!q.empty()) q.pop_front();
+    }
+  }
+  // Peak live data is 256 * 8B = 2KB; without recycling this would be MBs.
+  EXPECT_LE(arena.bytes_reserved(), 256 * 1024u);
+}
+
+TEST(Arena, AllocatorAdapterWorksAcrossPhases) {
+  Arena arena;
+  using Alloc = ArenaAllocator<std::pair<const int, int>>;
+  for (int phase = 0; phase < 3; ++phase) {
+    {
+      std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(&arena)};
+      for (int i = 0; i < 10000; ++i) v.push_back(i);
+      EXPECT_EQ(v[9999], 9999);
+      // Rebind path: a map with a different node type on the same arena.
+      std::map<int, int, std::less<int>, Alloc> m{std::less<int>(),
+                                                  Alloc(&arena)};
+      for (int i = 0; i < 100; ++i) m[i] = i * 2;
+      EXPECT_EQ(m.at(99), 198);
+    }
+    arena.reset();  // all containers above are dead; safe to recycle
+  }
+  EXPECT_EQ(ArenaAllocator<int>(&arena), ArenaAllocator<long>(&arena));
+  Arena other;
+  EXPECT_NE(ArenaAllocator<int>(&arena), ArenaAllocator<int>(&other));
 }
 
 }  // namespace
