@@ -18,12 +18,13 @@ constexpr std::uint32_t kStrips[] = {10u, 25u, 50u, 100u, 300u, 1000u};
 template <class App, class Run, class StepOf>
 void sweep(const char* name, const App& app, std::uint32_t procs,
            const dpa::sim::NetParams& net, double seq_seconds,
-           std::size_t jobs, StepOf step_of) {
+           std::size_t jobs, dpa::exec::BackendKind backend, StepOf step_of) {
   std::printf("--- %s on %u nodes ---\n", name, procs);
   const std::size_t n = std::size(kStrips);
   const auto runs =
       dpa::bench::sweep_cells<Run>(jobs, n, [&](std::size_t i) {
-        return app.run(procs, net, dpa::rt::RuntimeConfig::dpa(kStrips[i]));
+        return app.run(procs, net, dpa::rt::RuntimeConfig::dpa(kStrips[i]),
+                       nullptr, backend);
       });
   dpa::Table table({"strip", "time(s)", "speedup", "agg factor",
                     "max outstanding", "max |M|", "thread mem (KB)"});
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
   std::int64_t procs = 16;
   dpa::bench::FaultOptions faults;
   dpa::bench::SweepOptions sweep_opts;
+  dpa::bench::BackendOptions backend;
   dpa::Options options;
   options.i64("bodies", &bodies, "Barnes-Hut bodies")
       .i64("particles", &particles, "FMM particles")
@@ -59,12 +61,16 @@ int main(int argc, char** argv) {
       .i64("procs", &procs, "node count");
   faults.add_flags(options);
   sweep_opts.add_flags(options);
+  backend.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
+  if (!backend.validate(faults)) return 1;
 
   using namespace dpa;
   const auto net = faults.applied(bench::t3d_params());
   faults.announce();
-  const std::size_t jobs = sweep_opts.resolved(/*has_obs=*/false);
+  backend.announce();
+  const std::size_t jobs =
+      backend.clamp_jobs(sweep_opts.resolved(/*has_obs=*/false));
 
   std::printf("=== Figure: strip-size sensitivity ===\n\n");
 
@@ -74,6 +80,7 @@ int main(int argc, char** argv) {
   const double bh_seq = bh_app.run_sequential()[0].seconds;
   sweep<apps::barnes::BarnesApp, apps::barnes::BarnesRun>(
       "Barnes-Hut", bh_app, std::uint32_t(procs), net, bh_seq, jobs,
+      backend.kind(),
       [](const apps::barnes::BarnesRun& r) -> const rt::PhaseResult& {
         return r.steps[0].phase;
       });
@@ -85,6 +92,7 @@ int main(int argc, char** argv) {
   const double fmm_seq = fmm_app.run_sequential().seconds;
   sweep<apps::fmm::FmmApp, apps::fmm::FmmRun>(
       "FMM", fmm_app, std::uint32_t(procs), net, fmm_seq, jobs,
+      backend.kind(),
       [](const apps::fmm::FmmRun& r) -> const rt::PhaseResult& {
         return r.steps[0].phase;
       });

@@ -30,6 +30,7 @@ JsonWriter* g_json = nullptr;     // optional machine-readable output
 obs::Session* g_obs = nullptr;    // optional tracing + metrics sink
 sim::NetParams g_net = t3d_params();  // network (faulted when --faults=)
 std::size_t g_jobs = 1;           // host threads for sweep cells
+exec::BackendKind g_backend = exec::BackendKind::kSim;
 
 // One (procs, engine) sweep cell. Cells run — possibly on a host thread
 // pool — before any printing; rows are then emitted in index order, so the
@@ -62,7 +63,8 @@ void run_barnes(const BarnesConfig& cfg, std::uint32_t max_procs) {
   }
   const auto runs = sweep_cells<apps::barnes::BarnesRun>(
       g_jobs, cells.size(), [&](std::size_t i) {
-        return app.run(cells[i].procs, g_net, cell_config(cells[i]), g_obs);
+        return app.run(cells[i].procs, g_net, cell_config(cells[i]), g_obs,
+                       g_backend);
       });
 
   Table table({"P", "DPA(50)", "Caching", "paper DPA", "paper Caching",
@@ -111,7 +113,8 @@ void run_fmm(const FmmConfig& cfg, std::uint32_t max_procs) {
   }
   const auto runs = sweep_cells<apps::fmm::FmmRun>(
       g_jobs, cells.size(), [&](std::size_t i) {
-        return app.run(cells[i].procs, g_net, cell_config(cells[i]), g_obs);
+        return app.run(cells[i].procs, g_net, cell_config(cells[i]), g_obs,
+                       g_backend);
       });
 
   Table table({"P", "DPA(50)", "Caching", "paper DPA", "DPA speedup"});
@@ -159,6 +162,7 @@ int main(int argc, char** argv) {
   dpa::bench::ObsOptions obs;
   dpa::bench::FaultOptions faults;
   dpa::bench::SweepOptions sweep;
+  dpa::bench::BackendOptions backend;
   dpa::Options options;
   options.flag("paper", &paper,
                "run the full paper-scale workloads (minutes of host time)")
@@ -171,14 +175,19 @@ int main(int argc, char** argv) {
   obs.add_flags(options);
   faults.add_flags(options);
   sweep.add_flags(options);
+  backend.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
+  if (!backend.validate(faults)) return 1;
   faults.apply(&dpa::bench::g_net);
   faults.announce();
+  backend.announce();
+  dpa::bench::g_backend = backend.kind();
   // With --json the metrics block is merged into that file, so a session is
   // attached even without --trace-out/--metrics-out.
   obs.init(/*force=*/!json_path.empty());
   dpa::bench::g_obs = obs.get();
-  dpa::bench::g_jobs = sweep.resolved(dpa::bench::g_obs != nullptr);
+  dpa::bench::g_jobs = backend.clamp_jobs(
+      sweep.resolved(dpa::bench::g_obs != nullptr));
 
   dpa::apps::barnes::BarnesConfig bh_cfg;
   dpa::apps::fmm::FmmConfig fmm_cfg;

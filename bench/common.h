@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/backend.h"
 #include "obs/chrome_trace.h"
 #include "obs/session.h"
 #include "runtime/phase.h"
@@ -18,6 +19,47 @@
 #include "support/table.h"
 
 namespace dpa::bench {
+
+// --backend= plumbing: run a harness's cells on the discrete-event
+// simulator (the default; modeled seconds) or on the native shared-memory
+// backend (one host thread per node; real wall-clock seconds). Native runs
+// are incompatible with fault injection (the in-process fabric cannot lose
+// messages) and force --jobs=1 (a cell already uses one host thread per
+// node, and co-scheduling cells would corrupt each other's timings).
+struct BackendOptions {
+  std::string name = "sim";
+
+  void add_flags(Options& options) {
+    options.str("backend", &name,
+                "execution substrate: 'sim' (modeled LogGP network) or "
+                "'native' (one host thread per node, wall-clock timings)");
+  }
+
+  bool native() const { return name == "native"; }
+  exec::BackendKind kind() const {
+    return native() ? exec::BackendKind::kNative : exec::BackendKind::kSim;
+  }
+
+  // Call after parse(); returns false (after printing why) on a bad combo.
+  bool validate(const struct FaultOptions& faults) const;
+
+  std::size_t clamp_jobs(std::size_t jobs) const {
+    if (native() && jobs != 1) {
+      std::fprintf(stderr,
+                   "note: --jobs ignored (--backend=native runs cells "
+                   "serially; each already fans out across host threads)\n");
+      return 1;
+    }
+    return jobs;
+  }
+
+  void announce() const {
+    if (native())
+      std::printf(
+          "backend: native (threads, wall-clock; timings are host seconds, "
+          "not modeled T3D seconds)\n\n");
+  }
+};
 
 // --jobs= plumbing for the sweep harnesses. A sweep's cells (one simulated
 // run each) are independent: each builds its own Cluster, so they can run on
@@ -164,6 +206,21 @@ struct FaultOptions {
                 p.faults.describe().c_str());
   }
 };
+
+inline bool BackendOptions::validate(const FaultOptions& faults) const {
+  if (name != "sim" && name != "native") {
+    std::fprintf(stderr, "error: unknown --backend=%s (want sim|native)\n",
+                 name.c_str());
+    return false;
+  }
+  if (native() && faults.active()) {
+    std::fprintf(stderr,
+                 "error: --backend=native cannot run under --faults= (the "
+                 "in-process fabric is lossless)\n");
+    return false;
+  }
+  return true;
+}
 
 // Cray T3D as seen through Illinois Fast Messages: a few microseconds of
 // software overhead per message, a few microseconds of latency, ~30 MB/s

@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
               cluster.num_nodes());
 
   sim::Timeline timeline;
-  if (trace) cluster.machine.set_trace(&timeline);
+  if (trace) cluster.machine().set_trace(&timeline);
 
   const auto cfg =
       caching ? rt::RuntimeConfig::caching() : rt::RuntimeConfig::dpa(64);

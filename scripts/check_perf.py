@@ -1,24 +1,34 @@
 #!/usr/bin/env python3
-"""Host-performance gate for the simulator hot path.
+"""Host-performance gate for the execution hot paths.
 
 Usage:
   check_perf.py --bench path/to/bench_table2_exec_times \\
-                --baseline BENCH_perf.json [--regen] [--tolerance 0.25]
+                --baseline BENCH_perf.json [--regen] [--tolerance 0.25] \\
+                [--backend sim|native]
 
 Runs the table-2 harness at a small fixed scale, records host wall-clock
-and simulated events per host second (from the `sim.events` counter in the
-`dpa.metrics.v1` snapshot), and compares events/sec against the committed
-baseline. Throughput below (1 - tolerance) x baseline fails the gate.
+and progress units per host second, and compares throughput against the
+committed baseline. Throughput below (1 - tolerance) x baseline fails the
+gate.
 
-Events/sec is the primary metric because it normalizes out workload size:
-the simulated event count is deterministic, so only the host cost per
-event can move it. Wall-clock is recorded for context but not gated (CI
-machines vary too much for an absolute time bound).
+Two gated substrates:
+
+  sim (default): progress unit is discrete events (`sim.events` in the
+    `dpa.metrics.v1` snapshot). The event count is deterministic, so it is
+    asserted exactly — only host cost per event can move the throughput.
+
+  native: the same workload on the threaded backend; progress unit is node
+    tasks executed (`exec.tasks`). Task counts vary slightly run-to-run
+    (message arrival order steers aggregation flushes), so no exact-count
+    assertion — just the throughput floor, stored under the "native" key of
+    the same baseline file. Thread scheduling is noisier than simulation;
+    CI uses a wider tolerance for this mode.
 
 Re-bless a deliberate change (new cost model, bigger workload) with
---regen — and say why in the commit. The baseline stores the machine it
-was recorded on; the default 25% tolerance absorbs normal CI-runner noise
-and generation-to-generation hardware drift, while still catching the
+--regen — and say why in the commit; --regen touches only the keys of the
+selected backend. The baseline stores the machine it was recorded on; the
+default 25% tolerance absorbs normal CI-runner noise and
+generation-to-generation hardware drift, while still catching the
 step-function regressions this gate exists for (an accidental O(n^2), a
 debug container left in the hot path).
 """
@@ -43,21 +53,24 @@ BENCH_ARGS = [
 ]
 RUNS = 3
 
+COUNTER = {"sim": "sim.events", "native": "exec.tasks"}
+
 
 def fail(msg):
     print(f"check_perf: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
-def run_bench_once(bench):
+def run_bench_once(bench, backend):
     with tempfile.NamedTemporaryFile(
         suffix=".json", prefix="perf_metrics_", delete=False
     ) as tmp:
         metrics_path = tmp.name
+    extra = [f"--backend={backend}"] if backend != "sim" else []
     try:
         start = time.perf_counter()
         proc = subprocess.run(
-            [bench] + BENCH_ARGS + [f"--metrics-out={metrics_path}"],
+            [bench] + BENCH_ARGS + extra + [f"--metrics-out={metrics_path}"],
             stdout=subprocess.DEVNULL,
             stderr=subprocess.PIPE,
         )
@@ -73,22 +86,24 @@ def run_bench_once(bench):
         os.unlink(metrics_path)
     if metrics.get("schema") != "dpa.metrics.v1":
         fail(f"unexpected metrics schema: {metrics.get('schema')!r}")
-    events = metrics.get("counters", {}).get("sim.events")
+    counter = COUNTER[backend]
+    events = metrics.get("counters", {}).get(counter)
     if not events:
-        fail("metrics snapshot has no sim.events counter")
+        fail(f"metrics snapshot has no {counter} counter")
     return wall_s, events
 
 
-def measure(bench):
+def measure(bench, backend):
     best = None
     for _ in range(RUNS):
-        wall_s, events = run_bench_once(bench)
+        wall_s, events = run_bench_once(bench, backend)
         if best is None or wall_s < best[0]:
             best = (wall_s, events)
     wall_s, events = best
+    unit = "sim_events" if backend == "sim" else "tasks"
     return {
         "bench_args": BENCH_ARGS,
-        "sim_events": events,
+        unit: events,
         "wall_s": round(wall_s, 4),
         "events_per_sec": round(events / wall_s),
         "machine": platform.machine(),
@@ -101,31 +116,53 @@ def main():
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--regen", action="store_true")
     ap.add_argument("--tolerance", type=float, default=0.25)
+    ap.add_argument("--backend", choices=["sim", "native"], default="sim")
     args = ap.parse_args()
 
-    current = measure(args.bench)
+    current = measure(args.bench, args.backend)
+    unit = "sim_events" if args.backend == "sim" else "tasks"
     print(
-        f"check_perf: {current['sim_events']} events in "
+        f"check_perf[{args.backend}]: {current[unit]} {unit} in "
         f"{current['wall_s']:.3f}s host = "
-        f"{current['events_per_sec']:,} events/sec"
+        f"{current['events_per_sec']:,} per sec"
     )
 
     if args.regen:
+        # Touch only the selected backend's keys; leave the other's blessed
+        # numbers exactly as committed.
+        try:
+            with open(args.baseline) as f:
+                blessed = json.load(f)
+        except FileNotFoundError:
+            blessed = {}
+        if args.backend == "sim":
+            blessed = {**{k: v for k, v in blessed.items() if k == "native"},
+                       **current}
+        else:
+            blessed["native"] = current
         with open(args.baseline, "w") as f:
-            json.dump(current, f, indent=2, sort_keys=True)
+            json.dump(blessed, f, indent=2, sort_keys=True)
             f.write("\n")
         print(f"check_perf: baseline written to {args.baseline}")
         return
 
     try:
         with open(args.baseline) as f:
-            baseline = json.load(f)
+            blessed = json.load(f)
     except FileNotFoundError:
         fail(f"no baseline at {args.baseline}; run with --regen to create it")
+    baseline = blessed if args.backend == "sim" else blessed.get("native")
+    if not baseline:
+        fail(
+            f"baseline has no '{args.backend}' numbers; run with "
+            f"--backend={args.backend} --regen to add them"
+        )
 
     # The simulated event count is deterministic: a mismatch means the
     # workload changed and the baseline must be deliberately regenerated.
-    if current["sim_events"] != baseline["sim_events"]:
+    # (Native task counts legitimately wobble with arrival order, so only
+    # the throughput floor is enforced there.)
+    if args.backend == "sim" and current["sim_events"] != baseline["sim_events"]:
         fail(
             f"sim.events changed: {current['sim_events']} vs baseline "
             f"{baseline['sim_events']} — workload drifted; re-bless with "
@@ -135,12 +172,12 @@ def main():
     floor = baseline["events_per_sec"] * (1.0 - args.tolerance)
     ratio = current["events_per_sec"] / baseline["events_per_sec"]
     print(
-        f"check_perf: baseline {baseline['events_per_sec']:,} events/sec "
+        f"check_perf: baseline {baseline['events_per_sec']:,} per sec "
         f"(x{ratio:.2f}, floor x{1.0 - args.tolerance:.2f})"
     )
     if current["events_per_sec"] < floor:
         fail(
-            f"events/sec regressed beyond {args.tolerance:.0%}: "
+            f"throughput regressed beyond {args.tolerance:.0%}: "
             f"{current['events_per_sec']:,} < floor {floor:,.0f} "
             f"(baseline {baseline['events_per_sec']:,} on "
             f"{baseline.get('machine', '?')})"

@@ -59,10 +59,10 @@ void integrate(std::vector<Body>& bodies, double dt) {
 }  // namespace
 
 BarnesRun BarnesApp::run(std::uint32_t nodes, const sim::NetParams& net,
-                         const rt::RuntimeConfig& rcfg,
-                         obs::Session* obs) const {
+                         const rt::RuntimeConfig& rcfg, obs::Session* obs,
+                         exec::BackendKind backend) const {
   std::vector<Body> bodies = init_;
-  rt::Cluster cluster(nodes, net);
+  rt::Cluster cluster(nodes, backend, net);
   cluster.attach_obs(obs);
   rt::PhaseRunner runner(cluster, rcfg);
 
@@ -104,10 +104,10 @@ BarnesRun BarnesApp::run(std::uint32_t nodes, const sim::NetParams& net,
     DPA_CHECK(st.phase.completed)
         << "Barnes-Hut force phase deadlocked:\n"
         << st.phase.diagnostics;
-    st.interactions = params.interactions;
-    st.opens = params.opens;
-    st.model_seq_seconds = model_seq_seconds(
-        WalkCounts{params.interactions, params.opens});
+    st.interactions = params.interactions.load(std::memory_order_relaxed);
+    st.opens = params.opens.load(std::memory_order_relaxed);
+    st.model_seq_seconds =
+        model_seq_seconds(WalkCounts{st.interactions, st.opens});
     result.steps.push_back(std::move(st));
 
     integrate(bodies, cfg_.dt);

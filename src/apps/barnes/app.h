@@ -37,12 +37,13 @@ class BarnesApp {
  public:
   explicit BarnesApp(BarnesConfig cfg);
 
-  // Runs cfg.nsteps force phases on `nodes` simulated nodes. When `obs` is
-  // non-null the cluster reports into it: each force phase is traced as
-  // "bh.force" and its totals land in the metrics registry.
+  // Runs cfg.nsteps force phases on `nodes` nodes of the chosen execution
+  // backend (simulated by default). When `obs` is non-null the cluster
+  // reports into it: each force phase is traced as "bh.force" and its
+  // totals land in the metrics registry.
   BarnesRun run(std::uint32_t nodes, const sim::NetParams& net,
-                const rt::RuntimeConfig& rcfg,
-                obs::Session* obs = nullptr) const;
+                const rt::RuntimeConfig& rcfg, obs::Session* obs = nullptr,
+                exec::BackendKind backend = exec::BackendKind::kSim) const;
 
   struct SeqStep {
     std::vector<Vec3> acc;  // per body, this step

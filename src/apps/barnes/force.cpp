@@ -24,7 +24,8 @@ void walk_parallel(rt::Ctx& ctx, gas::GPtr<Cell> cell, Body* body,
       if (n > 0) {
         ctx2.charge(n * params->cost_interaction);
         body->work += double(n);
-        params->interactions += std::uint64_t(n);
+        params->interactions.fetch_add(std::uint64_t(n),
+                                       std::memory_order_relaxed);
       }
       return;
     }
@@ -44,12 +45,12 @@ void walk_parallel(rt::Ctx& ctx, gas::GPtr<Cell> cell, Body* body,
         ctx2.charge(params->cost_interaction);
       }
       body->work += 1.0;
-      ++params->interactions;
+      params->interactions.fetch_add(1, std::memory_order_relaxed);
     } else {
       // Open the cell: one new thread per child, each labeled with the
       // child pointer.
       ctx2.charge(params->cost_open);
-      ++params->opens;
+      params->opens.fetch_add(1, std::memory_order_relaxed);
       for (const auto& ch : c.child) {
         if (ch) walk_parallel(ctx2, ch, body, params);
       }

@@ -5,6 +5,7 @@
 // where DPA's map M tiles, pipelines and aggregates.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -15,7 +16,8 @@
 namespace dpa::apps::barnes {
 
 // Shared, phase-lifetime parameters for the walk threads. The counters are
-// host-side accounting (all simulated nodes run in one host thread).
+// host-side accounting shared by every node's threads — atomic (relaxed)
+// because on the native backend those threads are real concurrent workers.
 struct ForceParams {
   double theta2 = 1.0;
   double eps2 = 0.0025;
@@ -24,8 +26,8 @@ struct ForceParams {
   sim::Time cost_interaction_quad = 7600;
   sim::Time cost_open = 350;
   sim::Time cost_body_start = 900;
-  std::uint64_t interactions = 0;
-  std::uint64_t opens = 0;
+  std::atomic<std::uint64_t> interactions{0};
+  std::atomic<std::uint64_t> opens{0};
 };
 
 // Creates the walk thread for `body` on `cell`.

@@ -80,8 +80,8 @@ double Em3dApp::remote_edge_fraction() const {
 }
 
 Em3dRun Em3dApp::run(const sim::NetParams& net, const rt::RuntimeConfig& rcfg,
-                     obs::Session* obs) const {
-  rt::Cluster cluster(nodes_, net);
+                     obs::Session* obs, exec::BackendKind backend) const {
+  rt::Cluster cluster(nodes_, backend, net);
   cluster.attach_obs(obs);
   rt::PhaseRunner runner(cluster, rcfg);
 

@@ -55,8 +55,10 @@ class Em3dApp {
 
   // When `obs` is non-null the cluster reports into it: phases trace as
   // "em3d.E" / "em3d.H" and their totals land in the metrics registry.
+  // `backend` picks the execution substrate (simulated by default).
   Em3dRun run(const sim::NetParams& net, const rt::RuntimeConfig& rcfg,
-              obs::Session* obs = nullptr) const;
+              obs::Session* obs = nullptr,
+              exec::BackendKind backend = exec::BackendKind::kSim) const;
 
   // Host-only reference over the same graph.
   struct SeqResult {

@@ -53,9 +53,10 @@ void integrate(std::vector<Particle>& particles, double dt) {
 }  // namespace
 
 FmmRun FmmApp::run(std::uint32_t nodes, const sim::NetParams& net,
-                   const rt::RuntimeConfig& rcfg, obs::Session* obs) const {
+                   const rt::RuntimeConfig& rcfg, obs::Session* obs,
+                   exec::BackendKind backend) const {
   std::vector<Particle> particles = init_;
-  rt::Cluster cluster(nodes, net);
+  rt::Cluster cluster(nodes, backend, net);
   cluster.attach_obs(obs);
   rt::PhaseRunner runner(cluster, rcfg);
 
@@ -85,8 +86,8 @@ FmmRun FmmApp::run(std::uint32_t nodes, const sim::NetParams& net,
     // --- untimed completion ---
     tree.downward_and_evaluate(particles, cfg_.terms);
 
-    st.m2l = pc.m2l_done;
-    st.p2p_pairs = pc.p2p_pairs_done;
+    st.m2l = pc.m2l_done.load(std::memory_order_relaxed);
+    st.p2p_pairs = pc.p2p_pairs_done.load(std::memory_order_relaxed);
     st.list_entries = tree.total_entries();
     st.model_seq_seconds = model_seq_seconds(tree);
     result.steps.push_back(std::move(st));

@@ -37,9 +37,11 @@ class FmmApp {
   explicit FmmApp(FmmConfig cfg);
 
   // When `obs` is non-null the cluster reports into it: each interaction
-  // phase is traced as "fmm.interact".
+  // phase is traced as "fmm.interact". `backend` picks the execution
+  // substrate (simulated by default).
   FmmRun run(std::uint32_t nodes, const sim::NetParams& net,
-             const rt::RuntimeConfig& rcfg, obs::Session* obs = nullptr) const;
+             const rt::RuntimeConfig& rcfg, obs::Session* obs = nullptr,
+             exec::BackendKind backend = exec::BackendKind::kSim) const;
 
   struct SeqResult {
     std::vector<Cmplx> forces;  // first step's forces

@@ -5,6 +5,7 @@
 // accumulated owner-side.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -24,9 +25,10 @@ struct PhaseContext {
   // (leaves) inlined particles.
   std::uint32_t cell_bytes(std::int32_t src) const;
 
-  // Host-side accounting.
-  std::uint64_t m2l_done = 0;
-  std::uint64_t p2p_pairs_done = 0;
+  // Host-side accounting, shared by every node's threads — atomic (relaxed)
+  // because the native backend runs node threads concurrently.
+  std::atomic<std::uint64_t> m2l_done{0};
+  std::atomic<std::uint64_t> p2p_pairs_done{0};
 };
 
 std::vector<rt::NodeWork> make_interaction_work(

@@ -127,14 +127,15 @@ PerimeterApp::PerimeterApp(PerimeterConfig cfg, std::uint32_t nodes)
 }
 
 PerimeterResult PerimeterApp::run(const sim::NetParams& net,
-                                  const rt::RuntimeConfig& rcfg) const {
+                                  const rt::RuntimeConfig& rcfg,
+                                  exec::BackendKind backend) const {
   const Bitmap bm = make_bitmap(cfg_);
 
   HostTree host;
   host.nodes.reserve(std::size_t(bm.n) * bm.n / 2);
   const std::int32_t root_idx = host.build(bm, 0, 0, bm.n);
 
-  rt::Cluster cluster(nodes_, net);
+  rt::Cluster cluster(nodes_, backend, net);
 
   // Home each subtree where its first leaf lives; leaves are split into
   // contiguous preorder chunks (spatially compact).
@@ -171,15 +172,18 @@ PerimeterResult PerimeterApp::run(const sim::NetParams& net,
     owned[owner_of_leaf(h.first_leaf)].push_back(Leaf{h.x0, h.y0, h.size});
   }
 
-  auto perimeter = std::make_shared<std::uint64_t>(0);
+  // One edge counter per node: a node's threads run serially on that node,
+  // so no synchronization; summed in node order afterwards (exact — integer).
+  std::vector<std::uint64_t> partials(nodes_, 0);
   const PerimeterConfig* cfg = &cfg_;
   const std::uint32_t n_pix = bm.n;
   std::vector<rt::NodeWork> work(nodes_);
   for (std::uint32_t n = 0; n < nodes_; ++n) {
     const auto& mine = owned[n];
+    std::uint64_t* pperim = &partials[n];
     work[n].count = mine.size();
-    work[n].item = [&mine, perimeter, cfg, root, n_pix](rt::Ctx& ctx,
-                                                        std::uint64_t i) {
+    work[n].item = [&mine, pperim, cfg, root, n_pix](rt::Ctx& ctx,
+                                                     std::uint64_t i) {
       const Leaf& leaf = mine[std::size_t(i)];
       // Each border pixel edge: either the bitmap boundary (host check) or
       // a probe of the pixel on the other side.
@@ -187,11 +191,10 @@ PerimeterResult PerimeterApp::run(const sim::NetParams& net,
         if (px < 0 || py < 0 || px >= std::int64_t(n_pix) ||
             py >= std::int64_t(n_pix)) {
           ctx.charge(cfg->cost_edge);
-          ++*perimeter;
+          ++*pperim;
           return;
         }
-        probe(ctx, root, std::uint32_t(px), std::uint32_t(py),
-              perimeter.get(), cfg);
+        probe(ctx, root, std::uint32_t(px), std::uint32_t(py), pperim, cfg);
       };
       for (std::uint32_t k = 0; k < leaf.size; ++k) {
         edge(std::int64_t(leaf.x0) - 1, leaf.y0 + k);            // west
@@ -205,7 +208,7 @@ PerimeterResult PerimeterApp::run(const sim::NetParams& net,
   rt::PhaseRunner runner(cluster, rcfg);
   PerimeterResult result;
   result.phase = runner.run(std::move(work));
-  result.perimeter = *perimeter;
+  for (const std::uint64_t p : partials) result.perimeter += p;
   result.expected = oracle_perimeter(bm);
   result.black_leaves = black_leaves;
   result.tree_nodes = host.nodes.size();

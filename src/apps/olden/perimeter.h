@@ -48,8 +48,9 @@ class PerimeterApp {
  public:
   PerimeterApp(PerimeterConfig cfg, std::uint32_t nodes);
 
-  PerimeterResult run(const sim::NetParams& net,
-                      const rt::RuntimeConfig& rcfg) const;
+  PerimeterResult run(
+      const sim::NetParams& net, const rt::RuntimeConfig& rcfg,
+      exec::BackendKind backend = exec::BackendKind::kSim) const;
 
  private:
   PerimeterConfig cfg_;

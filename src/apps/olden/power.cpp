@@ -29,8 +29,9 @@ double demand_of(double coeff, double price) {
 }  // namespace
 
 PowerResult PowerApp::run(const sim::NetParams& net,
-                          const rt::RuntimeConfig& rcfg) const {
-  rt::Cluster cluster(nodes_, net);
+                          const rt::RuntimeConfig& rcfg,
+                          exec::BackendKind backend) const {
+  rt::Cluster cluster(nodes_, backend, net);
   Rng rng(cfg_.seed);
 
   const std::uint64_t nbranches =

@@ -47,8 +47,8 @@ class PowerApp {
  public:
   PowerApp(PowerConfig cfg, std::uint32_t nodes);
 
-  PowerResult run(const sim::NetParams& net,
-                  const rt::RuntimeConfig& rcfg) const;
+  PowerResult run(const sim::NetParams& net, const rt::RuntimeConfig& rcfg,
+                  exec::BackendKind backend = exec::BackendKind::kSim) const;
 
   // Host-only oracle over the same system.
   struct SeqResult {

@@ -69,8 +69,9 @@ TreeAddApp::TreeAddApp(TreeAddConfig cfg, std::uint32_t nodes)
 }
 
 TreeAddResult TreeAddApp::run(const sim::NetParams& net,
-                              const rt::RuntimeConfig& rcfg) const {
-  rt::Cluster cluster(nodes_, net);
+                              const rt::RuntimeConfig& rcfg,
+                              exec::BackendKind backend) const {
+  rt::Cluster cluster(nodes_, backend, net);
   Rng rng(cfg_.seed);
 
   Build build;
@@ -85,36 +86,42 @@ TreeAddResult TreeAddApp::run(const sim::NetParams& net,
   build.subtree_roots.resize(nodes_);
   const gas::GPtr<TNode> root = build.build(cfg_.depth, 0, 0);
 
-  auto sum = std::make_shared<double>(0.0);
+  // One partial sum per node: a node's threads run serially on that node
+  // (one worker per node on the native backend), so the partials need no
+  // synchronization, and the node-order reduction below is the same on both
+  // backends.
+  std::vector<double> partials(nodes_, 0.0);
   std::vector<rt::NodeWork> work(nodes_);
   const sim::Time cost = cfg_.cost_visit;
   for (std::uint32_t n = 0; n < nodes_; ++n) {
     const auto& roots = build.subtree_roots[n];
+    double* psum = &partials[n];
     work[n].count = roots.size();
-    work[n].item = [&roots, sum, cost, this](rt::Ctx& ctx, std::uint64_t i) {
-      walk(ctx, roots[std::size_t(i)], sum.get(), cost,
+    work[n].item = [&roots, psum, cost, this](rt::Ctx& ctx, std::uint64_t i) {
+      walk(ctx, roots[std::size_t(i)], psum, cost,
            cfg_.depth - 1);  // full remaining depth
     };
   }
   // Node 0 additionally walks the shared top region (above the split).
   if (split > 0) {
-    const std::uint64_t base = work[0].count;
-    auto item0 = std::move(work[0].item);
-    work[0].count = base + 1;
-    work[0].item = [item0 = std::move(item0), root, sum, cost, split, base](
+    const auto& roots0 = build.subtree_roots[0];
+    double* psum0 = &partials[0];
+    const std::uint32_t depth = cfg_.depth;
+    work[0].count = roots0.size() + 1;
+    work[0].item = [&roots0, root, psum0, cost, split, depth](
                        rt::Ctx& ctx, std::uint64_t i) {
-      if (i < base) {
-        item0(ctx, i);
+      if (i < roots0.size()) {
+        walk(ctx, roots0[std::size_t(i)], psum0, cost, depth - 1);
         return;
       }
-      walk(ctx, root, sum.get(), cost, split - 1);
+      walk(ctx, root, psum0, cost, split - 1);
     };
   }
 
   rt::PhaseRunner runner(cluster, rcfg);
   TreeAddResult result;
   result.phase = runner.run(std::move(work));
-  result.sum = *sum;
+  for (const double p : partials) result.sum += p;
   result.expected = build.expected;
   return result;
 }

@@ -42,8 +42,8 @@ class TreeAddApp {
  public:
   TreeAddApp(TreeAddConfig cfg, std::uint32_t nodes);
 
-  TreeAddResult run(const sim::NetParams& net,
-                    const rt::RuntimeConfig& rcfg) const;
+  TreeAddResult run(const sim::NetParams& net, const rt::RuntimeConfig& rcfg,
+                    exec::BackendKind backend = exec::BackendKind::kSim) const;
 
   const TreeAddConfig& config() const { return cfg_; }
 

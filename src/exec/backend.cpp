@@ -1,0 +1,22 @@
+#include "exec/backend.h"
+
+#include "exec/native_backend.h"
+#include "exec/sim_backend.h"
+#include "support/assert.h"
+
+namespace dpa::exec {
+
+std::unique_ptr<Backend> make_backend(BackendKind kind, std::uint32_t nodes,
+                                      const sim::NetParams& params) {
+  switch (kind) {
+    case BackendKind::kSim:
+      return std::make_unique<SimBackend>(nodes, params);
+    case BackendKind::kNative:
+      DPA_CHECK(!params.faults.any())
+          << "fault injection needs the modeled network: use the sim backend";
+      return std::make_unique<NativeBackend>(nodes);
+  }
+  DPA_PANIC("unknown backend kind");
+}
+
+}  // namespace dpa::exec

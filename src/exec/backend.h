@@ -1,0 +1,115 @@
+// Backend: the execution substrate a Cluster runs on.
+//
+// Everything the runtime layer used to hardwire against sim::Machine +
+// fm::FmLayer goes through this interface instead: node count, task spawn,
+// active-message send + handler registration, the time source for
+// reliability timers, and the phase barrier. Two implementations:
+//
+//   * SimBackend    — the deterministic discrete-event simulator. Modeled
+//                     LogGP network, modeled time, byte-identical to the
+//                     pre-Backend tree.
+//   * NativeBackend — one std::thread per node with MPSC mailboxes and a
+//                     sense-reversing phase barrier. Messages are real
+//                     cross-thread handoffs; phase elapsed time is real
+//                     monotonic wall-clock, so the DPA engine's tiling and
+//                     aggregation produce *measured* wins, not modeled ones.
+//
+// The contract the runtime relies on:
+//   * Tasks posted to a node run serially, in post order, on that node.
+//   * A handler runs as a task on the destination node; a message sent
+//     during a phase is delivered within the same phase.
+//   * begin_phase() zeroes per-node and messaging stats; run_phase()
+//     returns only when the whole machine is quiescent (no queued tasks,
+//     no in-flight messages).
+//   * After run_phase() returns, the caller (PhaseRunner) is the only
+//     thread touching runtime state until the next run_phase().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "exec/types.h"
+
+namespace dpa::sim {
+class Machine;
+struct NetParams;
+}  // namespace dpa::sim
+
+namespace dpa::exec {
+
+// What run_phase() measured. `events` is the substrate's own unit of
+// progress: discrete events processed on the simulator, tasks executed on
+// the native backend.
+struct PhaseExec {
+  Time elapsed = 0;
+  std::uint64_t events = 0;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  virtual BackendKind kind() const = 0;
+  virtual std::uint32_t num_nodes() const = 0;
+
+  // --- Active messages -----------------------------------------------
+  // Registers a handler (same id on every node). Must happen before any
+  // send and before the first run_phase().
+  virtual HandlerId register_handler(std::string name, Handler fn) = 0;
+  virtual const std::string& handler_name(HandlerId id) const = 0;
+
+  // Sends from node `src`, called from inside a task running on `src`.
+  // Charges send overhead (Work::kComm) to `cpu` per the backend's cost
+  // model; the handler runs as a task on `dst`.
+  virtual void send(Cpu& cpu, NodeId src, NodeId dst, HandlerId handler,
+                    std::shared_ptr<void> data, std::uint32_t bytes) = 0;
+
+  // --- Task spawn ----------------------------------------------------
+  // Enqueues a task on `node`. Tasks run serially in post order.
+  virtual void post(NodeId node, Task task) = 0;
+
+  // --- Time source ---------------------------------------------------
+  // Schedules `fn` at absolute time `at` (reliability retransmit timers).
+  // Sim only: the native fabric is in-process and lossless, so the retry
+  // protocol — and therefore this hook — never engages there.
+  virtual void schedule_at(Time at, TimerFn fn) = 0;
+
+  // --- Phase barrier -------------------------------------------------
+  // Marks the start of a timed phase (zeroes node + messaging stats);
+  // returns the phase-start timestamp in this backend's clock.
+  virtual Time begin_phase() = 0;
+
+  // Runs the phase to global quiescence and returns what it measured.
+  virtual PhaseExec run_phase() = 0;
+
+  // --- Phase accounting (valid after run_phase) ----------------------
+  virtual const NodeStats& node_stats(NodeId node) const = 0;
+  // Per-node idle time for the last phase: elapsed - busy, clamped at 0.
+  virtual Time idle_time(NodeId node, Time phase_elapsed) const = 0;
+  virtual MsgStats msg_stats_total() const = 0;
+  virtual void reset_msg_stats() = 0;
+
+  // True when a fault injector is armed (messages may be dropped /
+  // duplicated / delayed); engages the runtime's reliability layer.
+  virtual bool lossy() const = 0;
+
+  // Escape hatch for sim-specific callers (trace attachment, network
+  // stats, targeted fault injection in tests). Null on the native backend.
+  virtual sim::Machine* sim_machine() { return nullptr; }
+
+  bool is_sim() const { return kind() == BackendKind::kSim; }
+
+ protected:
+  Backend() = default;
+};
+
+// Factory. `params` configures the simulated network; the native backend
+// has no modeled network and ignores everything but the node count.
+std::unique_ptr<Backend> make_backend(BackendKind kind, std::uint32_t nodes,
+                                      const sim::NetParams& params);
+
+}  // namespace dpa::exec

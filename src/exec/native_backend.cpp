@@ -1,0 +1,238 @@
+#include "exec/native_backend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.h"
+
+namespace dpa::exec {
+
+namespace {
+
+// The worker that owns the node the current thread is executing for, or -1
+// on the main thread. Lets post() skip the mailbox lock for self-posts.
+thread_local std::int32_t tls_node = -1;
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+}  // namespace
+
+void SenseBarrier::arrive_and_wait(bool* my_sense) {
+  const bool sense = *my_sense;
+  if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    count_.store(n_, std::memory_order_relaxed);
+    sense_.store(sense, std::memory_order_release);
+  } else {
+    int spins = 0;
+    while (sense_.load(std::memory_order_acquire) != sense) {
+      if (++spins < 1024) {
+        cpu_pause();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  *my_sense = !sense;
+}
+
+NativeBackend::NativeBackend(std::uint32_t num_nodes)
+    : finish_barrier_(num_nodes) {
+  DPA_CHECK(num_nodes > 0);
+  nodes_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i)
+    nodes_.push_back(std::make_unique<Node>());
+  workers_.reserve(num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i)
+    workers_.emplace_back([this, i] { worker_main(i); });
+}
+
+NativeBackend::~NativeBackend() {
+  {
+    std::lock_guard<std::mutex> lk(phase_mu_);
+    stop_ = true;
+  }
+  phase_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+HandlerId NativeBackend::register_handler(std::string name, Handler fn) {
+  // Registration happens between phases (the main thread is the only one
+  // running); workers observe the table through the next epoch publish.
+  DPA_CHECK(handlers_.size() < 0xffff) << "handler table full";
+  auto entry = std::make_unique<HandlerEntry>();
+  entry->name = std::move(name);
+  entry->fn = std::move(fn);
+  handlers_.push_back(std::move(entry));
+  return HandlerId(handlers_.size() - 1);
+}
+
+void NativeBackend::post(NodeId node, Task task) {
+  DPA_DCHECK(node < nodes_.size());
+  // Increment strictly before enqueue: any thread that later drains its
+  // queues empty and reads zero knows no task anywhere is still running or
+  // enqueued (a running poster holds its own count until after it returns).
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  Node& n = *nodes_[node];
+  if (tls_node == std::int32_t(node)) {
+    n.local.push_back(std::move(task));
+    return;
+  }
+  std::lock_guard<std::mutex> lk(n.mu);
+  n.inbox.push_back(std::move(task));
+}
+
+void NativeBackend::send(Cpu& cpu, NodeId src, NodeId dst, HandlerId handler,
+                         std::shared_ptr<void> data, std::uint32_t bytes) {
+  (void)cpu;  // the real send cost is measured, not charged
+  DPA_DCHECK(handler < handlers_.size());
+  Node& sn = *nodes_[src];
+  ++sn.msg.msgs_sent;
+  ++sn.msg.frags_sent;  // no MTU segmentation in-process
+  sn.msg.bytes_sent += bytes;
+
+  const HandlerEntry* e = handlers_[handler].get();
+  Packet pkt{src, dst, handler, std::move(data), bytes};
+  Node* dn = nodes_[dst].get();
+  post(dst, [e, dn, pkt = std::move(pkt)](Cpu& task_cpu) {
+    ++dn->msg.msgs_recv;
+    dn->msg.bytes_recv += pkt.bytes;
+    e->fn(task_cpu, pkt);
+  });
+}
+
+void NativeBackend::schedule_at(Time at, TimerFn fn) {
+  (void)at;
+  (void)fn;
+  DPA_PANIC(
+      "NativeBackend has no deferred timers: the in-process fabric is "
+      "lossless, so the reliability/retry protocol (the only schedule_at "
+      "user) must stay on the sim backend");
+}
+
+Time NativeBackend::begin_phase() {
+  DPA_CHECK(outstanding_.load(std::memory_order_acquire) == 0)
+      << "begin_phase with tasks still outstanding";
+  for (auto& n : nodes_) {
+    n->stats.reset();
+    n->msg.reset();
+    DPA_CHECK(n->inbox.empty() && n->local.empty());
+  }
+  return clock_ns_;
+}
+
+PhaseExec NativeBackend::run_phase() {
+  phase_t0_ = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(phase_mu_);
+    ++phase_epoch_;
+  }
+  phase_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(phase_mu_);
+    phase_cv_.wait(lk, [this] { return done_epoch_ == phase_epoch_; });
+  }
+  PhaseExec out;
+  out.elapsed = since_phase_start(std::chrono::steady_clock::now());
+  for (const auto& n : nodes_) out.events += n->stats.tasks_run;
+  clock_ns_ += out.elapsed;
+  return out;
+}
+
+void NativeBackend::worker_main(NodeId id) {
+  tls_node = std::int32_t(id);
+  bool barrier_sense = true;
+  std::uint64_t epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(phase_mu_);
+      phase_cv_.wait(lk, [&] { return stop_ || phase_epoch_ > epoch; });
+      if (stop_) return;
+      epoch = phase_epoch_;
+    }
+    run_node_phase(*nodes_[id], id);
+    // Quiescent: every worker will independently observe outstanding == 0
+    // and arrive here. The barrier's acquire/release chain makes all
+    // pre-barrier writes visible to node 0, which signals the main thread.
+    finish_barrier_.arrive_and_wait(&barrier_sense);
+    if (id == 0) {
+      {
+        std::lock_guard<std::mutex> lk(phase_mu_);
+        done_epoch_ = epoch;
+      }
+      phase_cv_.notify_all();
+    }
+  }
+}
+
+void NativeBackend::run_node_phase(Node& n, NodeId id) {
+  std::deque<Task> batch;
+  int idle_spins = 0;
+  for (;;) {
+    bool ran = false;
+    {
+      std::lock_guard<std::mutex> lk(n.mu);
+      if (!n.inbox.empty()) batch.swap(n.inbox);
+    }
+    // Incoming messages first, then self-posted scheduler work — the same
+    // "yield to the inbox" policy the simulator's node processor has.
+    while (!batch.empty()) {
+      Task t = std::move(batch.front());
+      batch.pop_front();
+      run_task(n, id, std::move(t));
+      ran = true;
+    }
+    while (!n.local.empty()) {
+      Task t = std::move(n.local.front());
+      n.local.pop_front();
+      run_task(n, id, std::move(t));
+      ran = true;
+    }
+    if (ran) {
+      idle_spins = 0;
+      continue;  // our own tasks may have posted more to us
+    }
+    if (outstanding_.load(std::memory_order_acquire) == 0) return;
+    if (++idle_spins < 256) {
+      cpu_pause();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void NativeBackend::run_task(Node& n, NodeId id, Task task) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Cpu cpu(id, since_phase_start(t0));
+  task(cpu);
+  const auto t1 = std::chrono::steady_clock::now();
+  for (int k = 0; k < kNumWorkKinds; ++k) n.stats.busy[k] += cpu.used(Work(k));
+  n.stats.busy_total +=
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  n.stats.finish_time = since_phase_start(t1);
+  ++n.stats.tasks_run;
+  outstanding_.fetch_sub(1, std::memory_order_release);
+}
+
+MsgStats NativeBackend::msg_stats_total() const {
+  MsgStats total;
+  for (const auto& n : nodes_) {
+    total.msgs_sent += n->msg.msgs_sent;
+    total.frags_sent += n->msg.frags_sent;
+    total.msgs_recv += n->msg.msgs_recv;
+    total.bytes_sent += n->msg.bytes_sent;
+    total.bytes_recv += n->msg.bytes_recv;
+  }
+  return total;
+}
+
+void NativeBackend::reset_msg_stats() {
+  for (auto& n : nodes_) n->msg.reset();
+}
+
+}  // namespace dpa::exec

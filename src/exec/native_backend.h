@@ -1,0 +1,155 @@
+// NativeBackend: one host thread per node, real time, real message passing.
+//
+// The same runtime/engine/app stack that runs on the simulator runs here
+// unchanged, but "a message" is a genuine cross-thread handoff and "phase
+// elapsed" is monotonic wall-clock — so the DPA engine's aggregation and
+// pipelining show up as measured host performance, not modeled cycles.
+//
+// Execution model:
+//   * Each node is a persistent std::thread with an MPSC mailbox (mutex +
+//     deque) for cross-thread posts and an unlocked local queue for
+//     self-posts (a node's scheduler kicking itself never takes a lock).
+//   * send() enqueues a delivery task on the destination's mailbox; the
+//     handler runs on the destination's thread. The in-process fabric is
+//     lossless and unordered-across-nodes, exactly like the model.
+//   * Phase termination is global quiescence: an atomic counts every
+//     posted-but-not-finished task. It is incremented before a task is
+//     enqueued and decremented after it finishes, so a running task that
+//     will fan out more work always holds the count above zero — reading
+//     zero is a stable "everything drained" signal.
+//   * Workers then meet at a sense-reversing spin barrier; the main thread
+//     is woken through a condvar and is afterwards the only thread touching
+//     runtime state until the next phase (that handoff is the
+//     synchronization point for all per-node stats).
+//
+// Time: task charges still accumulate *modeled* nanoseconds, so the
+// compute/runtime/comm attribution in NodeStats.busy[] keeps its meaning,
+// while busy_total and finish_time are *real* nanoseconds measured around
+// each task — idle = elapsed - busy_total is genuine wait time.
+//
+// Not supported (sim-only by design): reliability retransmit timers
+// (schedule_at panics; the fabric cannot lose messages), fault injection,
+// and trace attachment.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/backend.h"
+
+namespace dpa::exec {
+
+// Sense-reversing barrier. Each participant keeps its own sense flag
+// (initially true) and passes it by pointer; the last arriver flips the
+// shared sense, releasing the spinners. Reusable immediately — that is the
+// point of sense reversal.
+class SenseBarrier {
+ public:
+  explicit SenseBarrier(std::uint32_t n) : n_(n), count_(n) {}
+
+  void arrive_and_wait(bool* my_sense);
+
+ private:
+  std::uint32_t n_;
+  std::atomic<std::uint32_t> count_;
+  std::atomic<bool> sense_{false};
+};
+
+class NativeBackend final : public Backend {
+ public:
+  explicit NativeBackend(std::uint32_t num_nodes);
+  ~NativeBackend() override;
+
+  BackendKind kind() const override { return BackendKind::kNative; }
+  std::uint32_t num_nodes() const override {
+    return std::uint32_t(nodes_.size());
+  }
+
+  HandlerId register_handler(std::string name, Handler fn) override;
+  const std::string& handler_name(HandlerId id) const override {
+    return handlers_[id]->name;
+  }
+
+  void send(Cpu& cpu, NodeId src, NodeId dst, HandlerId handler,
+            std::shared_ptr<void> data, std::uint32_t bytes) override;
+
+  void post(NodeId node, Task task) override;
+
+  void schedule_at(Time at, TimerFn fn) override;
+
+  Time begin_phase() override;
+  PhaseExec run_phase() override;
+
+  const NodeStats& node_stats(NodeId node) const override {
+    return nodes_[node]->stats;
+  }
+  Time idle_time(NodeId node, Time phase_elapsed) const override {
+    const Time idle = phase_elapsed - nodes_[node]->stats.busy_total;
+    return idle > 0 ? idle : 0;
+  }
+  MsgStats msg_stats_total() const override;
+  void reset_msg_stats() override;
+
+  bool lossy() const override { return false; }
+
+ private:
+  // Padded to a cache line boundary: stats and queues are written at task
+  // rate by the owning worker; neighbors must not false-share.
+  struct alignas(64) Node {
+    // Cross-thread inbox (messages, pre-phase seeding from the main
+    // thread). MPSC: many producers under the mutex, drained in batches by
+    // the owning worker.
+    std::mutex mu;
+    std::deque<Task> inbox;
+    // Self-posts from the owning worker; never locked.
+    std::deque<Task> local;
+    NodeStats stats;
+    MsgStats msg;  // sent-side fields written by owner, recv-side by owner
+  };
+
+  struct HandlerEntry {
+    std::string name;
+    Handler fn;
+  };
+
+  void worker_main(NodeId id);
+  void run_node_phase(Node& n, NodeId id);
+  void run_task(Node& n, NodeId id, Task task);
+  Time since_phase_start(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t - phase_t0_)
+        .count();
+  }
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<HandlerEntry>> handlers_;
+
+  // Posted-but-not-finished tasks; zero is a stable quiescence signal.
+  std::atomic<std::uint64_t> outstanding_{0};
+
+  // Phase start/stop plumbing. Workers park on phase_cv_ between phases;
+  // run_phase publishes a new epoch to release them and waits on done
+  // acknowledgment from the barrier's last wave.
+  std::mutex phase_mu_;
+  std::condition_variable phase_cv_;
+  std::uint64_t phase_epoch_ = 0;
+  std::uint64_t done_epoch_ = 0;
+  bool stop_ = false;
+
+  SenseBarrier finish_barrier_;
+  std::chrono::steady_clock::time_point phase_t0_;
+  // Accumulated wall-clock across completed phases: the backend's
+  // monotonically increasing "now", used only for phase bracketing.
+  Time clock_ns_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dpa::exec

@@ -14,11 +14,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "exec/types.h"
 #include "sim/machine.h"
 #include "sim/network.h"
 #include "support/flat_map.h"
@@ -28,28 +28,14 @@ namespace dpa::fm {
 using sim::NodeId;
 using sim::Time;
 
-using HandlerId = std::uint16_t;
-
-struct Packet {
-  NodeId src = 0;
-  NodeId dst = 0;
-  HandlerId handler = 0;
-  std::shared_ptr<void> data;   // handler-defined payload
-  std::uint32_t bytes = 0;      // modeled wire size (payload incl. headers)
-};
-
-// Runs on the destination node, in a destination-node task context.
-using Handler = std::function<void(sim::Cpu&, const Packet&)>;
-
-struct FmNodeStats {
-  std::uint64_t msgs_sent = 0;   // logical messages (pre-segmentation)
-  std::uint64_t frags_sent = 0;  // wire fragments
-  std::uint64_t msgs_recv = 0;
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t bytes_recv = 0;
-
-  void reset() { *this = FmNodeStats{}; }
-};
+// Packets, handlers, and messaging stats are the backend-neutral active-
+// message vocabulary (exec/types.h); the FM layer is the simulator-side
+// implementation of it. Handler is an InlineFn, so registering and invoking
+// a handler never touches std::function's type-erasure allocations.
+using exec::HandlerId;
+using exec::Packet;
+using Handler = exec::Handler;
+using FmNodeStats = exec::MsgStats;
 
 class FmLayer {
  public:

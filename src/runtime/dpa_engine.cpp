@@ -22,7 +22,9 @@ DpaEngine::DpaEngine(Cluster& cluster, NodeId node, const RuntimeConfig& cfg,
       order_(ArenaAllocator<OrderUnit>(&arena)),
       agg_(cluster.num_nodes()),
       acc_(cluster.num_nodes()) {
-  if (cluster.obs != nullptr) {
+  // Histograms are single-writer; engines on the native backend run on
+  // concurrent worker threads, so they record only on the simulator.
+  if (cluster.obs != nullptr && cluster.exec().is_sim()) {
     auto& m = cluster.obs->metrics;
     h_ref_latency_ = m.histogram("rt.ref_latency_ns");
     h_tile_occupancy_ = m.histogram("rt.tile_occupancy");

@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <utility>
 
+#include "exec/sim_backend.h"
 #include "support/assert.h"
 
 namespace dpa::rt {
+
+fm::FmLayer& Cluster::fm() {
+  DPA_CHECK(backend->is_sim()) << "cluster is not on the sim backend";
+  return static_cast<exec::SimBackend*>(backend.get())->fm();
+}
 
 EngineBase::EngineBase(Cluster& cluster, NodeId node,
                        const RuntimeConfig& cfg, Arena& arena,
@@ -19,12 +25,18 @@ EngineBase::EngineBase(Cluster& cluster, NodeId node,
       h_reply_(h_reply),
       h_accum_(h_accum),
       h_ack_(h_ack) {
-  if (cluster.obs != nullptr) {
+  // The tracer ring and histograms are single-writer structures; on the
+  // native backend engines run on concurrent worker threads, so only the
+  // (post-phase, main-thread) metrics publication stays on.
+  if (cluster.obs != nullptr && cluster.exec().is_sim()) {
     trace_ = &cluster.obs->tracer;
     h_msg_bytes_ = cluster.obs->metrics.histogram("rt.msg_bytes");
   }
-  rel_enabled_ = cfg.retry.enabled ||
-                 cluster.machine.network().injector() != nullptr;
+  pool_payloads_ = cluster.exec().is_sim();
+  rel_enabled_ = cfg.retry.enabled || cluster.exec().lossy();
+  DPA_CHECK(!rel_enabled_ || cluster.exec().is_sim())
+      << "the reliability/retry protocol needs the simulator's timers and "
+      << "lossy network model; the native fabric is lossless";
   if (rel_enabled_) rel_seen_.resize(cluster.num_nodes());
 }
 
@@ -40,14 +52,13 @@ void EngineBase::rel_track(sim::Cpu& cpu, NodeId dst, fm::HandlerId handler,
   pending.timeout = cfg_.retry.timeout_ns;
   const Time deadline = cpu.logical_now() + pending.timeout;
   rel_pending_.emplace(seq, std::move(pending));
-  cluster_.machine.engine().schedule_at(deadline,
-                                        [this, seq] { rel_timer(seq); });
+  cluster_.backend->schedule_at(deadline, [this, seq] { rel_timer(seq); });
 }
 
 void EngineBase::rel_timer(std::uint64_t seq) {
   if (rel_pending_.find(seq) == rel_pending_.end()) return;  // acked
-  cluster_.machine.node(node_).post(
-      [this, seq](sim::Cpu& cpu) { rel_retry(cpu, seq); });
+  cluster_.backend->post(node_,
+                         [this, seq](sim::Cpu& cpu) { rel_retry(cpu, seq); });
 }
 
 void EngineBase::rel_retry(sim::Cpu& cpu, std::uint64_t seq) {
@@ -66,9 +77,9 @@ void EngineBase::rel_retry(sim::Cpu& cpu, std::uint64_t seq) {
   cpu.charge(cfg_.cost.flush_fixed, sim::Work::kComm);
   DPA_TRACE_EVT(trace_, msg_event(obs::Ev::kMsgDepart, obs::MsgCause::kRetry,
                                   node_, p.dst, p.bytes, cpu.logical_now()));
-  cluster_.fm.send(cpu, node_, p.dst, p.handler, p.data, p.bytes);
-  cluster_.machine.engine().schedule_at(cpu.logical_now() + p.timeout,
-                                        [this, seq] { rel_timer(seq); });
+  cluster_.backend->send(cpu, node_, p.dst, p.handler, p.data, p.bytes);
+  cluster_.backend->schedule_at(cpu.logical_now() + p.timeout,
+                                [this, seq] { rel_timer(seq); });
 }
 
 bool EngineBase::rel_accept(sim::Cpu& cpu, NodeId src, std::uint64_t seq) {
@@ -79,14 +90,14 @@ bool EngineBase::rel_accept(sim::Cpu& cpu, NodeId src, std::uint64_t seq) {
   // Ack every copy, duplicates included: the ack for an earlier copy may
   // itself have been lost, and acks are idempotent at the sender.
   ++stats_.acks_sent;
-  auto ack = std::make_shared<AckPayload>();
+  auto ack = alloc_payload<AckPayload>();
   ack->from = node_;
   ack->seq = seq;
   DPA_TRACE_EVT(trace_, msg_event(obs::Ev::kMsgDepart, obs::MsgCause::kAck,
                                   node_, src, cfg_.cost.msg_header_bytes,
                                   cpu.logical_now()));
-  cluster_.fm.send(cpu, node_, src, h_ack_, std::move(ack),
-                   cfg_.cost.msg_header_bytes);
+  cluster_.backend->send(cpu, node_, src, h_ack_, std::move(ack),
+                         cfg_.cost.msg_header_bytes);
   if (!rel_seen_[src].insert(seq).second) {
     ++stats_.dup_msgs_dropped;
     return false;
@@ -131,23 +142,43 @@ void EngineBase::send_accum(
   if (h_msg_bytes_ != nullptr) h_msg_bytes_->add(bytes);
   DPA_TRACE_EVT(trace_, msg_event(obs::Ev::kMsgDepart, obs::MsgCause::kAccum,
                                   node_, home, bytes, cpu.logical_now()));
-  auto payload = std::make_shared<AccumPayload>();
+  auto payload = alloc_payload<AccumPayload>();
+  payload->accum_seq = ++accum_seq_next_;
   payload->items = std::move(items);
   rel_send(cpu, home, h_accum_, std::move(payload), bytes,
            obs::MsgCause::kAccum);
 }
 
-void EngineBase::serve_accum(sim::Cpu& cpu, const AccumPayload& payload) {
+void EngineBase::serve_accum(sim::Cpu& cpu, NodeId src,
+                             std::shared_ptr<AccumPayload> payload) {
   const auto& cost = cfg_.cost;
   DPA_TRACE_EVT(trace_, msg_event(obs::Ev::kMsgArrive, obs::MsgCause::kAccum,
-                                  node_, node_, payload.items.size(),
+                                  node_, node_, payload->items.size(),
                                   cpu.logical_now()));
-  for (const auto& [ref, fn] : payload.items) {
+  // Arrival-time costs stay on the arrival path (identical modeled timing);
+  // the mutations themselves wait for commit_accums() so their order is a
+  // sorted, timing-independent function of who sent what.
+  for (const auto& [ref, fn] : payload->items) {
     DPA_DCHECK(ref.home == node_);
+    (void)fn;
     cpu.charge(cost.accum_apply, sim::Work::kCompute);
     ++stats_.accums_applied;
-    fn(const_cast<void*>(ref.addr));
   }
+  staged_accums_.push_back(
+      StagedAccum{src, payload->accum_seq, std::move(payload)});
+}
+
+void EngineBase::commit_accums() {
+  std::sort(staged_accums_.begin(), staged_accums_.end(),
+            [](const StagedAccum& a, const StagedAccum& b) {
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (const StagedAccum& s : staged_accums_) {
+    for (const auto& [ref, fn] : s.payload->items)
+      fn(const_cast<void*>(ref.addr));
+  }
+  staged_accums_.clear();
 }
 
 void EngineBase::start(NodeWork work) {
@@ -159,7 +190,7 @@ void EngineBase::start(NodeWork work) {
 void EngineBase::kick() {
   if (sched_pending_) return;
   sched_pending_ = true;
-  cluster_.machine.node(node_).post([this](sim::Cpu& cpu) {
+  cluster_.backend->post(node_, [this](sim::Cpu& cpu) {
     sched_pending_ = false;
     sched(cpu);
   });
@@ -180,7 +211,7 @@ void EngineBase::send_request(sim::Cpu& cpu, NodeId home,
   if (h_msg_bytes_ != nullptr) h_msg_bytes_->add(bytes);
   DPA_TRACE_EVT(trace_, msg_event(obs::Ev::kMsgDepart, obs::MsgCause::kRequest,
                                   node_, home, bytes, cpu.logical_now()));
-  auto payload = std::make_shared<ReqPayload>();
+  auto payload = alloc_payload<ReqPayload>();
   payload->requester = node_;
   payload->refs = std::move(refs);
   rel_send(cpu, home, h_req_, std::move(payload), bytes,
@@ -207,7 +238,7 @@ void EngineBase::serve_request(sim::Cpu& cpu, const ReqPayload& req) {
   DPA_TRACE_EVT(trace_,
                 msg_event(obs::Ev::kMsgDepart, obs::MsgCause::kReply, node_,
                           req.requester, bytes, cpu.logical_now()));
-  auto payload = std::make_shared<ReplyPayload>();
+  auto payload = alloc_payload<ReplyPayload>();
   payload->refs = req.refs;
   rel_send(cpu, req.requester, h_reply_, std::move(payload), bytes,
            obs::MsgCause::kReply);

@@ -18,11 +18,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "exec/backend.h"
 #include "fm/fm.h"
 #include "gas/global_ptr.h"
 #include "gas/heap.h"
@@ -54,35 +54,58 @@ using ThreadFn = InlineFn<void(Ctx&, const void*), 48>;
 using AccumFn = InlineFn<void(void*), 48>;
 
 // One node's share of a phase: a top-level conc loop of `count` iterations.
-// `item(ctx, i)` creates the root thread(s) of iteration i.
+// `item(ctx, i)` creates the root thread(s) of iteration i. InlineFn like
+// every other phase-hot callable; app captures that exceed the buffer fall
+// back to one heap block per *phase*, not per message.
 struct NodeWork {
   std::uint64_t count = 0;
-  std::function<void(Ctx&, std::uint64_t)> item;
+  InlineFn<void(Ctx&, std::uint64_t), 64> item;
 };
 
-// Machine + messaging + heap: everything an application needs to build and
-// run a distributed pointer-based computation.
+// Execution substrate + messaging + heap: everything an application needs
+// to build and run a distributed pointer-based computation. The substrate
+// is either the deterministic simulator (default) or the native threaded
+// backend — apps and engines program against this struct either way.
 struct Cluster {
-  sim::Machine machine;
-  fm::FmLayer fm;
+  std::unique_ptr<exec::Backend> backend;
   gas::GlobalHeap heap;
   obs::Session* obs = nullptr;  // optional, non-owning
 
   Cluster(std::uint32_t num_nodes, sim::NetParams params)
-      : machine(num_nodes, params), fm(machine), heap(num_nodes) {}
+      : Cluster(num_nodes, exec::BackendKind::kSim, params) {}
 
-  std::uint32_t num_nodes() const { return machine.num_nodes(); }
+  Cluster(std::uint32_t num_nodes, exec::BackendKind kind,
+          sim::NetParams params = sim::NetParams{})
+      : backend(exec::make_backend(kind, num_nodes, params)),
+        heap(num_nodes) {}
+
+  std::uint32_t num_nodes() const { return backend->num_nodes(); }
+  exec::Backend& exec() { return *backend; }
+  const exec::Backend& exec() const { return *backend; }
+
+  // Sim-only accessors for tests and harnesses that poke the simulator
+  // directly (network stats, targeted fault injection, trace plumbing).
+  sim::Machine& machine() {
+    sim::Machine* m = backend->sim_machine();
+    DPA_CHECK(m != nullptr) << "cluster is not on the sim backend";
+    return *m;
+  }
+  fm::FmLayer& fm();
 
   // Attaches (or detaches, with nullptr) an observability session: the
   // machine and network report task/wire events into its tracer, engines
   // record structured events and histograms, and the phase runner publishes
   // per-phase totals into its metrics registry. In DPA_TRACE=OFF builds the
-  // tracer is never hooked up; metrics publication still works.
+  // tracer is never hooked up; metrics publication still works. On the
+  // native backend only metrics are published (the tracer ring and
+  // histograms are single-threaded by design).
   void attach_obs(obs::Session* session) {
     obs = session;
-    machine.set_trace(session != nullptr && obs::kTraceEnabled
-                          ? &session->tracer
-                          : nullptr);
+    if (sim::Machine* m = backend->sim_machine()) {
+      m->set_trace(session != nullptr && obs::kTraceEnabled
+                       ? &session->tracer
+                       : nullptr);
+    }
   }
 };
 
@@ -103,6 +126,12 @@ struct ReplyPayload {
 };
 struct AccumPayload {
   std::uint64_t rel_seq = 0;
+  // Per-sender accumulation sequence number: the receiver stages arriving
+  // messages and commits them in (src, accum_seq) order at the phase
+  // barrier, so floating-point reduction order is a function of the
+  // program, not of message timing — the property that makes physics
+  // byte-identical across the sim and native backends.
+  std::uint64_t accum_seq = 0;
   std::vector<std::pair<GlobalRef, AccumFn>> items;
 };
 // Acks are themselves unsequenced and never retried: a lost ack simply
@@ -149,8 +178,16 @@ class EngineBase {
   // Home side: serve a request message (shared by all engines).
   void serve_request(sim::Cpu& cpu, const ReqPayload& req);
 
-  // Home side: apply an accumulation message.
-  void serve_accum(sim::Cpu& cpu, const AccumPayload& payload);
+  // Home side: an accumulation message arrived. Charges the per-item apply
+  // cost now (arrival-time costs are part of the model) but stages the
+  // payload; the updates mutate their objects in commit_accums().
+  void serve_accum(sim::Cpu& cpu, NodeId src,
+                   std::shared_ptr<AccumPayload> payload);
+
+  // Applies every staged accumulation in (src, accum_seq) order. Called by
+  // the phase runner at the phase barrier, after global quiescence — the
+  // deterministic half of the two-level reduction.
+  void commit_accums();
 
   // --- Reliability layer (sequence numbers + ack/timeout/retry) ---
   //
@@ -192,7 +229,7 @@ class EngineBase {
 
   // Sends `payload` to `dst` through the reliability layer: stamps a
   // sequence number and arms the retransmit timer when the protocol is
-  // engaged, otherwise degenerates to a bare fm.send.
+  // engaged, otherwise degenerates to a bare backend send.
   template <class Payload>
   void rel_send(sim::Cpu& cpu, NodeId dst, fm::HandlerId handler,
                 std::shared_ptr<Payload> payload, std::uint32_t bytes,
@@ -201,7 +238,21 @@ class EngineBase {
       payload->rel_seq = ++rel_next_seq_;
       rel_track(cpu, dst, handler, payload, bytes, payload->rel_seq, cause);
     }
-    cluster_.fm.send(cpu, node_, dst, handler, std::move(payload), bytes);
+    cluster_.backend->send(cpu, node_, dst, handler, std::move(payload),
+                           bytes);
+  }
+
+  // Allocates a wire payload. On the sim backend (single host thread)
+  // payloads are arena-pooled: allocate_shared puts object + control block
+  // in one arena block that the free list recycles when the last reference
+  // drops, so a phase's million messages reuse a handful of blocks. The
+  // native backend releases payloads on the receiving thread, where the
+  // (single-owner) arena must not be touched — it keeps make_shared.
+  template <class Payload>
+  std::shared_ptr<Payload> alloc_payload() {
+    if (pool_payloads_)
+      return std::allocate_shared<Payload>(ArenaAllocator<Payload>(&arena_));
+    return std::make_shared<Payload>();
   }
 
   Cluster& cluster_;
@@ -215,6 +266,7 @@ class EngineBase {
   NodeWork work_;
   std::uint64_t next_root_ = 0;
   bool sched_pending_ = false;
+  bool pool_payloads_ = false;
   RtNodeStats stats_;
 
   // Observability handles, resolved once at construction (null when no
@@ -248,6 +300,16 @@ class EngineBase {
   FlatMap<std::uint64_t, RelPending> rel_pending_;
   // Per-source sets of delivered sequence numbers (receiver-side dedup).
   std::vector<FlatSet<std::uint64_t>> rel_seen_;
+
+  // Outgoing accumulation-message sequence (stamped into accum_seq) and
+  // the home-side staging buffer for the two-level reduction.
+  struct StagedAccum {
+    NodeId src = 0;
+    std::uint64_t seq = 0;
+    std::shared_ptr<AccumPayload> payload;
+  };
+  std::uint64_t accum_seq_next_ = 0;
+  std::vector<StagedAccum> staged_accums_;
 };
 
 // The per-thread execution context: thin wrapper over the node Cpu plus the

@@ -36,31 +36,37 @@ double PhaseResult::mean_idle_s() const {
 PhaseRunner::PhaseRunner(Cluster& cluster, RuntimeConfig cfg)
     : cluster_(cluster), cfg_(std::move(cfg)) {
   cfg_.validate();
+  arenas_.reserve(cluster_.num_nodes());
+  for (std::uint32_t i = 0; i < cluster_.num_nodes(); ++i)
+    arenas_.push_back(std::make_unique<Arena>());
   // Every sequenced message passes rel_accept first: it acks the copy and
   // rejects retransmitted / fabric-duplicated deliveries, so the engine
-  // proper sees exactly-once semantics even on a lossy network.
-  h_req_ = cluster_.fm.register_handler(
+  // proper sees exactly-once semantics even on a lossy network. Handlers
+  // run as tasks on the destination node — on the native backend that is
+  // the destination's worker thread, so each touches only its own engine.
+  auto& backend = cluster_.exec();
+  h_req_ = backend.register_handler(
       "rt.request", [this](sim::Cpu& cpu, const fm::Packet& pkt) {
         auto* req = static_cast<ReqPayload*>(pkt.data.get());
         auto& engine = *engines_[pkt.dst];
         if (!engine.rel_accept(cpu, pkt.src, req->rel_seq)) return;
         engine.serve_request(cpu, *req);
       });
-  h_reply_ = cluster_.fm.register_handler(
+  h_reply_ = backend.register_handler(
       "rt.reply", [this](sim::Cpu& cpu, const fm::Packet& pkt) {
         auto* reply = static_cast<ReplyPayload*>(pkt.data.get());
         auto& engine = *engines_[pkt.dst];
         if (!engine.rel_accept(cpu, pkt.src, reply->rel_seq)) return;
         engine.on_reply(cpu, *reply);
       });
-  h_accum_ = cluster_.fm.register_handler(
+  h_accum_ = backend.register_handler(
       "rt.accum", [this](sim::Cpu& cpu, const fm::Packet& pkt) {
-        auto* payload = static_cast<AccumPayload*>(pkt.data.get());
+        auto payload = std::static_pointer_cast<AccumPayload>(pkt.data);
         auto& engine = *engines_[pkt.dst];
         if (!engine.rel_accept(cpu, pkt.src, payload->rel_seq)) return;
-        engine.serve_accum(cpu, *payload);
+        engine.serve_accum(cpu, pkt.src, std::move(payload));
       });
-  h_ack_ = cluster_.fm.register_handler(
+  h_ack_ = backend.register_handler(
       "rt.ack", [this](sim::Cpu& cpu, const fm::Packet& pkt) {
         auto* ack = static_cast<AckPayload*>(pkt.data.get());
         engines_[pkt.dst]->on_ack(cpu, *ack);
@@ -68,20 +74,21 @@ PhaseRunner::PhaseRunner(Cluster& cluster, RuntimeConfig cfg)
 }
 
 std::unique_ptr<EngineBase> PhaseRunner::make_engine(NodeId node) {
+  Arena& arena = *arenas_[node];
   switch (cfg_.kind) {
     case EngineKind::kDpa:
-      return std::make_unique<DpaEngine>(cluster_, node, cfg_, arena_, h_req_,
+      return std::make_unique<DpaEngine>(cluster_, node, cfg_, arena, h_req_,
                                          h_reply_, h_accum_, h_ack_);
     case EngineKind::kCaching:
-      return std::make_unique<SyncEngine>(cluster_, node, cfg_, arena_,
+      return std::make_unique<SyncEngine>(cluster_, node, cfg_, arena,
                                           h_req_, h_reply_, h_accum_, h_ack_,
                                           /*use_cache=*/true);
     case EngineKind::kBlocking:
-      return std::make_unique<SyncEngine>(cluster_, node, cfg_, arena_,
+      return std::make_unique<SyncEngine>(cluster_, node, cfg_, arena,
                                           h_req_, h_reply_, h_accum_, h_ack_,
                                           /*use_cache=*/false);
     case EngineKind::kPrefetch:
-      return std::make_unique<PrefetchEngine>(cluster_, node, cfg_, arena_,
+      return std::make_unique<PrefetchEngine>(cluster_, node, cfg_, arena,
                                               h_req_, h_reply_, h_accum_,
                                               h_ack_);
   }
@@ -94,27 +101,30 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
   DPA_CHECK(work.size() == n)
       << "phase needs one NodeWork per node: " << work.size() << " != " << n;
 
-  // Tear down the previous run's engines *before* resetting the arena their
-  // queues lived on, then hand the recycled chunks to the new engines.
+  // Tear down the previous run's engines *before* resetting the arenas
+  // their queues lived on, then hand the recycled chunks to the new ones.
   engines_.clear();
-  arena_.reset();
+  for (auto& arena : arenas_) arena->reset();
   engines_.reserve(n);
   for (NodeId i = 0; i < n; ++i) engines_.push_back(make_engine(i));
 
-  cluster_.machine.begin_phase();
-  cluster_.fm.reset_stats();
-  const Time phase_start = cluster_.machine.phase_start();
+  auto& backend = cluster_.exec();
+  const Time phase_start = backend.begin_phase();
   if (cluster_.obs != nullptr)
     cluster_.obs->tracer.phase_begin(name, phase_start);
   for (NodeId i = 0; i < n; ++i) engines_[i]->start(std::move(work[i]));
 
   PhaseResult result;
-  const std::uint64_t events_before = cluster_.machine.engine().events_processed();
-  result.elapsed = cluster_.machine.run_phase();
-  result.sim_events =
-      cluster_.machine.engine().events_processed() - events_before;
+  const exec::PhaseExec pe = backend.run_phase();
+  result.elapsed = pe.elapsed;
+  result.sim_events = pe.events;
   if (cluster_.obs != nullptr)
     cluster_.obs->tracer.phase_end(name, phase_start + result.elapsed);
+
+  // The deterministic half of the two-level reduction: staged accumulation
+  // messages mutate their objects here, in (src, seq) order, after global
+  // quiescence — identical on both backends.
+  for (NodeId i = 0; i < n; ++i) engines_[i]->commit_accums();
 
   result.completed = true;
   std::ostringstream diag;
@@ -128,33 +138,41 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
 
   result.nodes.resize(n);
   for (NodeId i = 0; i < n; ++i) {
-    const auto& proc = cluster_.machine.node(i).stats();
+    const auto& proc = backend.node_stats(i);
     auto& nb = result.nodes[i];
     nb.compute = proc.busy[int(sim::Work::kCompute)];
     nb.runtime = proc.busy[int(sim::Work::kRuntime)];
     nb.comm = proc.busy[int(sim::Work::kComm)];
     nb.busy_total = proc.busy_total;
-    nb.idle = cluster_.machine.idle_time(i, result.elapsed);
+    nb.idle = backend.idle_time(i, result.elapsed);
     result.rt.absorb(engines_[i]->stats());
   }
-  result.net = cluster_.machine.network().stats();
-  if (const auto* injector = cluster_.machine.network().injector())
-    result.faults = injector->stats();
-  result.fm_total = cluster_.fm.aggregate_stats();
+  if (sim::Machine* m = backend.sim_machine()) {
+    result.net = m->network().stats();
+    if (const auto* injector = m->network().injector())
+      result.faults = injector->stats();
+  }
+  result.fm_total = backend.msg_stats_total();
 
   if (cluster_.obs != nullptr) {
     auto& m = cluster_.obs->metrics;
     result.rt.publish(m);
     *m.counter("rt.phases") += 1;
-    *m.counter("sim.events") += result.sim_events;
-    *m.counter("net.messages") += result.net.messages;
-    *m.counter("net.bytes") += result.net.bytes;
+    if (backend.is_sim()) {
+      *m.counter("sim.events") += result.sim_events;
+      *m.counter("net.messages") += result.net.messages;
+      *m.counter("net.bytes") += result.net.bytes;
+    } else {
+      // Native progress unit: tasks executed across all workers.
+      *m.counter("exec.tasks") += result.sim_events;
+      *m.counter("exec.elapsed_ns") += std::uint64_t(result.elapsed);
+    }
     *m.counter("fm.msgs_sent") += result.fm_total.msgs_sent;
     *m.counter("fm.frags_sent") += result.fm_total.frags_sent;
     *m.counter("fm.msgs_recv") += result.fm_total.msgs_recv;
     *m.counter("fm.bytes_sent") += result.fm_total.bytes_sent;
     *m.counter("fm.bytes_recv") += result.fm_total.bytes_recv;
-    if (cluster_.machine.network().injector() != nullptr) {
+    if (backend.lossy()) {
       *m.counter("net.fault.dropped_msgs") += result.faults.dropped_msgs;
       *m.counter("net.fault.dup_msgs") += result.faults.dup_msgs;
       *m.counter("net.fault.delayed_frags") += result.faults.delayed_frags;

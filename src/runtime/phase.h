@@ -26,13 +26,17 @@ struct NodeBreakdown {
 
 struct PhaseResult {
   bool completed = false;
+  // Modeled machine time on the sim backend; real monotonic wall-clock on
+  // the native backend.
   Time elapsed = 0;
   std::vector<NodeBreakdown> nodes;
   RtTotals rt;
-  sim::NetStats net;
+  sim::NetStats net;       // sim backend only (zero on native)
   sim::FaultStats faults;  // zero on a reliable (fault-free) network
   fm::FmNodeStats fm_total;
-  std::uint64_t sim_events = 0;  // discrete events the engine processed
+  // Substrate progress units: discrete events processed (sim) or node
+  // tasks executed (native).
+  std::uint64_t sim_events = 0;
   std::string diagnostics;  // per-node state dumps if !completed
 
   double seconds() const { return sim::to_seconds(elapsed); }
@@ -71,10 +75,12 @@ class PhaseRunner {
 
   Cluster& cluster_;
   RuntimeConfig cfg_;
-  // Phase arena backing every engine's scheduler queues. Reset at the top
-  // of run(), strictly after the previous engines are destroyed (their
-  // containers are the only users of the arena).
-  Arena arena_;
+  // Per-node phase arenas backing each engine's scheduler queues and (on
+  // the sim backend) its pooled wire payloads. One arena per node so the
+  // native backend's workers never share an allocator; reset at the top of
+  // run(), strictly after the previous engines are destroyed (their
+  // containers are the only users).
+  std::vector<std::unique_ptr<Arena>> arenas_;
   std::vector<std::unique_ptr<EngineBase>> engines_;
   fm::HandlerId h_req_;
   fm::HandlerId h_reply_;

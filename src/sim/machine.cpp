@@ -7,12 +7,6 @@
 
 namespace dpa::sim {
 
-void Cpu::charge(Time ns, Work kind) {
-  DPA_CHECK(ns >= 0) << "negative charge: " << ns;
-  used_total_ += ns;
-  used_[int(kind)] += ns;
-}
-
 void NodeProc::post(Task task) {
   pending_.push_back(std::move(task));
   if (!drain_scheduled_) {
@@ -32,7 +26,7 @@ void NodeProc::drain() {
   Task task = std::move(pending_.front());
   pending_.pop_front();
 
-  Cpu cpu(*this, start);
+  Cpu cpu(id_, start);
   task(cpu);
 
   busy_until_ = start + cpu.used_total();
@@ -67,6 +61,11 @@ Machine::Machine(std::uint32_t num_nodes, NetParams params)
 }
 
 NodeProc& Machine::node(NodeId id) {
+  DPA_CHECK(id < nodes_.size()) << "bad node id " << id;
+  return *nodes_[id];
+}
+
+const NodeProc& Machine::node(NodeId id) const {
   DPA_CHECK(id < nodes_.size()) << "bad node id " << id;
   return *nodes_[id];
 }

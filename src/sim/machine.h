@@ -22,48 +22,14 @@
 
 namespace dpa::sim {
 
-// Where a charged nanosecond goes in the breakdown figures.
-enum class Work : std::uint8_t {
-  kCompute = 0,  // application work (force interactions, relaxation, ...)
-  kRuntime = 1,  // scheduling: M/D updates, thread create/dispatch, hashing
-  kComm = 2,     // send/receive software overhead, marshalling
-};
-constexpr int kNumWorkKinds = 3;
-
-class NodeProc;
-
-// Execution context handed to every task; accumulates charged time.
-class Cpu {
- public:
-  Cpu(NodeProc& node, Time start) : node_(node), start_(start) {}
-
-  void charge(Time ns, Work kind = Work::kCompute);
-
-  // The node-local logical time: task start plus everything charged so far.
-  Time logical_now() const { return start_ + used_total_; }
-  Time used_total() const { return used_total_; }
-  Time used(Work kind) const { return used_[int(kind)]; }
-  NodeProc& node() { return node_; }
-
- private:
-  NodeProc& node_;
-  Time start_;
-  Time used_total_ = 0;
-  Time used_[kNumWorkKinds] = {0, 0, 0};
-};
-
-// Node tasks capture a handler pointer plus a Packet (FM delivery) at most;
-// like EventFn they stay inline and never heap-allocate in-tree.
-using Task = InlineFn<void(Cpu&), 64>;
-
-struct NodeStats {
-  Time busy[kNumWorkKinds] = {0, 0, 0};
-  Time busy_total = 0;
-  Time finish_time = 0;  // logical time the node last stopped being busy
-  std::uint64_t tasks_run = 0;
-
-  void reset() { *this = NodeStats{}; }
-};
+// Work attribution, the per-task execution context, node tasks, and node
+// stats are backend-neutral vocabulary shared with the native backend; they
+// live in exec/types.h and keep their historical sim:: names here.
+using exec::kNumWorkKinds;
+using exec::Work;
+using Cpu = exec::Cpu;
+using Task = exec::Task;
+using NodeStats = exec::NodeStats;
 
 class NodeProc {
  public:
@@ -102,7 +68,9 @@ class Machine {
 
   Engine& engine() { return engine_; }
   Network& network() { return network_; }
+  const Network& network() const { return network_; }
   NodeProc& node(NodeId id);
+  const NodeProc& node(NodeId id) const;
   std::uint32_t num_nodes() const { return std::uint32_t(nodes_.size()); }
 
   // Marks the start of a timed phase: zeroes node/network stats and records

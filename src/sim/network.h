@@ -19,7 +19,7 @@
 
 namespace dpa::sim {
 
-using NodeId = std::uint32_t;
+using exec::NodeId;
 
 // Interconnect shape. The crossbar charges `latency` uniformly; the 3D
 // torus (the T3D's actual topology) adds `per_hop` per link crossed, with

@@ -4,20 +4,24 @@
 // real (forces are actually computed) but its *cost* is charged through the
 // CostModel, so a 64-node Cray-T3D-like run executes deterministically on a
 // single host core.
+//
+// The underlying types live in exec/types.h — they are the vocabulary shared
+// with the native backend — and are re-exported here under their historical
+// names.
 #pragma once
 
-#include <cstdint>
+#include "exec/types.h"
 
 namespace dpa::sim {
 
-using Time = std::int64_t;  // nanoseconds
+using exec::Time;  // nanoseconds
 
-constexpr Time kNanosecond = 1;
-constexpr Time kMicrosecond = 1000;
-constexpr Time kMillisecond = 1000 * kMicrosecond;
-constexpr Time kSecond = 1000 * kMillisecond;
+using exec::kMicrosecond;
+using exec::kMillisecond;
+using exec::kNanosecond;
+using exec::kSecond;
 
-constexpr double to_seconds(Time t) { return double(t) / double(kSecond); }
-constexpr double to_micros(Time t) { return double(t) / double(kMicrosecond); }
+using exec::to_micros;
+using exec::to_seconds;
 
 }  // namespace dpa::sim

@@ -19,6 +19,10 @@
 #include "apps/barnes/app.h"
 #include "apps/em3d/em3d.h"
 #include "apps/fmm/app.h"
+#include "apps/olden/perimeter.h"
+#include "apps/olden/power.h"
+#include "apps/olden/treeadd.h"
+#include "exec/backend.h"
 #include "obs/session.h"
 #include "runtime/config.h"
 #include "sim/fault.h"
@@ -90,10 +94,18 @@ rt::RuntimeConfig engine_config(std::size_t which) {
 }
 
 constexpr std::size_t kEngines = 4;
-constexpr std::size_t kApps = 3;  // barnes, fmm, em3d
+constexpr std::size_t kApps = 6;  // barnes, fmm, em3d, treeadd, power, perim
+
+// Packs doubles byte-for-byte: equality of these strings is bit-identity of
+// the physics, not approximate agreement.
+void append_doubles(std::string& out, const double* p, std::size_t n) {
+  out.append(reinterpret_cast<const char*>(p), n * sizeof(double));
+}
 
 // One (engine, app) cell: fresh apps + cluster + private obs::Session, so
-// cells share no mutable state and can run on any host thread.
+// cells share no mutable state and can run on any host thread. The first
+// three apps snapshot the metrics registry; the Olden kernels (which report
+// no metrics) snapshot their physics outputs byte-for-byte instead.
 std::string run_cell(std::size_t index) {
   const std::size_t engine = index / kApps;
   const std::size_t app = index % kApps;
@@ -117,7 +129,7 @@ std::string run_cell(std::size_t index) {
       EXPECT_FALSE(run.steps.empty());
       break;
     }
-    default: {
+    case 2: {
       apps::em3d::Em3dConfig cfg;
       cfg.e_per_node = 128;
       cfg.h_per_node = 128;
@@ -126,6 +138,44 @@ std::string run_cell(std::size_t index) {
       const auto run = em.run(net(false), rcfg, &session);
       EXPECT_TRUE(run.all_completed());
       break;
+    }
+    case 3: {
+      apps::olden::TreeAddConfig cfg;
+      cfg.depth = 9;
+      const apps::olden::TreeAddApp app_(cfg, 4);
+      const auto r = app_.run(net(false), rcfg);
+      EXPECT_TRUE(r.phase.completed);
+      std::string snap;
+      append_doubles(snap, &r.sum, 1);
+      const double elapsed = double(r.phase.elapsed);
+      append_doubles(snap, &elapsed, 1);
+      return snap;
+    }
+    case 4: {
+      apps::olden::PowerConfig cfg;
+      cfg.feeders = 4;
+      cfg.laterals = 4;
+      const apps::olden::PowerApp app_(cfg, 4);
+      const auto r = app_.run(net(false), rcfg);
+      EXPECT_TRUE(r.all_completed());
+      std::string snap;
+      append_doubles(snap, r.branch_prices.data(), r.branch_prices.size());
+      append_doubles(snap, &r.final_root_demand, 1);
+      return snap;
+    }
+    default: {
+      apps::olden::PerimeterConfig cfg;
+      cfg.log_size = 5;
+      const apps::olden::PerimeterApp app_(cfg, 4);
+      const auto r = app_.run(net(false), rcfg);
+      EXPECT_TRUE(r.phase.completed);
+      EXPECT_EQ(r.perimeter, r.expected);
+      std::string snap;
+      const double per = double(r.perimeter);
+      const double elapsed = double(r.phase.elapsed);
+      append_doubles(snap, &per, 1);
+      append_doubles(snap, &elapsed, 1);
+      return snap;
     }
   }
   return session.metrics.to_json();
@@ -148,6 +198,89 @@ TEST(Determinism, AllEnginesAllAppsSnapshotIdenticallyAcrossRuns) {
   }
   // Engines really differ from each other on the same app (non-vacuous).
   EXPECT_NE(a[0], a[kApps]);  // dpa vs caching on barnes
+}
+
+// ---------- sim vs native physics equivalence ----------
+//
+// The Backend refactor's headline claim: the same program computes the same
+// bits whether the substrate is the discrete-event simulator or real host
+// threads. DPA runs in deterministic mode (in-order tile dispatch); the
+// sync/prefetch engines consume in program order already; remote
+// accumulations commit in (src, seq) order at the phase barrier. Together
+// those make floating-point accumulation order a function of the program,
+// not of message timing — so the physics must match byte-for-byte.
+
+rt::RuntimeConfig equivalence_config(std::size_t which) {
+  switch (which) {
+    case 0: return rt::RuntimeConfig::dpa_deterministic(32);
+    case 1: return rt::RuntimeConfig::caching();
+    case 2: return rt::RuntimeConfig::blocking();
+    default: return rt::RuntimeConfig::prefetching(8);
+  }
+}
+
+std::string physics_snapshot(std::size_t engine, std::size_t app,
+                             exec::BackendKind backend) {
+  const auto rcfg = equivalence_config(engine);
+  std::string snap;
+  switch (app) {
+    case 0: {
+      apps::barnes::BarnesConfig cfg;
+      cfg.nbodies = 192;
+      cfg.nsteps = 2;
+      const apps::barnes::BarnesApp bh(cfg);
+      const auto run = bh.run(4, net(false), rcfg, nullptr, backend);
+      EXPECT_TRUE(run.all_completed());
+      for (const auto& b : run.final_bodies) {
+        append_doubles(snap, &b.pos.x, 3);
+        append_doubles(snap, &b.vel.x, 3);
+        append_doubles(snap, &b.acc.x, 3);
+      }
+      break;
+    }
+    case 1: {
+      apps::fmm::FmmConfig cfg;
+      cfg.nparticles = 192;
+      cfg.terms = 4;
+      const apps::fmm::FmmApp fmm(cfg);
+      const auto run = fmm.run(4, net(false), rcfg, nullptr, backend);
+      EXPECT_TRUE(run.all_completed());
+      for (const auto& p : run.final_particles) {
+        const double vals[6] = {p.z.real(),     p.z.imag(),
+                                p.vel.real(),   p.vel.imag(),
+                                p.force.real(), p.force.imag()};
+        append_doubles(snap, vals, 6);
+      }
+      break;
+    }
+    default: {
+      apps::em3d::Em3dConfig cfg;
+      cfg.e_per_node = 128;
+      cfg.h_per_node = 128;
+      cfg.remote_prob = 0.3;
+      cfg.iters = 2;
+      const apps::em3d::Em3dApp em(cfg, 4);
+      const auto run = em.run(net(false), rcfg, nullptr, backend);
+      EXPECT_TRUE(run.all_completed());
+      append_doubles(snap, run.e_values.data(), run.e_values.size());
+      append_doubles(snap, run.h_values.data(), run.h_values.size());
+      break;
+    }
+  }
+  EXPECT_FALSE(snap.empty());
+  return snap;
+}
+
+TEST(SimVsNative, PhysicsAreByteIdenticalForEveryEngineAndApp) {
+  for (std::size_t engine = 0; engine < kEngines; ++engine) {
+    for (std::size_t app = 0; app < 3; ++app) {
+      const std::string sim =
+          physics_snapshot(engine, app, exec::BackendKind::kSim);
+      const std::string native =
+          physics_snapshot(engine, app, exec::BackendKind::kNative);
+      EXPECT_EQ(sim, native) << "engine " << engine << " app " << app;
+    }
+  }
 }
 
 TEST(Determinism, ParallelSweepMatchesSerialByteForByte) {

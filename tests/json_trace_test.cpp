@@ -155,7 +155,7 @@ TEST(Trace, WholePhaseUnderDpaTracesConsistently) {
   };
   rt::Cluster cluster(2, sim::NetParams{});
   sim::Timeline timeline;
-  cluster.machine.set_trace(&timeline);
+  cluster.machine().set_trace(&timeline);
   std::vector<gas::GPtr<Obj>> objs;
   for (int i = 0; i < 16; ++i)
     objs.push_back(cluster.heap.make<Obj>(1, Obj{1.0}));
@@ -172,9 +172,9 @@ TEST(Trace, WholePhaseUnderDpaTracesConsistently) {
   // traced busy time matches the processor stats.
   EXPECT_EQ(timeline.messages().size(), r.net.messages);
   EXPECT_EQ(timeline.node_busy(0),
-            cluster.machine.node(0).stats().busy_total);
+            cluster.machine().node(0).stats().busy_total);
   EXPECT_EQ(timeline.node_busy(1),
-            cluster.machine.node(1).stats().busy_total);
+            cluster.machine().node(1).stats().busy_total);
 }
 
 }  // namespace

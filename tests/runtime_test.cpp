@@ -714,7 +714,7 @@ TEST(Diagnostics, DroppedRequestSurfacesAsIncompletePhase) {
   // Fault injection: the first request message vanishes. The phase must
   // not complete, and the diagnostics must name the stuck node's state.
   World w(2, 8, /*pin_home=*/1);
-  w.cluster.fm.drop_nth_message(1);
+  w.cluster.fm().drop_nth_message(1);
   auto work = w.idle_work();
   work[0].count = 8;
   work[0].item = [&w](Ctx& ctx, std::uint64_t i) {
@@ -725,12 +725,12 @@ TEST(Diagnostics, DroppedRequestSurfacesAsIncompletePhase) {
   EXPECT_FALSE(r.completed);
   EXPECT_NE(r.diagnostics.find("dpa node 0"), std::string::npos);
   EXPECT_NE(r.diagnostics.find("outstanding 8"), std::string::npos);
-  EXPECT_EQ(w.cluster.fm.dropped_messages(), 1u);
+  EXPECT_EQ(w.cluster.fm().dropped_messages(), 1u);
 }
 
 TEST(Diagnostics, DroppedReplySurfacesAsIncompletePhase) {
   World w(2, 4, /*pin_home=*/1);
-  w.cluster.fm.drop_nth_message(2);  // 1st = request, 2nd = its reply
+  w.cluster.fm().drop_nth_message(2);  // 1st = request, 2nd = its reply
   auto work = w.idle_work();
   work[0].count = 4;
   work[0].item = [&w](Ctx& ctx, std::uint64_t i) {
@@ -747,7 +747,7 @@ TEST(Diagnostics, DroppedMessageStallsSyncEnginesToo) {
        {RuntimeConfig::caching(), RuntimeConfig::blocking(),
         RuntimeConfig::prefetching(4)}) {
     World w(2, 4, /*pin_home=*/1);
-    w.cluster.fm.drop_nth_message(1);
+    w.cluster.fm().drop_nth_message(1);
     auto work = w.idle_work();
     work[0].count = 4;
     work[0].item = [&w](Ctx& ctx, std::uint64_t i) {
