@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   using namespace dpa;
   const auto base_net = faults.applied(bench::t3d_params());
   faults.announce();
-  const std::size_t jobs = sweep.resolved(obs.get() != nullptr);
+  const std::size_t jobs = sweep.resolved(obs.attached_by());
 
   apps::em3d::Em3dConfig em;
   em.e_per_node = std::uint32_t(e_per_node);

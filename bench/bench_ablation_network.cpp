@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
 
   using namespace dpa;
   faults.announce();
-  const std::size_t jobs = sweep.resolved(/*has_obs=*/false);
+  const std::size_t jobs = sweep.resolved(/*obs_flag=*/nullptr);
 
   apps::barnes::BarnesConfig bh;
   bh.nbodies = std::uint32_t(bodies);

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   using namespace dpa;
   const auto net = faults.applied(bench::t3d_params());
   faults.announce();
-  const std::size_t jobs = sweep.resolved(/*has_obs=*/false);
+  const std::size_t jobs = sweep.resolved(/*obs_flag=*/nullptr);
 
   std::printf("=== Ablation: scheduling templates (strip %lld, %lld nodes) ===\n\n",
               (long long)strip, (long long)procs);

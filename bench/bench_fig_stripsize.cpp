@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
   faults.announce();
   backend.announce();
   const std::size_t jobs =
-      backend.clamp_jobs(sweep_opts.resolved(/*has_obs=*/false));
+      backend.clamp_jobs(sweep_opts.resolved(/*obs_flag=*/nullptr));
 
   std::printf("=== Figure: strip-size sensitivity ===\n\n");
 

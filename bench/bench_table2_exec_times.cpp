@@ -184,10 +184,10 @@ int main(int argc, char** argv) {
   dpa::bench::g_backend = backend.kind();
   // With --json the metrics block is merged into that file, so a session is
   // attached even without --trace-out/--metrics-out.
-  obs.init(/*force=*/!json_path.empty());
+  obs.init(!json_path.empty() ? "--json" : nullptr);
+  backend.warn_ignored(obs);
   dpa::bench::g_obs = obs.get();
-  dpa::bench::g_jobs = backend.clamp_jobs(
-      sweep.resolved(dpa::bench::g_obs != nullptr));
+  dpa::bench::g_jobs = backend.clamp_jobs(sweep.resolved(obs.attached_by()));
 
   dpa::apps::barnes::BarnesConfig bh_cfg;
   dpa::apps::fmm::FmmConfig fmm_cfg;

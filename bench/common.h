@@ -46,12 +46,19 @@ struct BackendOptions {
   std::size_t clamp_jobs(std::size_t jobs) const {
     if (native() && jobs != 1) {
       std::fprintf(stderr,
-                   "note: --jobs ignored (--backend=native runs cells "
-                   "serially; each already fans out across host threads)\n");
+                   "warning: --jobs=%zu ignored: --backend=native runs cells "
+                   "serially (each already fans out across host threads)\n",
+                   jobs);
       return 1;
     }
     return jobs;
   }
+
+  // Native engines run on concurrent worker threads, so the single-writer
+  // trace ring stays detached there (metrics snapshots still work: they are
+  // published post-phase by the main thread). Say so instead of silently
+  // writing an event-free trace file.
+  void warn_ignored(const struct ObsOptions& obs) const;
 
   void announce() const {
     if (native())
@@ -80,13 +87,18 @@ struct SweepOptions {
                 "serial; results are bit-identical either way)");
   }
 
-  // Number of worker threads to use for a sweep; `has_obs` forces serial.
-  std::size_t resolved(bool has_obs) const {
-    if (has_obs) {
+  // Number of worker threads to use for a sweep. `obs_flag` is the flag
+  // that attached an observability session (nullptr when none): a session
+  // forces serial cells, and the warning names the flag responsible so the
+  // override is never silent.
+  std::size_t resolved(const char* obs_flag) const {
+    if (obs_flag != nullptr) {
       if (jobs != 1)
         std::fprintf(stderr,
-                     "note: --jobs ignored (observability session attached; "
-                     "running cells serially)\n");
+                     "warning: --jobs=%lld ignored: %s attached an "
+                     "observability session (one registry/ring across "
+                     "cells), so cells run serially\n",
+                     (long long)jobs, obs_flag);
       return 1;
     }
     if (jobs <= 0) return host_concurrency();
@@ -112,6 +124,7 @@ struct ObsOptions {
   std::string trace_out;    // Chrome/Perfetto trace-event JSON
   std::string metrics_out;  // metrics snapshot JSON
   std::unique_ptr<obs::Session> session;
+  const char* attached_by_ = nullptr;
 
   void add_flags(Options& options) {
     options
@@ -121,14 +134,23 @@ struct ObsOptions {
              "write a metrics snapshot JSON here");
   }
 
-  // Call once after parse(). `force` attaches a session even without
-  // --trace-out/--metrics-out (e.g. to merge metrics into --json output).
-  void init(bool force = false) {
-    if (force || !trace_out.empty() || !metrics_out.empty())
-      session = std::make_unique<obs::Session>();
+  // Call once after parse(). `force_flag` names a harness flag (e.g.
+  // "--json") that needs a session even without --trace-out/--metrics-out,
+  // so downstream overrides can report which flag attached it.
+  void init(const char* force_flag = nullptr) {
+    if (!trace_out.empty())
+      attached_by_ = "--trace-out";
+    else if (!metrics_out.empty())
+      attached_by_ = "--metrics-out";
+    else
+      attached_by_ = force_flag;
+    if (attached_by_ != nullptr) session = std::make_unique<obs::Session>();
   }
 
   obs::Session* get() const { return session.get(); }
+
+  // The flag responsible for the attached session, nullptr when none.
+  const char* attached_by() const { return attached_by_; }
 
   // Writes the requested files; returns false if any write failed.
   bool finish() const {
@@ -206,6 +228,16 @@ struct FaultOptions {
                 p.faults.describe().c_str());
   }
 };
+
+inline void BackendOptions::warn_ignored(const ObsOptions& obs) const {
+  if (native() && !obs.trace_out.empty())
+    std::fprintf(stderr,
+                 "warning: --trace-out=%s will contain no events: "
+                 "--backend=native runs engines on concurrent workers, and "
+                 "the trace ring is single-writer (metrics output still "
+                 "works)\n",
+                 obs.trace_out.c_str());
+}
 
 inline bool BackendOptions::validate(const FaultOptions& faults) const {
   if (name != "sim" && name != "native") {

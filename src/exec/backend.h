@@ -72,10 +72,31 @@ class Backend {
   // Enqueues a task on `node`. Tasks run serially in post order.
   virtual void post(NodeId node, Task task) = 0;
 
+  // --- Outbound flush ------------------------------------------------
+  // Pushes any messages the backend has buffered on `node`'s outbound path
+  // to their destinations (the native backend's per-destination trains).
+  // Must be called from a task running on `node`. The runtime calls it
+  // where it flushes its own aggregation buffers (tile/strip boundaries),
+  // so fabric latency tracks the engine's batching policy; every backend
+  // also implies a flush whenever a node runs out of local work, so phase
+  // termination never depends on this hook being called. No-op on the
+  // simulator — its FM layer hands messages to the modeled network eagerly.
+  virtual void flush(Cpu& cpu, NodeId node) {
+    (void)cpu;
+    (void)node;
+  }
+
   // --- Time source ---------------------------------------------------
+  // Whether schedule_at() works here. The reliability/retry protocol needs
+  // deferred timers; configurations that enable it must check this up
+  // front (PhaseRunner does, at construction) instead of finding out from
+  // a mid-phase panic.
+  virtual bool supports_timers() const = 0;
+
   // Schedules `fn` at absolute time `at` (reliability retransmit timers).
-  // Sim only: the native fabric is in-process and lossless, so the retry
-  // protocol — and therefore this hook — never engages there.
+  // Only valid when supports_timers(): the native fabric is in-process and
+  // lossless, so the retry protocol — and therefore this hook — never
+  // engages there.
   virtual void schedule_at(Time at, TimerFn fn) = 0;
 
   // --- Phase barrier -------------------------------------------------

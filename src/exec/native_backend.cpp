@@ -10,7 +10,8 @@ namespace dpa::exec {
 namespace {
 
 // The worker that owns the node the current thread is executing for, or -1
-// on the main thread. Lets post() skip the mailbox lock for self-posts.
+// on the main thread. Lets post() skip the mailbox lock for self-posts and
+// route cross-node work through the owner's trains.
 thread_local std::int32_t tls_node = -1;
 
 inline void cpu_pause() {
@@ -42,11 +43,17 @@ void SenseBarrier::arrive_and_wait(bool* my_sense) {
 }
 
 NativeBackend::NativeBackend(std::uint32_t num_nodes)
-    : finish_barrier_(num_nodes) {
+    : NativeBackend(num_nodes, Tuning()) {}
+
+NativeBackend::NativeBackend(std::uint32_t num_nodes, const Tuning& tuning)
+    : tuning_(tuning), finish_barrier_(num_nodes) {
   DPA_CHECK(num_nodes > 0);
+  DPA_CHECK(tuning_.train_max > 0);
   nodes_.reserve(num_nodes);
-  for (std::uint32_t i = 0; i < num_nodes; ++i)
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>());
+    nodes_.back()->train.resize(num_nodes);
+  }
   workers_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i)
     workers_.emplace_back([this, i] { worker_main(i); });
@@ -72,19 +79,61 @@ HandlerId NativeBackend::register_handler(std::string name, Handler fn) {
   return HandlerId(handlers_.size() - 1);
 }
 
+void NativeBackend::flush_dest_train(Node& self, NodeId dst) {
+  auto& tr = self.train[dst];
+  if (tr.empty()) return;
+  Node& dn = *nodes_[dst];
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lk(dn.mu);
+    for (auto& t : tr) dn.inbox.push_back(std::move(t));
+    wake = dn.parked;
+  }
+  if (wake) dn.cv.notify_one();
+  DPA_DCHECK(self.train_pending >= tr.size());
+  self.train_pending -= std::uint32_t(tr.size());
+  ++self.msg.trains_sent;
+  tr.clear();
+}
+
+bool NativeBackend::flush_trains(Node& self) {
+  if (self.train_pending == 0) return false;
+  for (NodeId d = 0; d < nodes_.size(); ++d) flush_dest_train(self, d);
+  DPA_DCHECK(self.train_pending == 0);
+  return true;
+}
+
 void NativeBackend::post(NodeId node, Task task) {
   DPA_DCHECK(node < nodes_.size());
-  // Increment strictly before enqueue: any thread that later drains its
-  // queues empty and reads zero knows no task anywhere is still running or
-  // enqueued (a running poster holds its own count until after it returns).
-  outstanding_.fetch_add(1, std::memory_order_relaxed);
-  Node& n = *nodes_[node];
-  if (tls_node == std::int32_t(node)) {
-    n.local.push_back(std::move(task));
+  // The produced-shard bump must land strictly before the task becomes
+  // runnable anywhere: a scan that misses the task's consumption must also
+  // account it as produced. Tasks buffered in a train count as produced —
+  // that is what keeps the phase alive until their owner flushes them.
+  if (tls_node >= 0) {
+    Node& self = *nodes_[tls_node];
+    self.produced.fetch_add(1, std::memory_order_seq_cst);
+    if (tls_node == std::int32_t(node)) {
+      self.local.push_back(std::move(task));
+      return;
+    }
+    auto& tr = self.train[node];
+    tr.push_back(std::move(task));
+    ++self.train_pending;
+    if (tr.size() >= tuning_.train_max) flush_dest_train(self, node);
     return;
   }
-  std::lock_guard<std::mutex> lk(n.mu);
-  n.inbox.push_back(std::move(task));
+  // Main thread: pre-phase seeding. Counted on the destination's shard —
+  // single-writer still holds because workers are parked between phases
+  // (the epoch publish orders these writes before the phase releases).
+  Node& dn = *nodes_[node];
+  dn.produced.fetch_add(1, std::memory_order_seq_cst);
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lk(dn.mu);
+    dn.inbox.push_back(std::move(task));
+    wake = dn.parked;
+  }
+  if (wake) dn.cv.notify_one();
 }
 
 void NativeBackend::send(Cpu& cpu, NodeId src, NodeId dst, HandlerId handler,
@@ -106,22 +155,30 @@ void NativeBackend::send(Cpu& cpu, NodeId src, NodeId dst, HandlerId handler,
   });
 }
 
+void NativeBackend::flush(Cpu& cpu, NodeId node) {
+  (void)cpu;  // lock handoff cost is measured, not charged
+  DPA_DCHECK(node < nodes_.size());
+  DPA_DCHECK(tls_node == std::int32_t(node))
+      << "Backend::flush must run on the node it flushes";
+  flush_trains(*nodes_[node]);
+}
+
 void NativeBackend::schedule_at(Time at, TimerFn fn) {
   (void)at;
   (void)fn;
   DPA_PANIC(
-      "NativeBackend has no deferred timers: the in-process fabric is "
-      "lossless, so the reliability/retry protocol (the only schedule_at "
-      "user) must stay on the sim backend");
+      "NativeBackend has no deferred timers (supports_timers() is false): "
+      "the in-process fabric is lossless, so the reliability/retry protocol "
+      "(the only schedule_at user) must stay on the sim backend");
 }
 
 Time NativeBackend::begin_phase() {
-  DPA_CHECK(outstanding_.load(std::memory_order_acquire) == 0)
-      << "begin_phase with tasks still outstanding";
+  DPA_CHECK(quiescent()) << "begin_phase with tasks still outstanding";
+  quiesced_.store(false, std::memory_order_relaxed);
   for (auto& n : nodes_) {
     n->stats.reset();
     n->msg.reset();
-    DPA_CHECK(n->inbox.empty() && n->local.empty());
+    DPA_CHECK(n->inbox.empty() && n->local.empty() && n->train_pending == 0);
   }
   return clock_ns_;
 }
@@ -156,8 +213,8 @@ void NativeBackend::worker_main(NodeId id) {
       epoch = phase_epoch_;
     }
     run_node_phase(*nodes_[id], id);
-    // Quiescent: every worker will independently observe outstanding == 0
-    // and arrive here. The barrier's acquire/release chain makes all
+    // Quiescent: every worker independently confirms (or reads quiesced_)
+    // and arrives here. The barrier's acquire/release chain makes all
     // pre-barrier writes visible to node 0, which signals the main thread.
     finish_barrier_.arrive_and_wait(&barrier_sense);
     if (id == 0) {
@@ -170,9 +227,44 @@ void NativeBackend::worker_main(NodeId id) {
   }
 }
 
+// Two-phase (Dijkstra-style confirm) quiescence scan: read every consumed
+// counter, then every produced counter, all seq_cst. Why equality proves
+// quiescence: all these operations share one total order S (they are
+// seq_cst), and both counters only grow. Pick the instant t0 in S between
+// the last consumed-load and the first produced-load. Every consumed value
+// read was written before t0, so C <= sum(consumed at t0); every produced
+// load reads the latest write before it in S, so P >= sum(produced at t0).
+// A task's produce precedes its consume, hence sum(produced at t0) >=
+// sum(consumed at t0) >= C. If P == C the chain collapses: at t0 every
+// produced task was consumed — nothing queued, nothing in a train, nothing
+// running (a running task is consumed only after it returns). Quiescence is
+// stable within a phase (only running tasks produce; the main thread seeds
+// only before run_phase), so "quiescent at t0" means quiescent for good.
+bool NativeBackend::quiescent() const {
+  std::uint64_t consumed = 0;
+  for (const auto& n : nodes_)
+    consumed += n->consumed.load(std::memory_order_seq_cst);
+  std::uint64_t produced = 0;
+  for (const auto& n : nodes_)
+    produced += n->produced.load(std::memory_order_seq_cst);
+  return produced == consumed;
+}
+
+void NativeBackend::wake_parked() {
+  for (auto& n : nodes_) {
+    bool wake;
+    {
+      std::lock_guard<std::mutex> lk(n->mu);
+      wake = n->parked;
+    }
+    if (wake) n->cv.notify_all();
+  }
+}
+
 void NativeBackend::run_node_phase(Node& n, NodeId id) {
+  (void)id;
   std::deque<Task> batch;
-  int idle_spins = 0;
+  std::uint32_t idle = 0;
   for (;;) {
     bool ran = false;
     {
@@ -194,15 +286,48 @@ void NativeBackend::run_node_phase(Node& n, NodeId id) {
       ran = true;
     }
     if (ran) {
-      idle_spins = 0;
+      idle = 0;
       continue;  // our own tasks may have posted more to us
     }
-    if (outstanding_.load(std::memory_order_acquire) == 0) return;
-    if (++idle_spins < 256) {
-      cpu_pause();
-    } else {
-      std::this_thread::yield();
+    // Out of runnable work. First push any buffered outbound trains — the
+    // implicit phase-barrier flush point that makes termination independent
+    // of the engine calling Backend::flush().
+    flush_trains(n);
+    if (quiesced_.load(std::memory_order_acquire)) return;
+    if (quiescent()) {
+      quiesced_.store(true, std::memory_order_release);
+      wake_parked();
+      return;
     }
+    // Idle escalation: spin briefly (work usually arrives within the spin
+    // window when nodes have their own cores), then share the core, then
+    // surrender it. Parking is what keeps oversubscribed runs (nodes >>
+    // cores) from burning whole scheduler quanta in yield loops.
+    ++idle;
+    if (idle <= tuning_.idle_spins) {
+      cpu_pause();
+      continue;
+    }
+    if (idle <= tuning_.idle_spins + tuning_.idle_yields) {
+      std::this_thread::yield();
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lk(n.mu);
+      if (!n.inbox.empty()) continue;  // lost the race with a sender: drain
+      // Checked under mu: the detector sets quiesced_ before taking mu to
+      // read `parked`, so either we see the flag here or it sees us parked
+      // and notifies. No sleep-through-the-end window.
+      if (quiesced_.load(std::memory_order_acquire)) return;
+      n.parked = true;
+      ++n.stats.parks;
+      n.cv.wait_for(lk, std::chrono::microseconds(tuning_.park_timeout_us));
+      n.parked = false;
+    }
+    // Woken (or timed out): rescan from the top. `idle` stays above the
+    // spin window so a fruitless wake re-parks after one scan instead of
+    // re-climbing the ladder; real work resets it via `ran`.
+    idle = tuning_.idle_spins + tuning_.idle_yields;
   }
 }
 
@@ -216,7 +341,9 @@ void NativeBackend::run_task(Node& n, NodeId id, Task task) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
   n.stats.finish_time = since_phase_start(t1);
   ++n.stats.tasks_run;
-  outstanding_.fetch_sub(1, std::memory_order_release);
+  // Consume strictly after the task returned: while it ran (and possibly
+  // produced more work) the scan kept seeing produced > consumed.
+  n.consumed.fetch_add(1, std::memory_order_seq_cst);
 }
 
 MsgStats NativeBackend::msg_stats_total() const {
@@ -227,6 +354,7 @@ MsgStats NativeBackend::msg_stats_total() const {
     total.msgs_recv += n->msg.msgs_recv;
     total.bytes_sent += n->msg.bytes_sent;
     total.bytes_recv += n->msg.bytes_recv;
+    total.trains_sent += n->msg.trains_sent;
   }
   return total;
 }

@@ -9,16 +9,31 @@
 //   * Each node is a persistent std::thread with an MPSC mailbox (mutex +
 //     deque) for cross-thread posts and an unlocked local queue for
 //     self-posts (a node's scheduler kicking itself never takes a lock).
-//   * send() enqueues a delivery task on the destination's mailbox; the
-//     handler runs on the destination's thread. The in-process fabric is
-//     lossless and unordered-across-nodes, exactly like the model.
-//   * Phase termination is global quiescence: an atomic counts every
-//     posted-but-not-finished task. It is incremented before a task is
-//     enqueued and decremented after it finishes, so a running task that
-//     will fan out more work always holds the count above zero — reading
-//     zero is a stable "everything drained" signal.
-//   * Workers then meet at a sense-reversing spin barrier; the main thread
-//     is woken through a condvar and is afterwards the only thread touching
+//   * send() appends a delivery task to the sender's per-destination
+//     *train* — an owner-thread-only outbound buffer. A train is handed to
+//     the destination mailbox under ONE lock acquisition when it reaches
+//     Tuning::train_max depth, when the engine calls Backend::flush() at a
+//     tile/strip boundary, or — unconditionally — when the sending worker
+//     runs out of local work. That last rule makes trains invisible to
+//     termination: buffered messages always depart before their owner can
+//     so much as look for quiescence. The host fabric thus applies the
+//     paper's aggregation idea to itself: per-message lock overhead is
+//     amortized across a batch, exactly like per-message wire overhead is
+//     amortized by pointer aggregation. In-process delivery stays lossless
+//     and per-(src,dst) FIFO, unordered across sources — like the model.
+//   * Phase termination is global quiescence over *sharded* counters: each
+//     node owns a (produced, consumed) pair — tasks its thread created vs.
+//     tasks it finished — each written only by its owner, on its own cache
+//     line. An idle worker decides "everything drained" with a two-phase
+//     Dijkstra-style confirm: read every consumed counter, then every
+//     produced counter; equality proves quiescence (argument in the .cpp).
+//     Nothing in the task hot path touches a shared cache line.
+//   * Idle workers escalate spin (cpu_pause) -> yield -> park on their
+//     mailbox condvar, so oversubscribed runs (nodes >> cores) surrender
+//     the core instead of burning it. Senders wake parked destinations;
+//     the first worker to confirm quiescence wakes everyone.
+//   * Workers then meet at a sense-reversing barrier; the main thread is
+//     woken through a condvar and is afterwards the only thread touching
 //     runtime state until the next phase (that handoff is the
 //     synchronization point for all per-node stats).
 //
@@ -28,8 +43,8 @@
 // each task — idle = elapsed - busy_total is genuine wait time.
 //
 // Not supported (sim-only by design): reliability retransmit timers
-// (schedule_at panics; the fabric cannot lose messages), fault injection,
-// and trace attachment.
+// (supports_timers() is false; schedule_at panics as a backstop — the
+// fabric cannot lose messages), fault injection, and trace attachment.
 #pragma once
 
 #include <atomic>
@@ -65,7 +80,24 @@ class SenseBarrier {
 
 class NativeBackend final : public Backend {
  public:
+  // Communication/idle policy knobs. Defaults suit both the provisioned
+  // case (nodes <= cores) and oversubscription; tests shrink the idle
+  // ladder to force the parking path deterministically.
+  struct Tuning {
+    // Flush a destination's train at this depth even if its owner is still
+    // busy (bounds delivery latency when the engine never calls flush()).
+    std::uint32_t train_max = 16;
+    // Idle escalation: cpu_pause() this many times, then sched-yield this
+    // many times, then park on the mailbox condvar.
+    std::uint32_t idle_spins = 64;
+    std::uint32_t idle_yields = 16;
+    // Parked workers re-scan for quiescence at this interval as a backstop
+    // (normally a sender or the quiescence detector wakes them first).
+    std::uint32_t park_timeout_us = 200;
+  };
+
   explicit NativeBackend(std::uint32_t num_nodes);
+  NativeBackend(std::uint32_t num_nodes, const Tuning& tuning);
   ~NativeBackend() override;
 
   BackendKind kind() const override { return BackendKind::kNative; }
@@ -83,6 +115,9 @@ class NativeBackend final : public Backend {
 
   void post(NodeId node, Task task) override;
 
+  void flush(Cpu& cpu, NodeId node) override;
+
+  bool supports_timers() const override { return false; }
   void schedule_at(Time at, TimerFn fn) override;
 
   Time begin_phase() override;
@@ -104,15 +139,29 @@ class NativeBackend final : public Backend {
   // Padded to a cache line boundary: stats and queues are written at task
   // rate by the owning worker; neighbors must not false-share.
   struct alignas(64) Node {
-    // Cross-thread inbox (messages, pre-phase seeding from the main
-    // thread). MPSC: many producers under the mutex, drained in batches by
-    // the owning worker.
+    // Cross-thread inbox (trains from other workers, pre-phase seeding from
+    // the main thread). MPSC: producers under the mutex, drained in batches
+    // by the owning worker. `parked` is guarded by mu: a producer that
+    // observes it set notifies cv after enqueueing.
     std::mutex mu;
     std::deque<Task> inbox;
+    bool parked = false;
+    std::condition_variable cv;
     // Self-posts from the owning worker; never locked.
     std::deque<Task> local;
+    // Outbound trains: train[d] holds delivery tasks bound for node d,
+    // written only by this node's worker (main-thread posts bypass trains).
+    // train_pending is the total across destinations.
+    std::vector<std::vector<Task>> train;
+    std::uint32_t train_pending = 0;
     NodeStats stats;
     MsgStats msg;  // sent-side fields written by owner, recv-side by owner
+    // Quiescence shards. produced = tasks created by this node's thread
+    // (plus pre-phase seeds the main thread charged to it); consumed =
+    // tasks finished here. Single writer each, own cache line; seq_cst so
+    // the detector's two-pass scan linearizes (see quiescent()).
+    alignas(64) std::atomic<std::uint64_t> produced{0};
+    alignas(64) std::atomic<std::uint64_t> consumed{0};
   };
 
   struct HandlerEntry {
@@ -123,16 +172,25 @@ class NativeBackend final : public Backend {
   void worker_main(NodeId id);
   void run_node_phase(Node& n, NodeId id);
   void run_task(Node& n, NodeId id, Task task);
+  // Hands self's train for `dst` to the destination mailbox (one lock).
+  void flush_dest_train(Node& self, NodeId dst);
+  // Flushes every non-empty train; returns true if anything departed.
+  bool flush_trains(Node& self);
+  bool quiescent() const;
+  void wake_parked();
   Time since_phase_start(std::chrono::steady_clock::time_point t) const {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(t - phase_t0_)
         .count();
   }
 
+  Tuning tuning_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<HandlerEntry>> handlers_;
 
-  // Posted-but-not-finished tasks; zero is a stable quiescence signal.
-  std::atomic<std::uint64_t> outstanding_{0};
+  // Set by the first worker whose two-pass scan confirms quiescence; lets
+  // the rest skip straight to the barrier (quiescence is stable within a
+  // phase). Reset by begin_phase while workers are parked between phases.
+  std::atomic<bool> quiesced_{false};
 
   // Phase start/stop plumbing. Workers park on phase_cv_ between phases;
   // run_phase publishes a new epoch to release them and waits on done

@@ -42,6 +42,8 @@ class SimBackend final : public Backend {
     machine_.node(node).post(std::move(task));
   }
 
+  bool supports_timers() const override { return true; }
+
   void schedule_at(Time at, TimerFn fn) override {
     machine_.engine().schedule_at(at, std::move(fn));
   }

@@ -105,6 +105,9 @@ struct NodeStats {
   Time busy_total = 0;
   Time finish_time = 0;  // time the node last stopped being busy
   std::uint64_t tasks_run = 0;
+  // Native backend only: times the worker gave up its core (condvar park)
+  // after the spin -> yield idle escalation ran dry. Zero on the simulator.
+  std::uint64_t parks = 0;
 
   void reset() { *this = NodeStats{}; }
 };
@@ -117,6 +120,11 @@ struct MsgStats {
   std::uint64_t msgs_recv = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_recv = 0;
+  // Native backend only: destination-mailbox handoffs (each train moves a
+  // batch of messages under one lock). trains_sent <= msgs_sent; the gap is
+  // the per-message locking the trains amortized away. Zero on the
+  // simulator, whose FM layer delivers through the modeled network instead.
+  std::uint64_t trains_sent = 0;
 
   void reset() { *this = MsgStats{}; }
 };

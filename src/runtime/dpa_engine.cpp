@@ -195,8 +195,13 @@ bool DpaEngine::run_in_order(sim::Cpu& cpu) {
   DPA_DCHECK(it != m_.end());
   Tile& tile = it->second;
   // Shouldn't happen under the create-all template (buffers are flushed
-  // before consumption), but make progress possible regardless.
-  if (tile.st == Tile::St::kFresh) flush_dest(cpu, tile.ref.home);
+  // before consumption), but make progress possible regardless. The head of
+  // the order queue is blocking on this request, so push it all the way out
+  // of the backend's outbound buffers as well.
+  if (tile.st == Tile::St::kFresh) {
+    flush_dest(cpu, tile.ref.home);
+    cluster_.exec().flush(cpu, node_);
+  }
   if (tile.st != Tile::St::kReady) return false;  // head-of-line wait
   order_.pop_front();
   dispatch_tile(cpu, addr);
@@ -248,6 +253,11 @@ void DpaEngine::flush_dest(sim::Cpu& cpu, NodeId dest) {
 bool DpaEngine::flush_requests(sim::Cpu& cpu) {
   if (agg_total_ == 0) return false;
   for (NodeId d = 0; d < agg_.size(); ++d) flush_dest(cpu, d);
+  // Tile boundary: the aggregation buffers just drained into the fabric, so
+  // push the backend's own outbound buffering (native message trains) too —
+  // request latency should track the engine's batching policy, not the
+  // fabric's idle-flush backstop.
+  cluster_.exec().flush(cpu, node_);
   return true;
 }
 
@@ -263,6 +273,7 @@ bool DpaEngine::flush_all(sim::Cpu& cpu) {
     cpu.charge(cfg_.cost.flush_fixed, sim::Work::kComm);
     send_accum(cpu, d, std::move(items));
   }
+  cluster_.exec().flush(cpu, node_);
   return true;
 }
 

@@ -34,9 +34,11 @@ EngineBase::EngineBase(Cluster& cluster, NodeId node,
   }
   pool_payloads_ = cluster.exec().is_sim();
   rel_enabled_ = cfg.retry.enabled || cluster.exec().lossy();
-  DPA_CHECK(!rel_enabled_ || cluster.exec().is_sim())
-      << "the reliability/retry protocol needs the simulator's timers and "
-      << "lossy network model; the native fabric is lossless";
+  // PhaseRunner already rejected this combination at construction; keep a
+  // backstop for engines built outside a PhaseRunner.
+  DPA_CHECK(!rel_enabled_ || cluster.exec().supports_timers())
+      << "the reliability/retry protocol needs a backend with deferred "
+      << "timers (retransmit deadlines); this one has none";
   if (rel_enabled_) rel_seen_.resize(cluster.num_nodes());
 }
 

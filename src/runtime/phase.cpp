@@ -36,6 +36,14 @@ double PhaseResult::mean_idle_s() const {
 PhaseRunner::PhaseRunner(Cluster& cluster, RuntimeConfig cfg)
     : cluster_(cluster), cfg_(std::move(cfg)) {
   cfg_.validate();
+  // Fail at construction, not from a schedule_at panic mid-phase: the
+  // retry/timeout protocol arms retransmit timers, which only a backend
+  // with deferred timers (the simulator) can run.
+  DPA_CHECK(!cfg_.retry.enabled || cluster_.exec().supports_timers())
+      << "retry/timeout reliability config needs a backend with deferred "
+      << "timers; --backend=native cannot honor it (its in-process fabric "
+      << "is lossless and has no timer wheel) — drop the retry config or "
+      << "run with --backend=sim";
   arenas_.reserve(cluster_.num_nodes());
   for (std::uint32_t i = 0; i < cluster_.num_nodes(); ++i)
     arenas_.push_back(std::make_unique<Arena>());
@@ -166,6 +174,12 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
       // Native progress unit: tasks executed across all workers.
       *m.counter("exec.tasks") += result.sim_events;
       *m.counter("exec.elapsed_ns") += std::uint64_t(result.elapsed);
+      // Fabric batching + idle behavior: mailbox handoffs (message trains)
+      // and condvar parks taken by idle workers.
+      *m.counter("exec.trains") += result.fm_total.trains_sent;
+      std::uint64_t parks = 0;
+      for (NodeId i = 0; i < n; ++i) parks += backend.node_stats(i).parks;
+      *m.counter("exec.parks") += parks;
     }
     *m.counter("fm.msgs_sent") += result.fm_total.msgs_sent;
     *m.counter("fm.frags_sent") += result.fm_total.frags_sent;

@@ -18,8 +18,10 @@ void JsonWriter::comma() {
 }
 
 void JsonWriter::quote(std::string_view s) {
+  // Mirrors dump_string(): every control character must leave as an escape,
+  // or json_parse (and any strict reader) rejects the writer's own output.
   out_ << '"';
-  for (const char c : s) {
+  for (const unsigned char c : s) {
     switch (c) {
       case '"':
         out_ << "\\\"";
@@ -27,14 +29,29 @@ void JsonWriter::quote(std::string_view s) {
       case '\\':
         out_ << "\\\\";
         break;
+      case '\b':
+        out_ << "\\b";
+        break;
+      case '\f':
+        out_ << "\\f";
+        break;
       case '\n':
         out_ << "\\n";
+        break;
+      case '\r':
+        out_ << "\\r";
         break;
       case '\t':
         out_ << "\\t";
         break;
       default:
-        out_ << c;
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ << buf;
+        } else {
+          out_ << char(c);
+        }
     }
   }
   out_ << '"';

@@ -283,6 +283,34 @@ TEST(SimVsNative, PhysicsAreByteIdenticalForEveryEngineAndApp) {
   }
 }
 
+TEST(SimVsNative, OversubscribedEm3dIsByteIdenticalAt64Nodes) {
+  // 64 native workers on a CPU-constrained runner: deliveries ride message
+  // trains, idle workers park, and the sharded quiescence scan terminates
+  // the phases — none of which may perturb a single bit of physics relative
+  // to the discrete-event simulator.
+  apps::em3d::Em3dConfig cfg;
+  cfg.e_per_node = 8;
+  cfg.h_per_node = 8;
+  cfg.remote_prob = 0.5;
+  cfg.iters = 2;
+  const apps::em3d::Em3dApp em(cfg, 64);
+  for (std::size_t engine = 0; engine < kEngines; ++engine) {
+    const auto rcfg = equivalence_config(engine);
+    const auto sim =
+        em.run(net(false), rcfg, nullptr, exec::BackendKind::kSim);
+    const auto native =
+        em.run(net(false), rcfg, nullptr, exec::BackendKind::kNative);
+    ASSERT_TRUE(sim.all_completed() && native.all_completed())
+        << "engine " << engine;
+    std::string a, b;
+    append_doubles(a, sim.e_values.data(), sim.e_values.size());
+    append_doubles(a, sim.h_values.data(), sim.h_values.size());
+    append_doubles(b, native.e_values.data(), native.e_values.size());
+    append_doubles(b, native.h_values.data(), native.h_values.size());
+    EXPECT_EQ(a, b) << "engine " << engine;
+  }
+}
+
 TEST(Determinism, ParallelSweepMatchesSerialByteForByte) {
   // The sweep driver's contract: a --jobs=N pool computes exactly what the
   // serial loop computes. Each snapshot is byte-compared, not approximated.

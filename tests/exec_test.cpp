@@ -153,6 +153,165 @@ TEST(NativeBackend, QuiescenceWaitsForRecursiveFanout) {
   EXPECT_EQ(ran.load(), ((1u << (kDepth + 1)) - 1) + 15);
 }
 
+TEST(NativeBackend, TrainsPreservePerDestinationFifo) {
+  // One sender floods one destination. Deliveries must arrive in send
+  // order (trains splice whole batches, preserving per-(src,dst) FIFO),
+  // and the mailbox handoff count must show batching: far fewer trains
+  // than messages.
+  constexpr int kMsgs = 100;
+  exec::NativeBackend::Tuning tuning;
+  tuning.train_max = 16;
+  auto backend = std::make_unique<exec::NativeBackend>(2, tuning);
+
+  std::vector<std::uint32_t> order;  // node 1 only; read post-phase
+  auto* porder = &order;
+  const exec::HandlerId h = backend->register_handler(
+      "test.seq", [porder](exec::Cpu&, const exec::Packet& pkt) {
+        porder->push_back(*static_cast<std::uint32_t*>(pkt.data.get()));
+      });
+
+  backend->begin_phase();
+  auto* b = backend.get();
+  backend->post(0, [b, h](exec::Cpu& cpu) {
+    for (std::uint32_t i = 0; i < kMsgs; ++i)
+      b->send(cpu, 0, 1, h, std::make_shared<std::uint32_t>(i), 8);
+  });
+  backend->run_phase();
+
+  ASSERT_EQ(order.size(), std::size_t(kMsgs));
+  for (std::uint32_t i = 0; i < kMsgs; ++i) EXPECT_EQ(order[i], i);
+  const exec::MsgStats total = backend->msg_stats_total();
+  EXPECT_EQ(total.msgs_sent, std::uint64_t(kMsgs));
+  // 100 messages at train_max=16: six full trains mid-task plus the dry
+  // flush of the remainder — never one lock per message.
+  EXPECT_GE(total.trains_sent, std::uint64_t(kMsgs) / tuning.train_max);
+  EXPECT_LE(total.trains_sent, std::uint64_t(kMsgs) / tuning.train_max + 1);
+}
+
+TEST(NativeBackend, FlushHookDrainsTrainsOnDemand) {
+  // With train_max larger than the whole workload nothing departs until
+  // either the flush hook or the sender running dry. Calling flush() after
+  // every send turns each message into its own train — deterministic proof
+  // the hook reaches the fabric.
+  constexpr int kMsgs = 5;
+  exec::NativeBackend::Tuning tuning;
+  tuning.train_max = 1000;
+  auto backend = std::make_unique<exec::NativeBackend>(2, tuning);
+
+  std::atomic<int> got{0};
+  auto* pgot = &got;
+  const exec::HandlerId h = backend->register_handler(
+      "test.flush", [pgot](exec::Cpu&, const exec::Packet&) {
+        pgot->fetch_add(1, std::memory_order_relaxed);
+      });
+
+  backend->begin_phase();
+  auto* b = backend.get();
+  backend->post(0, [b, h](exec::Cpu& cpu) {
+    for (int i = 0; i < kMsgs; ++i) {
+      b->send(cpu, 0, 1, h, std::make_shared<int>(i), 8);
+      b->flush(cpu, 0);
+    }
+  });
+  backend->run_phase();
+
+  EXPECT_EQ(got.load(), kMsgs);
+  EXPECT_EQ(backend->msg_stats_total().trains_sent, std::uint64_t(kMsgs));
+
+  // A second phase without explicit flushes: the dry-flush backstop moves
+  // everything in one train.
+  backend->begin_phase();
+  backend->post(0, [b, h](exec::Cpu& cpu) {
+    for (int i = 0; i < kMsgs; ++i)
+      b->send(cpu, 0, 1, h, std::make_shared<int>(i), 8);
+  });
+  backend->run_phase();
+  EXPECT_EQ(got.load(), 2 * kMsgs);
+  EXPECT_EQ(backend->msg_stats_total().trains_sent, 1u);
+}
+
+TEST(NativeBackend, OversubscribedNodesParkAndStillQuiesce) {
+  // 64 workers on however few cores the runner has (CI constrains this to
+  // a couple): the idle ladder must escalate to condvar parks instead of
+  // burning the cores, and the sharded two-pass quiescence check must still
+  // terminate a recursive cross-node fanout exactly.
+  constexpr std::uint32_t kNodes = 64;
+  constexpr int kDepth = 10;
+  exec::NativeBackend::Tuning tuning;
+  tuning.idle_spins = 4;  // reach the park stage almost immediately
+  tuning.idle_yields = 2;
+  tuning.park_timeout_us = 50;
+  auto backend = std::make_unique<exec::NativeBackend>(kNodes, tuning);
+  std::atomic<std::uint64_t> ran{0};
+
+  struct Spawner {
+    exec::Backend* b;
+    std::atomic<std::uint64_t>* ran;
+    void operator()(int depth, std::uint32_t node) const {
+      ran->fetch_add(1, std::memory_order_relaxed);
+      if (depth == 0) return;
+      const Spawner self = *this;
+      for (int c = 0; c < 2; ++c) {
+        const std::uint32_t next =
+            (node * 2 + 1 + std::uint32_t(c)) % kNodes;
+        b->post(next,
+                [self, depth, next](exec::Cpu&) { self(depth - 1, next); });
+      }
+    }
+  };
+  Spawner spawner{backend.get(), &ran};
+
+  std::uint64_t parks = 0;
+  for (int phase = 0; phase < 3; ++phase) {
+    ran.store(0);
+    backend->begin_phase();
+    backend->post(0, [spawner](exec::Cpu&) { spawner(kDepth, 0); });
+    backend->run_phase();
+    EXPECT_EQ(ran.load(), (1u << (kDepth + 1)) - 1) << "phase " << phase;
+    for (std::uint32_t n = 0; n < kNodes; ++n)
+      parks += backend->node_stats(n).parks;
+  }
+  // The fanout starts on one node while 63 others sit idle with a 6-step
+  // ladder: some of them must have parked.
+  EXPECT_GT(parks, 0u);
+}
+
+TEST(Backend, TimerCapabilityMatchesSubstrate) {
+  auto sim = exec::make_backend(exec::BackendKind::kSim, 2, sim::NetParams{});
+  EXPECT_TRUE(sim->supports_timers());
+  auto native =
+      exec::make_backend(exec::BackendKind::kNative, 2, sim::NetParams{});
+  EXPECT_FALSE(native->supports_timers());
+}
+
+// TSan's runtime is incompatible with gtest death tests (fork with live
+// worker threads), so the fail-fast check is pinned in regular builds only.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DPA_TEST_TSAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define DPA_TEST_TSAN 1
+#endif
+
+#if !defined(DPA_TEST_TSAN)
+TEST(NativeBackendDeathTest, RetryConfigFailsFastAtConstruction) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The retry protocol needs schedule_at timers; on the native backend the
+  // PhaseRunner must refuse at construction with an actionable message, not
+  // panic from inside a phase.
+  EXPECT_DEATH(
+      {
+        rt::Cluster cluster(2, exec::BackendKind::kNative);
+        rt::RuntimeConfig cfg = rt::RuntimeConfig::dpa(32);
+        cfg.retry.enabled = true;
+        rt::PhaseRunner runner(cluster, cfg);
+      },
+      "deferred timers");
+}
+#endif  // !DPA_TEST_TSAN
+
 rt::RuntimeConfig engine_config(std::size_t which) {
   switch (which) {
     case 0: return rt::RuntimeConfig::dpa(32);

@@ -72,6 +72,56 @@ JsonValue gen_value(Rng& rng, int depth) {
   }
 }
 
+// Strict UTF-8 validity: rejects surrogate code points (U+D800..U+DFFF),
+// values past U+10FFFF, overlong encodings, and stray/missing continuation
+// bytes. The parser's \u-escape path must never produce anything invalid.
+bool is_valid_utf8(const std::string& s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const unsigned char b0 = (unsigned char)s[i];
+    std::size_t len;
+    std::uint32_t cp;
+    if (b0 < 0x80) {
+      i += 1;
+      continue;
+    } else if ((b0 & 0xe0) == 0xc0) {
+      len = 2;
+      cp = b0 & 0x1f;
+    } else if ((b0 & 0xf0) == 0xe0) {
+      len = 3;
+      cp = b0 & 0x0f;
+    } else if ((b0 & 0xf8) == 0xf0) {
+      len = 4;
+      cp = b0 & 0x07;
+    } else {
+      return false;  // stray continuation or invalid lead byte
+    }
+    if (i + len > s.size()) return false;
+    for (std::size_t k = 1; k < len; ++k) {
+      const unsigned char c = (unsigned char)s[i + k];
+      if ((c & 0xc0) != 0x80) return false;
+      cp = (cp << 6) | (c & 0x3f);
+    }
+    static constexpr std::uint32_t kMin[5] = {0, 0, 0x80, 0x800, 0x10000};
+    if (cp < kMin[len]) return false;                // overlong
+    if (cp >= 0xD800 && cp <= 0xDFFF) return false;  // surrogate
+    if (cp > 0x10FFFF) return false;
+    i += len;
+  }
+  return true;
+}
+
+// Every string reachable in the document tree.
+void collect_strings(const JsonValue& v, std::vector<const std::string*>* out) {
+  if (v.is_string()) out->push_back(&v.as_string());
+  if (v.is_array())
+    for (const auto& e : v.as_array()) collect_strings(e, out);
+  if (v.is_object())
+    for (const auto& [k, e] : v.as_object()) {
+      out->push_back(&k);
+      collect_strings(e, out);
+    }
+}
+
 // ---------- properties ----------
 
 TEST(JsonFuzz, RandomDocumentsRoundTrip) {
@@ -108,6 +158,58 @@ TEST(JsonFuzz, MutatedDocumentsNeverCrash) {
     if (!parsed) {
       EXPECT_FALSE(parsed.error.empty());
     }
+  }
+}
+
+// Mutation corpus over surrogate-escape documents: whatever we do to the
+// hex digits, the backslashes, or the pair structure, the parser must either
+// reject the document or hand back strictly valid UTF-8 — a lone high
+// surrogate must never leak out as a raw 3-byte surrogate encoding.
+TEST(JsonFuzz, SurrogateMutantsNeverEmitInvalidUtf8) {
+  const char* corpus[] = {
+      R"(["\ud83d\ude00"])",    // U+1F600, the happy path
+      R"(["\ud800\udc00"])",    // lowest pair (U+10000)
+      R"(["\udbff\udfff"])",    // highest pair (U+10FFFF)
+      R"({"\ud835\udd6b": "\ud83c\udf55"})",    // pairs in key and value
+      R"(["a\ud800\udc00b", "A\ud83d\ude00B"])",
+  };
+  // Mutations stay in printable ASCII: the parser deliberately passes raw
+  // bytes >= 0x20 through untouched, so a random high-byte flip could plant
+  // invalid UTF-8 the parser never promised to reject. The property under
+  // test is the \u-escape decoder.
+  const char hexdig[] = "0123456789abcdefABCDEF";
+  Rng rng(0x5eed4);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string text = corpus[rng.next_below(std::size(corpus))];
+    const auto n_edits = 1 + rng.next_below(3);
+    for (std::uint64_t e = 0; e < n_edits; ++e) {
+      if (text.empty()) break;
+      const auto at = rng.next_below(text.size());
+      switch (rng.next_below(4)) {
+        case 0:  // re-roll a byte as a hex digit (perturb code points)
+          text[at] = hexdig[rng.next_below(sizeof(hexdig) - 1)];
+          break;
+        case 1:  // printable-ASCII flip (break '\\', 'u', quotes, brackets)
+          text[at] = char(0x20 + rng.next_below(0x5f));
+          break;
+        case 2:  // delete a byte (break a \u or a pair in half)
+          text.erase(text.begin() + std::ptrdiff_t(at));
+          break;
+        default:  // truncate
+          text.resize(at);
+      }
+    }
+    const auto parsed = json_parse(text);
+    if (!parsed) {
+      EXPECT_FALSE(parsed.error.empty());
+      continue;
+    }
+    std::vector<const std::string*> strings;
+    collect_strings(*parsed.value, &strings);
+    for (const std::string* s : strings)
+      EXPECT_TRUE(is_valid_utf8(*s))
+          << "iter " << iter << ": parser emitted invalid UTF-8 from: "
+          << text;
   }
 }
 
@@ -177,6 +279,14 @@ TEST(JsonParse, RejectsMalformedDocuments) {
       "\"\\ud800\"",         // lone high surrogate
       "\"\\udc00\"",         // lone low surrogate
       "\"\\ud800\\u0041\"",  // high surrogate + non-surrogate
+      "\"\\ud800\\ud800\"",  // high surrogate + high surrogate
+      "\"\\udbff\\ue000\"",  // high surrogate + post-surrogate BMP
+      "\"\\ud800x\"",        // high surrogate + raw character
+      "\"\\ud800\\n\"",      // high surrogate + non-\u escape
+      "\"\\ud800\\u\"",      // high surrogate + truncated \u
+      "\"\\ud800\\udc0\"",   // pair with short low half
+      "\"\\ud800\\udc0g\"",  // pair with bad hex in low half
+      "\"\\ud800",           // unterminated after high surrogate
       "\"\x01\"",    // raw control character
       "{} {}",       // trailing garbage
       "1 1",         // trailing garbage
@@ -198,6 +308,25 @@ TEST(JsonParse, RejectsExcessiveNesting) {
   std::string ok(200, '[');
   ok += std::string(200, ']');
   EXPECT_TRUE(json_parse(ok));
+}
+
+// JsonWriter must escape every control character, not just \n and \t —
+// otherwise its output is rejected by json_parse (and any strict reader).
+TEST(JsonParse, WriterOutputWithControlCharactersReparses) {
+  const std::string nasty = std::string("a\r\nb\tc\b\f") + '\x00' + "\x01\x1f";
+  JsonWriter w;
+  {
+    auto root = w.obj();
+    w.field(nasty, nasty);  // control chars in both key and value positions
+    auto rows = w.arr("rows");
+    w.value("\r");
+    w.value(std::string(1, '\x1b'));
+  }
+  const auto r = json_parse(w.str());
+  ASSERT_TRUE(r) << r.error << "\nwriter emitted: " << w.str();
+  EXPECT_EQ(r.value->find(nasty)->as_string(), nasty);
+  EXPECT_EQ(r.value->find("rows")->as_array()[0].as_string(), "\r");
+  EXPECT_EQ(r.value->find("rows")->as_array()[1].as_string(), "\x1b");
 }
 
 // The parser must accept what the repo's own writer emits.
