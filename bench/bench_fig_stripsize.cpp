@@ -18,13 +18,14 @@ constexpr std::uint32_t kStrips[] = {10u, 25u, 50u, 100u, 300u, 1000u};
 template <class App, class Run, class StepOf>
 void sweep(const char* name, const App& app, std::uint32_t procs,
            const dpa::sim::NetParams& net, double seq_seconds,
-           std::size_t jobs, dpa::exec::BackendKind backend, StepOf step_of) {
+           std::size_t jobs, dpa::exec::BackendKind backend,
+           dpa::obs::Session* obs, StepOf step_of) {
   std::printf("--- %s on %u nodes ---\n", name, procs);
   const std::size_t n = std::size(kStrips);
   const auto runs =
       dpa::bench::sweep_cells<Run>(jobs, n, [&](std::size_t i) {
         return app.run(procs, net, dpa::rt::RuntimeConfig::dpa(kStrips[i]),
-                       nullptr, backend);
+                       obs, backend);
       });
   dpa::Table table({"strip", "time(s)", "speedup", "agg factor",
                     "max outstanding", "max |M|", "thread mem (KB)"});
@@ -54,23 +55,27 @@ int main(int argc, char** argv) {
   dpa::bench::FaultOptions faults;
   dpa::bench::SweepOptions sweep_opts;
   dpa::bench::BackendOptions backend;
+  dpa::bench::ObsOptions obs;
   dpa::Options options;
   options.i64("bodies", &bodies, "Barnes-Hut bodies")
       .i64("particles", &particles, "FMM particles")
       .i64("terms", &terms, "FMM expansion terms")
       .i64("procs", &procs, "node count");
+  obs.add_flags(options);
   faults.add_flags(options);
   sweep_opts.add_flags(options);
   backend.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
   if (!backend.validate(faults)) return 1;
+  backend.install_watchdog();
+  obs.init();
 
   using namespace dpa;
   const auto net = faults.applied(bench::t3d_params());
   faults.announce();
   backend.announce();
   const std::size_t jobs =
-      backend.clamp_jobs(sweep_opts.resolved(/*obs_flag=*/nullptr));
+      backend.clamp_jobs(sweep_opts.resolved(obs.attached_by()));
 
   std::printf("=== Figure: strip-size sensitivity ===\n\n");
 
@@ -80,7 +85,7 @@ int main(int argc, char** argv) {
   const double bh_seq = bh_app.run_sequential()[0].seconds;
   sweep<apps::barnes::BarnesApp, apps::barnes::BarnesRun>(
       "Barnes-Hut", bh_app, std::uint32_t(procs), net, bh_seq, jobs,
-      backend.kind(),
+      backend.kind(), obs.get(),
       [](const apps::barnes::BarnesRun& r) -> const rt::PhaseResult& {
         return r.steps[0].phase;
       });
@@ -92,7 +97,7 @@ int main(int argc, char** argv) {
   const double fmm_seq = fmm_app.run_sequential().seconds;
   sweep<apps::fmm::FmmApp, apps::fmm::FmmRun>(
       "FMM", fmm_app, std::uint32_t(procs), net, fmm_seq, jobs,
-      backend.kind(),
+      backend.kind(), obs.get(),
       [](const apps::fmm::FmmRun& r) -> const rt::PhaseResult& {
         return r.steps[0].phase;
       });
@@ -101,5 +106,6 @@ int main(int argc, char** argv) {
       "expected shape (paper): small strips bound memory tightly but leave\n"
       "little to aggregate or overlap; large strips improve both at the\n"
       "cost of outstanding-thread memory, with diminishing returns.\n");
+  if (!obs.finish()) return 1;
   return 0;
 }

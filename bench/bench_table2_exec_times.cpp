@@ -178,6 +178,7 @@ int main(int argc, char** argv) {
   backend.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
   if (!backend.validate(faults)) return 1;
+  backend.install_watchdog();
   faults.apply(&dpa::bench::g_net);
   faults.announce();
   backend.announce();
@@ -185,7 +186,6 @@ int main(int argc, char** argv) {
   // With --json the metrics block is merged into that file, so a session is
   // attached even without --trace-out/--metrics-out.
   obs.init(!json_path.empty() ? "--json" : nullptr);
-  backend.warn_ignored(obs);
   dpa::bench::g_obs = obs.get();
   dpa::bench::g_jobs = backend.clamp_jobs(sweep.resolved(obs.attached_by()));
 

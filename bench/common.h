@@ -3,6 +3,7 @@
 // (from the PPoPP'97 text) so every binary prints paper-vs-measured.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "exec/backend.h"
+#include "exec/native_backend.h"
 #include "obs/chrome_trace.h"
 #include "obs/session.h"
 #include "runtime/phase.h"
@@ -28,11 +30,21 @@ namespace dpa::bench {
 // node, and co-scheduling cells would corrupt each other's timings).
 struct BackendOptions {
   std::string name = "sim";
+  std::int64_t watchdog_ms = 0;  // 0 = no watchdog
+  std::string watchdog_dump;     // flight-recorder JSON path ("" = stderr)
 
   void add_flags(Options& options) {
-    options.str("backend", &name,
-                "execution substrate: 'sim' (modeled LogGP network) or "
-                "'native' (one host thread per node, wall-clock timings)");
+    options
+        .str("backend", &name,
+             "execution substrate: 'sim' (modeled LogGP network) or "
+             "'native' (one host thread per node, wall-clock timings)")
+        .i64("watchdog-ms", &watchdog_ms,
+             "native only: abort (with a flight-recorder dump) if a phase "
+             "outlives this many wall milliseconds or makes no progress "
+             "(0 = no watchdog)")
+        .str("watchdog-dump", &watchdog_dump,
+             "where the watchdog writes its flight-recorder JSON "
+             "(default: stderr summary only)");
   }
 
   bool native() const { return name == "native"; }
@@ -54,11 +66,38 @@ struct BackendOptions {
     return jobs;
   }
 
-  // Native engines run on concurrent worker threads, so the single-writer
-  // trace ring stays detached there (metrics snapshots still work: they are
-  // published post-phase by the main thread). Say so instead of silently
-  // writing an event-free trace file.
-  void warn_ignored(const struct ObsOptions& obs) const;
+  // --watchdog-ms=N as an exec::WatchdogConfig: the phase deadline is N
+  // wall milliseconds, and independently eight consecutive no-progress
+  // sweeps (spaced so eight fit inside the deadline, floor 1 ms) fire the
+  // stuck-counters trigger well before a deadlocked phase burns the whole
+  // budget. Pure mapping, no side effects — unit-testable.
+  exec::WatchdogConfig watchdog_config() const {
+    exec::WatchdogConfig cfg;
+    if (watchdog_ms <= 0) return cfg;
+    cfg.phase_deadline = exec::Time(watchdog_ms) * 1'000'000;
+    cfg.stuck_scans = 8;
+    cfg.scan_interval =
+        std::max<exec::Time>(cfg.phase_deadline / 8, 1'000'000);
+    cfg.dump_path = watchdog_dump;
+    cfg.fatal = true;
+    return cfg;
+  }
+
+  // Installs the watchdog policy process-wide (harnesses build their
+  // Clusters deep inside app runners, so the policy is set once here and
+  // picked up by every NativeBackend constructed afterwards).
+  void install_watchdog() const {
+    if (watchdog_ms <= 0) return;
+    if (!native()) {
+      std::fprintf(stderr,
+                   "warning: --watchdog-ms=%lld ignored: the watchdog "
+                   "guards native phases (--backend=sim is deterministic "
+                   "and cannot stall)\n",
+                   (long long)watchdog_ms);
+      return;
+    }
+    exec::NativeBackend::set_default_watchdog(watchdog_config());
+  }
 
   void announce() const {
     if (native())
@@ -161,13 +200,20 @@ struct ObsOptions {
                      "warning: compiled with DPA_TRACE=OFF, %s will contain "
                      "no events\n",
                      trace_out.c_str());
-      if (session->tracer.dropped() > 0)
+      const obs::ShardedTraceSink* shards = session->shards.get();
+      const std::uint64_t dropped =
+          session->tracer.dropped() +
+          (shards != nullptr ? shards->dropped_total() : 0);
+      const std::uint64_t recorded =
+          session->tracer.recorded() +
+          (shards != nullptr ? shards->recorded_total() : 0);
+      if (dropped > 0)
         std::fprintf(stderr,
-                     "warning: trace ring overflowed, oldest %llu of %llu "
-                     "events dropped\n",
-                     (unsigned long long)session->tracer.dropped(),
-                     (unsigned long long)session->tracer.recorded());
-      if (obs::write_chrome_trace(session->tracer, trace_out)) {
+                     "warning: trace ring(s) overflowed, oldest %llu of %llu "
+                     "events dropped (per-worker counts are in the trace "
+                     "header's dropped_by_worker)\n",
+                     (unsigned long long)dropped, (unsigned long long)recorded);
+      if (obs::write_chrome_trace(session->tracer, trace_out, shards)) {
         std::printf("trace written to %s\n", trace_out.c_str());
       } else {
         std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
@@ -228,16 +274,6 @@ struct FaultOptions {
                 p.faults.describe().c_str());
   }
 };
-
-inline void BackendOptions::warn_ignored(const ObsOptions& obs) const {
-  if (native() && !obs.trace_out.empty())
-    std::fprintf(stderr,
-                 "warning: --trace-out=%s will contain no events: "
-                 "--backend=native runs engines on concurrent workers, and "
-                 "the trace ring is single-writer (metrics output still "
-                 "works)\n",
-                 obs.trace_out.c_str());
-}
 
 inline bool BackendOptions::validate(const FaultOptions& faults) const {
   if (name != "sim" && name != "native") {

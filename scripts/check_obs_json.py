@@ -3,13 +3,17 @@
 
 Usage:
   check_obs_json.py --trace trace.json [--require-events]
-  check_obs_json.py --metrics metrics.json
+  check_obs_json.py --metrics metrics.json [--require-native]
   check_obs_json.py --bench t2.json
+  check_obs_json.py --flightrec flight.json
 
 Validates that a Chrome trace is loadable (well-formed traceEvents with
-monotone-ready timestamps), that a metrics snapshot follows
-dpa.metrics.v1, and that bench --json output embeds a metrics block.
-Exits non-zero on the first violation.
+monotone-ready timestamps, per-worker drop counts consistent with the
+total), that a metrics snapshot follows dpa.metrics.v1 (--require-native
+additionally demands the native backend's exec.* wall-clock histograms),
+that bench --json output embeds a metrics block, and that a watchdog
+flight-recorder dump follows dpa.flightrec.v1. Exits non-zero on the
+first violation.
 """
 
 import argparse
@@ -53,11 +57,33 @@ def check_trace(path, require_events):
             fail(f"{path}: X event {i} missing dur")
     if require_events and timed == 0:
         fail(f"{path}: no timed events (expected some with DPA_TRACE=ON)")
+    if "dropped_by_worker" in doc:
+        per_worker = doc["dropped_by_worker"]
+        if not isinstance(per_worker, list):
+            fail(f"{path}: dropped_by_worker is not a list")
+        for w, d in enumerate(per_worker):
+            if not isinstance(d, int) or d < 0:
+                fail(f"{path}: dropped_by_worker[{w}] is not a "
+                     f"non-negative int")
+        if sum(per_worker) > doc["dropped_events"]:
+            fail(f"{path}: dropped_by_worker sums to {sum(per_worker)} > "
+                 f"dropped_events {doc['dropped_events']}")
     print(f"check_obs_json: OK: {path}: {timed} timed events, "
           f"{doc['dropped_events']} dropped")
 
 
-def check_metrics_block(block, origin):
+# Wall-clock profile histograms the native backend publishes per phase
+# (bench/common.h --metrics-out with --backend=native).
+NATIVE_HISTOGRAMS = (
+    "exec.task_service_ns",
+    "exec.mailbox_wait_ns",
+    "exec.train_occupancy",
+    "exec.park_ns",
+    "exec.queue_depth",
+)
+
+
+def check_metrics_block(block, origin, require_phases=True):
     for key in ("counters", "gauges", "histograms"):
         if key not in block or not isinstance(block[key], dict):
             fail(f"{origin}: missing or malformed {key!r} object")
@@ -72,20 +98,75 @@ def check_metrics_block(block, origin):
             fail(f"{origin}: histogram {name!r} missing fields")
         if sum(h["buckets"]) != h["count"]:
             fail(f"{origin}: histogram {name!r} buckets do not sum to count")
-    if "rt.phases" in block["counters"] and block["counters"]["rt.phases"] == 0:
+    if (require_phases and "rt.phases" in block["counters"]
+            and block["counters"]["rt.phases"] == 0):
         fail(f"{origin}: rt.phases is zero — no phase published metrics")
     print(f"check_obs_json: OK: {origin}: {len(block['counters'])} counters, "
           f"{len(block['gauges'])} gauges, "
           f"{len(block['histograms'])} histograms")
 
 
-def check_metrics(path):
+def check_metrics(path, require_native=False):
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") != "dpa.metrics.v1":
         fail(f"{path}: schema is {doc.get('schema')!r}, "
              f"expected 'dpa.metrics.v1'")
     check_metrics_block(doc, path)
+    if require_native:
+        if doc["counters"].get("exec.tasks", 0) <= 0:
+            fail(f"{path}: exec.tasks missing or zero — this was not a "
+                 f"native-backend run")
+        for name in NATIVE_HISTOGRAMS:
+            if name not in doc["histograms"]:
+                fail(f"{path}: missing native profile histogram {name!r}")
+
+
+def check_flightrec(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "dpa.flightrec.v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             f"expected 'dpa.flightrec.v1'")
+    for key, typ in (("reason", str), ("elapsed_ns", int),
+                     ("phase_epoch", int), ("stuck_scans", int),
+                     ("nodes", list)):
+        if not isinstance(doc.get(key), typ):
+            fail(f"{path}: missing or mistyped key {key!r}")
+    if not doc["nodes"]:
+        fail(f"{path}: empty nodes array")
+    for i, n in enumerate(doc["nodes"]):
+        for key, typ in (("node", int), ("produced", int), ("consumed", int),
+                         ("inbox_depth", int), ("parked", bool)):
+            if not isinstance(n.get(key), typ):
+                fail(f"{path}: node {i} missing or mistyped {key!r}")
+        # Per-node consumed > produced is fine (work migrates between
+        # nodes); negative counters mean the JSON is garbage.
+        if n["produced"] < 0 or n["consumed"] < 0 or n["inbox_depth"] < 0:
+            fail(f"{path}: node {i} has a negative counter")
+    outstanding = (sum(n["produced"] for n in doc["nodes"])
+                   - sum(n["consumed"] for n in doc["nodes"]))
+    if outstanding <= 0:
+        fail(f"{path}: no outstanding tasks ({outstanding}) — a watchdog "
+             f"dump of a quiescent machine should be impossible")
+    if "dropped_by_worker" in doc:
+        for w, d in enumerate(doc["dropped_by_worker"]):
+            if not isinstance(d, int) or d < 0:
+                fail(f"{path}: dropped_by_worker[{w}] is not a "
+                     f"non-negative int")
+    if "events" in doc:
+        for i, ev in enumerate(doc["events"]):
+            for key in ("kind", "worker", "seq", "at"):
+                if key not in ev:
+                    fail(f"{path}: event {i} missing {key!r}")
+    if "metrics" in doc:
+        # Mid-phase snapshot: the wedged phase never published, so the
+        # rt.phases>0 rule does not apply here.
+        check_metrics_block(doc["metrics"], f"{path}#metrics",
+                            require_phases=False)
+    print(f"check_obs_json: OK: {path}: {doc['reason']!r}, "
+          f"{len(doc['nodes'])} nodes, {outstanding} outstanding, "
+          f"{len(doc.get('events', []))} ring events")
 
 
 def check_bench(path):
@@ -101,17 +182,25 @@ def main():
     ap.add_argument("--trace", help="Chrome trace-event JSON to validate")
     ap.add_argument("--metrics", help="metrics snapshot JSON to validate")
     ap.add_argument("--bench", help="bench --json output to validate")
+    ap.add_argument("--flightrec",
+                    help="watchdog flight-recorder JSON to validate")
     ap.add_argument("--require-events", action="store_true",
                     help="fail if the trace holds no timed events")
+    ap.add_argument("--require-native", action="store_true",
+                    help="fail unless the metrics came from a native run "
+                         "(exec.tasks > 0 and the exec.* histograms)")
     args = ap.parse_args()
-    if not (args.trace or args.metrics or args.bench):
-        ap.error("nothing to check: pass --trace/--metrics/--bench")
+    if not (args.trace or args.metrics or args.bench or args.flightrec):
+        ap.error("nothing to check: pass --trace/--metrics/--bench/"
+                 "--flightrec")
     if args.trace:
         check_trace(args.trace, args.require_events)
     if args.metrics:
-        check_metrics(args.metrics)
+        check_metrics(args.metrics, args.require_native)
     if args.bench:
         check_bench(args.bench)
+    if args.flightrec:
+        check_flightrec(args.flightrec)
 
 
 if __name__ == "__main__":

@@ -36,6 +36,10 @@ class Machine;
 struct NetParams;
 }  // namespace dpa::sim
 
+namespace dpa::obs {
+class ShardedTraceSink;
+}  // namespace dpa::obs
+
 namespace dpa::exec {
 
 // What run_phase() measured. `events` is the substrate's own unit of
@@ -44,6 +48,25 @@ namespace dpa::exec {
 struct PhaseExec {
   Time elapsed = 0;
   std::uint64_t events = 0;
+};
+
+// Stall-watchdog policy (native backend). Default-constructed = disabled;
+// --watchdog-ms on the backend-aware benches arms both triggers. The
+// watchdog is a monitor thread that sweeps the quiescence counters every
+// scan_interval; it fires — dumps a flight-recorder JSON and (when fatal)
+// aborts — when a phase outlives phase_deadline, or when the counters make
+// no progress for stuck_scans consecutive sweeps while tasks are still
+// outstanding. Both triggers must be sized well above the longest
+// legitimate task: the watchdog cannot tell a wedged phase from one very
+// slow task, only from the counters' point of view they look the same.
+struct WatchdogConfig {
+  Time phase_deadline = 0;        // wall ns per phase; 0 = no deadline
+  std::uint32_t stuck_scans = 0;  // no-progress sweeps before firing; 0 = off
+  Time scan_interval = 50'000'000;  // ns between watchdog sweeps
+  std::string dump_path;  // flight-recorder JSON ("" = stderr summary only)
+  bool fatal = true;      // abort after dumping (fail loudly instead of hang)
+
+  bool enabled() const { return phase_deadline > 0 || stuck_scans > 0; }
 };
 
 class Backend {
@@ -117,6 +140,26 @@ class Backend {
   // True when a fault injector is armed (messages may be dropped /
   // duplicated / delayed); engages the runtime's reliability layer.
   virtual bool lossy() const = 0;
+
+  // --- Observability ---------------------------------------------------
+  // Whether this backend can record structured trace events. The sim
+  // backend reports through sim_machine()->set_trace(); the native backend
+  // through attach_shards(). A backend that supports neither returns false
+  // and harnesses warn instead of writing event-free trace files.
+  virtual bool supports_tracing() const { return false; }
+
+  // Native-style trace attachment: one single-writer ring per worker
+  // thread (see obs/shard_sink.h). Pass null to detach. Must be called
+  // between phases. No-op on backends without worker shards.
+  virtual void attach_shards(obs::ShardedTraceSink* shards) { (void)shards; }
+
+  // Arms the stall watchdog; returns false when this backend has no
+  // watchdog (the simulator is deterministic — it cannot stall, it can
+  // only be wrong). Must be called between phases.
+  virtual bool arm_watchdog(const WatchdogConfig& cfg) {
+    (void)cfg;
+    return false;
+  }
 
   // Escape hatch for sim-specific callers (trace attachment, network
   // stats, targeted fault injection in tests). Null on the native backend.

@@ -1,13 +1,21 @@
 #include "exec/native_backend.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/shard_sink.h"
 #include "support/assert.h"
 
 namespace dpa::exec {
 
 namespace {
+
+// Process-wide default watchdog config, copied into every NativeBackend at
+// construction (see set_default_watchdog).
+std::mutex g_default_watchdog_mu;
+WatchdogConfig g_default_watchdog;
 
 // The worker that owns the node the current thread is executing for, or -1
 // on the main thread. Lets post() skip the mailbox lock for self-posts and
@@ -57,15 +65,76 @@ NativeBackend::NativeBackend(std::uint32_t num_nodes, const Tuning& tuning)
   workers_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i)
     workers_.emplace_back([this, i] { worker_main(i); });
+  WatchdogConfig default_cfg;
+  {
+    std::lock_guard<std::mutex> lk(g_default_watchdog_mu);
+    default_cfg = g_default_watchdog;
+  }
+  if (default_cfg.enabled()) arm_watchdog(default_cfg);
 }
 
 NativeBackend::~NativeBackend() {
+  // The watchdog references node state; retire it before the workers.
+  if (watchdog_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lk(watchdog_->mu);
+      watchdog_->stop = true;
+    }
+    watchdog_->cv.notify_all();
+    watchdog_->thread.join();
+  }
   {
     std::lock_guard<std::mutex> lk(phase_mu_);
     stop_ = true;
   }
   phase_cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+void NativeBackend::set_default_watchdog(const WatchdogConfig& cfg) {
+  std::lock_guard<std::mutex> lk(g_default_watchdog_mu);
+  g_default_watchdog = cfg;
+}
+
+void NativeBackend::attach_shards(obs::ShardedTraceSink* shards) {
+  if (!obs::kTraceEnabled) shards = nullptr;  // OFF builds never attach
+  if (shards != nullptr) {
+    DPA_CHECK(shards->num_shards() >= num_nodes());
+  }
+  // Under phase_mu_: workers observe the pointer through the next epoch
+  // publish, the watchdog reads it under the same mutex.
+  std::lock_guard<std::mutex> lk(phase_mu_);
+  shards_ = shards;
+}
+
+obs::TraceShard* NativeBackend::shard(NodeId id) const {
+  if constexpr (!obs::kTraceEnabled) return nullptr;
+  return shards_ != nullptr ? &shards_->shard(id) : nullptr;
+}
+
+bool NativeBackend::arm_watchdog(const WatchdogConfig& cfg) {
+  if (!cfg.enabled()) return true;
+  DPA_CHECK(watchdog_ == nullptr) << "watchdog already armed";
+  DPA_CHECK(cfg.scan_interval > 0);
+  watchdog_ = std::make_unique<WatchdogState>();
+  watchdog_->cfg = cfg;
+  watchdog_->thread = std::thread([this] { watchdog_main(); });
+  return true;
+}
+
+void NativeBackend::test_stall_node(NodeId id) {
+  std::lock_guard<std::mutex> lk(stall_mu_);
+  stall_released_ = false;
+  stall_node_.store(std::int32_t(id), std::memory_order_release);
+}
+
+void NativeBackend::release_test_stalls() {
+  {
+    std::lock_guard<std::mutex> lk(stall_mu_);
+    stall_released_ = true;
+    stall_node_.store(-1, std::memory_order_release);
+  }
+  stall_cv_.notify_all();
 }
 
 HandlerId NativeBackend::register_handler(std::string name, Handler fn) {
@@ -83,17 +152,43 @@ void NativeBackend::flush_dest_train(Node& self, NodeId dst) {
   auto& tr = self.train[dst];
   if (tr.empty()) return;
   Node& dn = *nodes_[dst];
+  // Trains are flushed only by their owning worker (post()'s train-full
+  // path or flush_trains), so tls_node names the recording shard.
+  obs::TraceShard* const sh =
+      tls_node >= 0 ? shard(NodeId(tls_node)) : nullptr;
+  const std::uint64_t depth = tr.size();
+  Time w0 = 0, w1 = 0;
+  std::size_t inbox_depth = 0;
+  if (sh != nullptr) w0 = since_phase_start(std::chrono::steady_clock::now());
   bool wake;
   {
     std::lock_guard<std::mutex> lk(dn.mu);
+    if (sh != nullptr) {
+      w1 = since_phase_start(std::chrono::steady_clock::now());
+      inbox_depth = dn.inbox.size() + tr.size();
+    }
     for (auto& t : tr) dn.inbox.push_back(std::move(t));
-    wake = dn.parked;
+    wake = dn.parked.load(std::memory_order_relaxed);
   }
   if (wake) dn.cv.notify_one();
   DPA_DCHECK(self.train_pending >= tr.size());
   self.train_pending -= std::uint32_t(tr.size());
   ++self.msg.trains_sent;
   tr.clear();
+  if (sh != nullptr) {
+    const NodeId self_id = NodeId(tls_node);
+    sh->span(obs::Ev::kMailboxWait, self_id, w0, w1, 0, dst);
+    obs::TraceEvent flush_ev;
+    flush_ev.kind = obs::Ev::kTrainFlush;
+    flush_ev.node = self_id;
+    flush_ev.peer = dst;
+    flush_ev.at = w1;
+    flush_ev.arg = depth;
+    sh->record(flush_ev);
+    sh->profile.mailbox_wait_ns.add(std::uint64_t(w1 - w0));
+    sh->profile.train_occupancy.add(depth);
+    sh->profile.queue_depth.add(inbox_depth);
+  }
 }
 
 bool NativeBackend::flush_trains(Node& self) {
@@ -131,7 +226,7 @@ void NativeBackend::post(NodeId node, Task task) {
   {
     std::lock_guard<std::mutex> lk(dn.mu);
     dn.inbox.push_back(std::move(task));
-    wake = dn.parked;
+    wake = dn.parked.load(std::memory_order_relaxed);
   }
   if (wake) dn.cv.notify_one();
 }
@@ -180,6 +275,10 @@ Time NativeBackend::begin_phase() {
     n->msg.reset();
     DPA_CHECK(n->inbox.empty() && n->local.empty() && n->train_pending == 0);
   }
+  // Shard timestamps are phase-relative at the record site; anchoring them
+  // to the accumulated clock keeps multi-phase traces monotone against the
+  // main-thread tracer's phase markers.
+  if (shards_ != nullptr) shards_->set_base(clock_ns_);
   return clock_ns_;
 }
 
@@ -250,27 +349,168 @@ bool NativeBackend::quiescent() const {
   return produced == consumed;
 }
 
+std::uint64_t NativeBackend::outstanding() const {
+  std::uint64_t produced = 0, consumed = 0;
+  for (const auto& n : nodes_) {
+    consumed += n->consumed.load(std::memory_order_seq_cst);
+    produced += n->produced.load(std::memory_order_seq_cst);
+  }
+  return produced > consumed ? produced - consumed : 0;
+}
+
+void NativeBackend::watchdog_main() {
+  const WatchdogConfig& cfg = watchdog_->cfg;
+  std::uint64_t watched_epoch = 0;
+  std::uint64_t last_produced = 0, last_consumed = 0;
+  std::uint32_t stuck = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(watchdog_->mu);
+      watchdog_->cv.wait_for(lk, std::chrono::nanoseconds(cfg.scan_interval),
+                             [this] { return watchdog_->stop; });
+      if (watchdog_->stop) return;
+    }
+    std::uint64_t epoch;
+    bool active;
+    std::chrono::steady_clock::time_point t0;
+    {
+      // phase_mu_ orders this read against run_phase's epoch publish: an
+      // active epoch implies phase_t0_ and shards_ are visible here too.
+      std::lock_guard<std::mutex> lk(phase_mu_);
+      epoch = phase_epoch_;
+      active = phase_epoch_ != done_epoch_ && !stop_;
+      t0 = phase_t0_;
+    }
+    if (!active) {
+      stuck = 0;
+      watched_epoch = 0;
+      continue;
+    }
+    if (epoch != watched_epoch) {
+      watched_epoch = epoch;
+      stuck = 0;
+      last_produced = last_consumed = 0;
+    }
+    std::uint64_t produced = 0, consumed = 0;
+    for (const auto& n : nodes_) {
+      consumed += n->consumed.load(std::memory_order_seq_cst);
+      produced += n->produced.load(std::memory_order_seq_cst);
+    }
+    if (produced == consumed) {  // drained (or about to finish): healthy
+      stuck = 0;
+      continue;
+    }
+    const bool progress =
+        produced != last_produced || consumed != last_consumed;
+    last_produced = produced;
+    last_consumed = consumed;
+    stuck = progress ? 0 : stuck + 1;
+    const Time elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    if (cfg.phase_deadline > 0 && elapsed > cfg.phase_deadline) {
+      watchdog_fire("phase deadline exceeded", elapsed, epoch, stuck);
+      return;
+    }
+    if (cfg.stuck_scans > 0 && stuck >= cfg.stuck_scans) {
+      watchdog_fire("quiescence counters made no progress", elapsed, epoch,
+                    stuck);
+      return;
+    }
+  }
+}
+
+void NativeBackend::watchdog_fire(const char* reason, Time elapsed,
+                                  std::uint64_t epoch, std::uint32_t stuck) {
+  const WatchdogConfig& cfg = watchdog_->cfg;
+  obs::FlightRecord rec;
+  rec.reason = reason;
+  rec.elapsed = elapsed;
+  rec.phase_epoch = epoch;
+  rec.stuck_scans = stuck;
+  rec.nodes.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& n = *nodes_[i];
+    auto& st = rec.nodes[i];
+    st.produced = n.produced.load(std::memory_order_seq_cst);
+    st.consumed = n.consumed.load(std::memory_order_seq_cst);
+    st.parked = n.parked.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(n.mu);
+    st.inbox_depth = n.inbox.size();
+  }
+  obs::ShardedTraceSink* shards;
+  {
+    std::lock_guard<std::mutex> lk(phase_mu_);
+    shards = shards_;
+  }
+  // The session registry is only mutated between phases (pre-phase writes
+  // happen-before the epoch publish we observed under phase_mu_), so a
+  // mid-phase snapshot is both safe and current.
+  const obs::MetricsRegistry* metrics =
+      shards != nullptr ? shards->metrics : nullptr;
+  std::fprintf(stderr,
+               "dpa watchdog: %s after %.1f ms (phase epoch %llu, %u "
+               "no-progress sweeps, %llu tasks outstanding)\n",
+               reason, double(elapsed) / 1e6, (unsigned long long)epoch,
+               stuck, (unsigned long long)outstanding());
+  if (!cfg.dump_path.empty()) {
+    if (obs::write_flight_record(rec, shards, metrics, cfg.dump_path))
+      std::fprintf(stderr, "dpa watchdog: flight record written to %s\n",
+                   cfg.dump_path.c_str());
+    else
+      std::fprintf(stderr, "dpa watchdog: cannot write flight record %s\n",
+                   cfg.dump_path.c_str());
+  }
+  watchdog_fired_.store(true, std::memory_order_release);
+  if (cfg.fatal)
+    DPA_PANIC("watchdog: " << reason << " — dying loudly instead of hanging "
+              << "(flight record: "
+              << (cfg.dump_path.empty() ? "<none>" : cfg.dump_path) << ")");
+}
+
 void NativeBackend::wake_parked() {
   for (auto& n : nodes_) {
     bool wake;
     {
       std::lock_guard<std::mutex> lk(n->mu);
-      wake = n->parked;
+      wake = n->parked.load(std::memory_order_relaxed);
     }
     if (wake) n->cv.notify_all();
   }
 }
 
 void NativeBackend::run_node_phase(Node& n, NodeId id) {
-  (void)id;
+  obs::TraceShard* const sh = shard(id);
   std::deque<Task> batch;
   std::uint32_t idle = 0;
+  // Parked-spell coalescing: consecutive timed-out re-parks record ONE
+  // kPark span (start of the first park -> final unpark), not one per
+  // wait_for cycle. Besides keeping the ring from flooding at the park
+  // timeout rate, this makes a stalled-but-parked machine record nothing,
+  // so the watchdog's flight-recorder snapshot reads quiescent rings.
+  Time park_start = -1;
+  const auto end_park_spell = [&](obs::UnparkCause cause) {
+    if (sh == nullptr || park_start < 0) return;
+    const Time t = since_phase_start(std::chrono::steady_clock::now());
+    sh->span(obs::Ev::kPark, id, park_start, t, std::uint64_t(cause));
+    sh->profile.park_ns.add(std::uint64_t(t - park_start));
+    park_start = -1;
+  };
   for (;;) {
+    if (stall_node_.load(std::memory_order_acquire) == std::int32_t(id)) {
+      // Test-only wedge: block (holding no backend locks) until released.
+      std::unique_lock<std::mutex> lk(stall_mu_);
+      stall_cv_.wait(lk, [this] { return stall_released_; });
+    }
     bool ran = false;
     {
       std::lock_guard<std::mutex> lk(n.mu);
       if (!n.inbox.empty()) batch.swap(n.inbox);
     }
+    if (sh != nullptr && !batch.empty())
+      sh->instant(obs::Ev::kWorkerDrain, id,
+                  since_phase_start(std::chrono::steady_clock::now()),
+                  batch.size());
     // Incoming messages first, then self-posted scheduler work — the same
     // "yield to the inbox" policy the simulator's node processor has.
     while (!batch.empty()) {
@@ -286,6 +526,7 @@ void NativeBackend::run_node_phase(Node& n, NodeId id) {
       ran = true;
     }
     if (ran) {
+      end_park_spell(obs::UnparkCause::kWork);
       idle = 0;
       continue;  // our own tasks may have posted more to us
     }
@@ -293,10 +534,17 @@ void NativeBackend::run_node_phase(Node& n, NodeId id) {
     // implicit phase-barrier flush point that makes termination independent
     // of the engine calling Backend::flush().
     flush_trains(n);
-    if (quiesced_.load(std::memory_order_acquire)) return;
+    if (quiesced_.load(std::memory_order_acquire)) {
+      end_park_spell(obs::UnparkCause::kQuiesced);
+      return;
+    }
     if (quiescent()) {
+      if (sh != nullptr)
+        sh->instant(obs::Ev::kQuiesceScan, id,
+                    since_phase_start(std::chrono::steady_clock::now()), 0);
       quiesced_.store(true, std::memory_order_release);
       wake_parked();
+      end_park_spell(obs::UnparkCause::kQuiesced);
       return;
     }
     // Idle escalation: spin briefly (work usually arrives within the spin
@@ -308,6 +556,14 @@ void NativeBackend::run_node_phase(Node& n, NodeId id) {
       cpu_pause();
       continue;
     }
+    if (idle == tuning_.idle_spins + 1 && sh != nullptr) {
+      // One instant pair per dry spell (at the spin->yield transition),
+      // not per scan pass — idle workers rescan thousands of times per
+      // second and must leave the ring quiescent while they wait.
+      const Time t = since_phase_start(std::chrono::steady_clock::now());
+      sh->instant(obs::Ev::kIdleYield, id, t);
+      sh->instant(obs::Ev::kQuiesceScan, id, t, outstanding());
+    }
     if (idle <= tuning_.idle_spins + tuning_.idle_yields) {
       std::this_thread::yield();
       continue;
@@ -318,11 +574,17 @@ void NativeBackend::run_node_phase(Node& n, NodeId id) {
       // Checked under mu: the detector sets quiesced_ before taking mu to
       // read `parked`, so either we see the flag here or it sees us parked
       // and notifies. No sleep-through-the-end window.
-      if (quiesced_.load(std::memory_order_acquire)) return;
-      n.parked = true;
+      if (quiesced_.load(std::memory_order_acquire)) {
+        lk.unlock();
+        end_park_spell(obs::UnparkCause::kQuiesced);
+        return;
+      }
+      if (sh != nullptr && park_start < 0)
+        park_start = since_phase_start(std::chrono::steady_clock::now());
+      n.parked.store(true, std::memory_order_relaxed);
       ++n.stats.parks;
       n.cv.wait_for(lk, std::chrono::microseconds(tuning_.park_timeout_us));
-      n.parked = false;
+      n.parked.store(false, std::memory_order_relaxed);
     }
     // Woken (or timed out): rescan from the top. `idle` stays above the
     // spin window so a fruitless wake re-parks after one scan instead of
@@ -337,10 +599,18 @@ void NativeBackend::run_task(Node& n, NodeId id, Task task) {
   task(cpu);
   const auto t1 = std::chrono::steady_clock::now();
   for (int k = 0; k < kNumWorkKinds; ++k) n.stats.busy[k] += cpu.used(Work(k));
-  n.stats.busy_total +=
+  const Time wall =
       std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  n.stats.busy_total += wall;
   n.stats.finish_time = since_phase_start(t1);
   ++n.stats.tasks_run;
+  if (obs::TraceShard* const sh = shard(id); sh != nullptr) {
+    // Reuses the two clock reads the stats already paid for; with tracing
+    // attached a task costs one ring store and one histogram bump extra.
+    sh->span(obs::Ev::kWorkerRun, id, since_phase_start(t0),
+             since_phase_start(t1));
+    sh->profile.task_service_ns.add(std::uint64_t(wall));
+  }
   // Consume strictly after the task returned: while it ran (and possibly
   // produced more work) the scan kept seeing produced > consumed.
   n.consumed.fetch_add(1, std::memory_order_seq_cst);

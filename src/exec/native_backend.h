@@ -42,9 +42,17 @@
 // while busy_total and finish_time are *real* nanoseconds measured around
 // each task — idle = elapsed - busy_total is genuine wait time.
 //
+// Observability: attach_shards() wires one single-writer ring + histogram
+// set per worker (obs::ShardedTraceSink); every instrumentation point is
+// gated on the shard pointer, and DPA_TRACE=OFF folds the pointer to null
+// at compile time so the task loop carries zero instrumentation cost in
+// measurement builds. arm_watchdog() starts a monitor thread that sweeps
+// the quiescence counters and dumps a flight-recorder JSON instead of
+// letting a wedged phase hang CI.
+//
 // Not supported (sim-only by design): reliability retransmit timers
 // (supports_timers() is false; schedule_at panics as a backstop — the
-// fabric cannot lose messages), fault injection, and trace attachment.
+// fabric cannot lose messages) and fault injection.
 #pragma once
 
 #include <atomic>
@@ -59,6 +67,10 @@
 #include <vector>
 
 #include "exec/backend.h"
+
+namespace dpa::obs {
+class TraceShard;
+}  // namespace dpa::obs
 
 namespace dpa::exec {
 
@@ -135,6 +147,28 @@ class NativeBackend final : public Backend {
 
   bool lossy() const override { return false; }
 
+  bool supports_tracing() const override { return true; }
+  void attach_shards(obs::ShardedTraceSink* shards) override;
+  bool arm_watchdog(const WatchdogConfig& cfg) override;
+
+  // True once the armed watchdog has fired (it fires at most once).
+  bool watchdog_fired() const {
+    return watchdog_fired_.load(std::memory_order_acquire);
+  }
+
+  // Process-wide default watchdog, applied to every subsequently
+  // constructed NativeBackend. Bench harnesses build their Clusters deep
+  // inside app runners, so the watchdog — an operational guard, one policy
+  // per process — is installed here rather than threaded through every
+  // app signature.
+  static void set_default_watchdog(const WatchdogConfig& cfg);
+
+  // Test-only: wedges node `id`'s worker at the top of its phase loop (it
+  // stops draining work, holding no locks) until release_test_stalls().
+  // Simulates a deadlocked node for the watchdog tests.
+  void test_stall_node(NodeId id);
+  void release_test_stalls();
+
  private:
   // Padded to a cache line boundary: stats and queues are written at task
   // rate by the owning worker; neighbors must not false-share.
@@ -145,7 +179,10 @@ class NativeBackend final : public Backend {
     // observes it set notifies cv after enqueueing.
     std::mutex mu;
     std::deque<Task> inbox;
-    bool parked = false;
+    // Written under mu (the producer-notify protocol is unchanged); atomic
+    // so the watchdog can report park states without a happens-before edge
+    // to the owning worker.
+    std::atomic<bool> parked{false};
     std::condition_variable cv;
     // Self-posts from the owning worker; never locked.
     std::deque<Task> local;
@@ -172,6 +209,15 @@ class NativeBackend final : public Backend {
   void worker_main(NodeId id);
   void run_node_phase(Node& n, NodeId id);
   void run_task(Node& n, NodeId id, Task task);
+  // Worker `id`'s trace shard, or null (no sink attached / tracing
+  // compiled out — the null fold is what dead-codes the record paths).
+  obs::TraceShard* shard(NodeId id) const;
+  // Sum of produced - consumed across shards (instrumentation only; the
+  // correctness-bearing scan is quiescent()).
+  std::uint64_t outstanding() const;
+  void watchdog_main();
+  void watchdog_fire(const char* reason, Time elapsed, std::uint64_t epoch,
+                     std::uint32_t stuck);
   // Hands self's train for `dst` to the destination mailbox (one lock).
   void flush_dest_train(Node& self, NodeId dst);
   // Flushes every non-empty train; returns true if anything departed.
@@ -206,6 +252,30 @@ class NativeBackend final : public Backend {
   // Accumulated wall-clock across completed phases: the backend's
   // monotonically increasing "now", used only for phase bracketing.
   Time clock_ns_ = 0;
+
+  // Per-worker trace rings (null = tracing off). Written under phase_mu_
+  // between phases; workers observe it through the epoch publish, the
+  // watchdog reads it under phase_mu_.
+  obs::ShardedTraceSink* shards_ = nullptr;
+
+  // Stall watchdog: a monitor thread sweeping the quiescence counters.
+  struct WatchdogState {
+    WatchdogConfig cfg;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stop = false;
+    std::thread thread;
+  };
+  std::unique_ptr<WatchdogState> watchdog_;
+  std::atomic<bool> watchdog_fired_{false};
+
+  // Test-only stall hooks (see test_stall_node). The stalled worker waits
+  // on stall_cv_ holding no backend locks, so the watchdog can inspect
+  // everything while it is wedged.
+  std::atomic<std::int32_t> stall_node_{-1};
+  std::mutex stall_mu_;
+  std::condition_variable stall_cv_;
+  bool stall_released_ = false;
 
   std::vector<std::thread> workers_;
 };

@@ -73,6 +73,10 @@ class SimBackend final : public Backend {
 
   bool lossy() const override { return machine_.network().injector() != nullptr; }
 
+  // Traces through sim_machine()->set_trace() (the Tracer path), not
+  // worker shards — there are no worker threads here.
+  bool supports_tracing() const override { return true; }
+
   sim::Machine* sim_machine() override { return &machine_; }
   fm::FmLayer& fm() { return fm_; }
 

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <set>
 
+#include "obs/shard_sink.h"
 #include "support/json.h"
 
 namespace dpa::obs {
@@ -32,23 +33,55 @@ void common_fields(JsonWriter& w, std::string_view name, const char* ph,
 
 }  // namespace
 
-std::string chrome_trace_json(const Tracer& tracer) {
-  std::vector<TraceEvent> events = tracer.snapshot();
-  std::stable_sort(events.begin(), events.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) {
-                     return a.at < b.at;
-                   });
+std::string chrome_trace_json(const Tracer& tracer,
+                              const ShardedTraceSink* shards) {
+  // One combined stream: the main-thread tracer ring (phase markers, sim
+  // events) plus any per-worker shards, globally (time, worker, seq)-sorted.
+  struct Row {
+    TraceEvent ev;
+    NodeId worker = 0;
+    std::uint64_t seq = 0;
+  };
+  std::vector<Row> events;
+  {
+    const std::vector<TraceEvent> main = tracer.snapshot();
+    events.reserve(main.size());
+    for (std::size_t i = 0; i < main.size(); ++i)
+      events.push_back({main[i], main[i].node, i});
+  }
+  if (shards != nullptr) {
+    for (const ShardedTraceSink::MergedEvent& me : shards->merged())
+      events.push_back({me.ev, me.worker, me.seq});
+  }
+  std::stable_sort(events.begin(), events.end(), [](const Row& a,
+                                                    const Row& b) {
+    if (a.ev.at != b.ev.at) return a.ev.at < b.ev.at;
+    if (a.worker != b.worker) return a.worker < b.worker;
+    return a.seq < b.seq;
+  });
 
   std::set<NodeId> machine_nodes, network_nodes;
-  for (const TraceEvent& ev : events)
-    (ev.kind == Ev::kWire ? network_nodes : machine_nodes).insert(ev.node);
+  for (const Row& row : events)
+    (row.ev.kind == Ev::kWire ? network_nodes : machine_nodes)
+        .insert(row.ev.node);
 
   JsonWriter w;
   {
     auto root = w.obj();
     w.field("displayTimeUnit", "ms");
-    w.field("recorded_events", tracer.recorded());
-    w.field("dropped_events", tracer.dropped());
+    const std::uint64_t shard_recorded =
+        shards != nullptr ? shards->recorded_total() : 0;
+    const std::uint64_t shard_dropped =
+        shards != nullptr ? shards->dropped_total() : 0;
+    w.field("recorded_events", tracer.recorded() + shard_recorded);
+    w.field("dropped_events", tracer.dropped() + shard_dropped);
+    if (shards != nullptr) {
+      // Per-shard drop accounting: a single overflowing worker ring stays
+      // visible instead of vanishing into the total.
+      auto drops = w.arr("dropped_by_worker");
+      for (NodeId n = 0; n < shards->num_shards(); ++n)
+        w.value(std::int64_t(shards->dropped(n)));
+    }
     auto arr = w.arr("traceEvents");
 
     meta_event(w, "process_name", kMachinePid, 0, "machine");
@@ -61,13 +94,40 @@ std::string chrome_trace_json(const Tracer& tracer) {
       meta_event(w, "thread_name", kNetworkPid, std::int64_t(n) + 1,
                  "nic " + std::to_string(n));
 
-    for (const TraceEvent& ev : events) {
+    for (const Row& row : events) {
+      const TraceEvent& ev = row.ev;
       auto e = w.obj();
       const std::int64_t node_tid = std::int64_t(ev.node) + 1;
       switch (ev.kind) {
         case Ev::kTask: {
           common_fields(w, "task", "X", kMachinePid, node_tid, ev.at);
           w.field("dur", to_us(ev.end - ev.at));
+          break;
+        }
+        case Ev::kWorkerRun: {
+          common_fields(w, "run", "X", kMachinePid, node_tid, ev.at);
+          w.field("dur", to_us(ev.end - ev.at));
+          break;
+        }
+        case Ev::kMailboxWait: {
+          common_fields(w, "mbox_wait", "X", kMachinePid, node_tid, ev.at);
+          w.field("dur", to_us(ev.end - ev.at));
+          auto args = w.obj("args");
+          w.field("dst", std::uint64_t(ev.peer));
+          break;
+        }
+        case Ev::kPark: {
+          common_fields(w, "park", "X", kMachinePid, node_tid, ev.at);
+          w.field("dur", to_us(ev.end - ev.at));
+          auto args = w.obj("args");
+          w.field("unpark", to_string(UnparkCause(ev.arg)));
+          break;
+        }
+        case Ev::kTrainFlush: {
+          common_fields(w, "train_flush", "i", kMachinePid, node_tid, ev.at);
+          w.field("s", "t");
+          auto args = w.obj("args");
+          w.field("dst", std::uint64_t(ev.peer)).field("depth", ev.arg);
           break;
         }
         case Ev::kWire: {
@@ -108,10 +168,11 @@ std::string chrome_trace_json(const Tracer& tracer) {
   return w.str();
 }
 
-bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
+bool write_chrome_trace(const Tracer& tracer, const std::string& path,
+                        const ShardedTraceSink* shards) {
   std::ofstream out(path);
   if (!out) return false;
-  out << chrome_trace_json(tracer) << "\n";
+  out << chrome_trace_json(tracer, shards) << "\n";
   return bool(out);
 }
 

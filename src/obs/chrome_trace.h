@@ -4,12 +4,17 @@
 // Track layout:
 //   pid 0 "machine"  — tid n+1 = "node n": task spans plus runtime instants
 //                      (thread/tile lifecycle, cause-tagged msg instants);
-//                      tid 0 = "phases": named begin/end phase spans.
+//                      on the native backend also the per-worker run /
+//                      train-flush / park tracks merged from the sharded
+//                      sink; tid 0 = "phases": named begin/end phase spans.
 //   pid 1 "network"  — tid n+1 = "nic n": wire-flight spans, one per
 //                      message fragment, with dst/bytes args.
 //
 // Timestamps are microseconds (the format's unit) with nanosecond
-// fractions; events are emitted sorted by timestamp.
+// fractions; events are emitted sorted by timestamp. The document header
+// carries drop accounting: recorded/dropped totals plus (when a sharded
+// sink is merged in) a per-worker dropped_by_worker array, so one
+// overflowing worker ring is visible instead of vanishing into the sum.
 #pragma once
 
 #include <string>
@@ -18,10 +23,16 @@
 
 namespace dpa::obs {
 
-// The full document: {"displayTimeUnit":..., "traceEvents":[...]}.
-std::string chrome_trace_json(const Tracer& tracer);
+class ShardedTraceSink;
 
-// Writes chrome_trace_json(tracer) to `path`; false on I/O failure.
-bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+// The full document: {"displayTimeUnit":..., "traceEvents":[...]}. With a
+// sharded sink, its per-worker rings are merged (time, worker, seq)-sorted
+// into the same machine-pid tracks the tracer events use.
+std::string chrome_trace_json(const Tracer& tracer,
+                              const ShardedTraceSink* shards = nullptr);
+
+// Writes chrome_trace_json to `path`; false on I/O failure.
+bool write_chrome_trace(const Tracer& tracer, const std::string& path,
+                        const ShardedTraceSink* shards = nullptr);
 
 }  // namespace dpa::obs

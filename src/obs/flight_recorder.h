@@ -1,0 +1,53 @@
+// Flight-recorder dumps: what the native backend's stall watchdog writes
+// when a phase blows its deadline or the quiescence counters stop moving.
+//
+// The dump is a single JSON document (schema "dpa.flightrec.v1") holding
+// everything needed to diagnose a wedged phase after the fact:
+//   * why the watchdog fired and how long the phase had been running,
+//   * per-node produced/consumed quiescence counters, park state, and
+//     mailbox depth — the "who is waiting on whom" picture,
+//   * the merged per-worker trace rings (the trailing event window), and
+//   * a metrics-registry snapshot when a session registry is wired up.
+//
+// scripts/check_obs_json.py --flightrec validates the schema in CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace dpa::obs {
+
+class MetricsRegistry;
+class ShardedTraceSink;
+
+struct FlightRecord {
+  std::string reason;       // human-readable trigger description
+  Time elapsed = 0;         // wall ns the current phase has been running
+  std::uint64_t phase_epoch = 0;
+  std::uint32_t stuck_scans = 0;  // consecutive no-progress watchdog sweeps
+
+  struct NodeState {
+    std::uint64_t produced = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t inbox_depth = 0;
+    bool parked = false;
+  };
+  std::vector<NodeState> nodes;
+};
+
+// The full document. `shards` and `metrics` may be null (tracing compiled
+// out / no session registry); the corresponding sections are then omitted.
+std::string flight_recorder_json(const FlightRecord& rec,
+                                 const ShardedTraceSink* shards,
+                                 const MetricsRegistry* metrics);
+
+// Writes flight_recorder_json to `path`; false on I/O failure.
+bool write_flight_record(const FlightRecord& rec,
+                         const ShardedTraceSink* shards,
+                         const MetricsRegistry* metrics,
+                         const std::string& path);
+
+}  // namespace dpa::obs

@@ -1,12 +1,16 @@
 // An observability session: one tracer plus one metrics registry, attached
 // to a Cluster (see runtime/engine.h) so every layer — sim machine, network,
-// FM, runtime engines, phase runner — reports into the same two sinks for
-// the lifetime of an experiment.
+// FM, runtime engines, phase runner — reports into the same sinks for the
+// lifetime of an experiment. Native-backend runs additionally get a sharded
+// trace sink (one ring + histogram set per worker thread), created lazily
+// on first attachment.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "obs/metrics.h"
+#include "obs/shard_sink.h"
 #include "obs/trace.h"
 
 namespace dpa::obs {
@@ -14,9 +18,23 @@ namespace dpa::obs {
 struct Session {
   Tracer tracer;
   MetricsRegistry metrics;
+  // Per-worker rings + profiles for native backends; null until a native
+  // Cluster attaches. Grows across sweep cells (earlier cells' events stay
+  // in their shards), and carries a registry back-pointer so watchdog
+  // flight-recorder dumps can embed a metrics snapshot.
+  std::unique_ptr<ShardedTraceSink> shards;
 
   explicit Session(std::size_t trace_capacity = Tracer::kDefaultCapacity)
       : tracer(trace_capacity) {}
+
+  ShardedTraceSink* ensure_shards(std::uint32_t workers) {
+    if (shards == nullptr)
+      shards = std::make_unique<ShardedTraceSink>(workers);
+    else
+      shards->grow(workers);
+    shards->metrics = &metrics;
+    return shards.get();
+  }
 };
 
 }  // namespace dpa::obs

@@ -17,6 +17,21 @@ const char* to_string(Ev kind) {
     case Ev::kTileClosed: return "tile_closed";
     case Ev::kMsgDepart: return "msg_depart";
     case Ev::kMsgArrive: return "msg_arrive";
+    case Ev::kWorkerRun: return "run";
+    case Ev::kWorkerDrain: return "drain";
+    case Ev::kMailboxWait: return "mbox_wait";
+    case Ev::kTrainFlush: return "train_flush";
+    case Ev::kQuiesceScan: return "quiesce_scan";
+    case Ev::kIdleYield: return "idle_yield";
+    case Ev::kPark: return "park";
+  }
+  return "unknown";
+}
+
+const char* to_string(UnparkCause cause) {
+  switch (cause) {
+    case UnparkCause::kWork: return "work";
+    case UnparkCause::kQuiesced: return "quiesced";
   }
   return "unknown";
 }
@@ -75,8 +90,8 @@ void Tracer::message(NodeId src, NodeId dst, std::uint32_t bytes, Time depart,
   record(ev);
 }
 
-void Tracer::instant(Ev kind, NodeId node, Time at, std::uint64_t arg,
-                     const char* label) {
+void EventSink::instant(Ev kind, NodeId node, Time at, std::uint64_t arg,
+                        const char* label) {
   TraceEvent ev;
   ev.kind = kind;
   ev.node = node;
@@ -86,8 +101,20 @@ void Tracer::instant(Ev kind, NodeId node, Time at, std::uint64_t arg,
   record(ev);
 }
 
-void Tracer::msg_event(Ev kind, MsgCause cause, NodeId node, NodeId peer,
-                       std::uint64_t bytes, Time at) {
+void EventSink::span(Ev kind, NodeId node, Time at, Time end,
+                     std::uint64_t arg, NodeId peer) {
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.node = node;
+  ev.peer = peer;
+  ev.at = at;
+  ev.end = end;
+  ev.arg = arg;
+  record(ev);
+}
+
+void EventSink::msg_event(Ev kind, MsgCause cause, NodeId node, NodeId peer,
+                          std::uint64_t bytes, Time at) {
   TraceEvent ev;
   ev.kind = kind;
   ev.cause = cause;

@@ -51,8 +51,27 @@ enum class Ev : std::uint8_t {
   kTileClosed,       // tile's waiters all ran
   kMsgDepart,        // cause-tagged message instants at the runtime layer
   kMsgArrive,        //   (arg = payload bytes, peer = other endpoint)
+  // Native-backend worker vocabulary (wall-clock, recorded into per-worker
+  // shards; see shard_sink.h). Timestamps are phase-relative at the record
+  // site; the shard adds the backend clock base so phases stay monotone.
+  kWorkerRun,    // span: one task ran on this worker thread
+  kWorkerDrain,  // instant: inbox batch swapped in (arg = batch depth)
+  kMailboxWait,  // span: acquiring a destination mailbox lock (peer = dst)
+  kTrainFlush,   // instant: train handed off (peer = dst, arg = train depth)
+  kQuiesceScan,  // instant: two-pass quiescence scan (arg = outstanding tasks)
+  kIdleYield,    // instant: idle escalation left the spin window
+  kPark,         // span: parked on the mailbox condvar (arg = UnparkCause)
 };
-constexpr int kNumEventKinds = 13;
+constexpr int kNumEventKinds = 20;
+
+// Why a parked native worker left its parked spell (TraceEvent::arg of
+// kPark). Consecutive timed-out re-parks coalesce into one span, so a
+// stalled-but-parked machine records nothing — that keeps the rings
+// quiescent for the watchdog's flight-recorder snapshot.
+enum class UnparkCause : std::uint8_t {
+  kWork = 0,   // a sender delivered work (or the wake race found some)
+  kQuiesced,   // the phase ended: quiescence was confirmed
+};
 
 // Why a runtime-layer message moved (kMsgDepart / kMsgArrive).
 enum class MsgCause : std::uint8_t {
@@ -66,6 +85,7 @@ enum class MsgCause : std::uint8_t {
 
 const char* to_string(Ev kind);
 const char* to_string(MsgCause cause);
+const char* to_string(UnparkCause cause);
 
 struct TraceEvent {
   Ev kind = Ev::kTask;
@@ -78,7 +98,26 @@ struct TraceEvent {
   const char* label = nullptr;  // static or interned string; may be null
 };
 
-class Tracer final : public sim::TraceSink {
+// Anything structured events can be recorded into: the single-writer Tracer
+// ring (sim backend, main thread) or one worker's TraceShard (native
+// backend). Engines hold an EventSink* so the same DPA_TRACE_EVT call sites
+// serve both substrates; the non-virtual helpers build the TraceEvent and
+// funnel through one virtual record().
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  virtual void record(const TraceEvent& ev) = 0;
+
+  void instant(Ev kind, NodeId node, Time at, std::uint64_t arg = 0,
+               const char* label = nullptr);
+  void span(Ev kind, NodeId node, Time at, Time end, std::uint64_t arg = 0,
+            NodeId peer = 0);
+  void msg_event(Ev kind, MsgCause cause, NodeId node, NodeId peer,
+                 std::uint64_t bytes, Time at);
+};
+
+class Tracer final : public sim::TraceSink, public EventSink {
  public:
   static constexpr std::size_t kDefaultCapacity = std::size_t(1) << 17;
 
@@ -90,11 +129,7 @@ class Tracer final : public sim::TraceSink {
   void message(NodeId src, NodeId dst, std::uint32_t bytes, Time depart,
                Time arrive) override;
 
-  void record(const TraceEvent& ev);
-  void instant(Ev kind, NodeId node, Time at, std::uint64_t arg = 0,
-               const char* label = nullptr);
-  void msg_event(Ev kind, MsgCause cause, NodeId node, NodeId peer,
-                 std::uint64_t bytes, Time at);
+  void record(const TraceEvent& ev) override;
   void phase_begin(std::string_view name, Time at);
   void phase_end(std::string_view name, Time at);
 

@@ -25,12 +25,19 @@ EngineBase::EngineBase(Cluster& cluster, NodeId node,
       h_reply_(h_reply),
       h_accum_(h_accum),
       h_ack_(h_ack) {
-  // The tracer ring and histograms are single-writer structures; on the
-  // native backend engines run on concurrent worker threads, so only the
-  // (post-phase, main-thread) metrics publication stays on.
-  if (cluster.obs != nullptr && cluster.exec().is_sim()) {
-    trace_ = &cluster.obs->tracer;
-    h_msg_bytes_ = cluster.obs->metrics.histogram("rt.msg_bytes");
+  // Both trace sinks are single-writer structures. On the sim backend all
+  // engines run on the one simulator thread and share the session tracer;
+  // on the native backend each engine runs on its own worker thread and
+  // records into that worker's shard. Registry histograms stay sim-only
+  // (Pow2Histogram is not thread-safe; native workers accumulate into
+  // per-shard profiles instead, merged post-phase).
+  if (cluster.obs != nullptr) {
+    if (cluster.exec().is_sim()) {
+      trace_ = &cluster.obs->tracer;
+      h_msg_bytes_ = cluster.obs->metrics.histogram("rt.msg_bytes");
+    } else if (obs::kTraceEnabled && cluster.obs->shards != nullptr) {
+      trace_ = &cluster.obs->shards->shard(node_);
+    }
   }
   pool_payloads_ = cluster.exec().is_sim();
   rel_enabled_ = cfg.retry.enabled || cluster.exec().lossy();

@@ -95,16 +95,21 @@ struct Cluster {
   // Attaches (or detaches, with nullptr) an observability session: the
   // machine and network report task/wire events into its tracer, engines
   // record structured events and histograms, and the phase runner publishes
-  // per-phase totals into its metrics registry. In DPA_TRACE=OFF builds the
-  // tracer is never hooked up; metrics publication still works. On the
-  // native backend only metrics are published (the tracer ring and
-  // histograms are single-threaded by design).
+  // per-phase totals into its metrics registry. In DPA_TRACE=OFF builds no
+  // trace sink is ever hooked up; metrics publication still works. On the
+  // native backend engines record into per-worker shards (one lock-free
+  // ring + histogram set per worker, see obs/shard_sink.h) instead of the
+  // single-threaded tracer ring.
   void attach_obs(obs::Session* session) {
     obs = session;
     if (sim::Machine* m = backend->sim_machine()) {
       m->set_trace(session != nullptr && obs::kTraceEnabled
                        ? &session->tracer
                        : nullptr);
+    } else if (backend->supports_tracing()) {
+      backend->attach_shards(session != nullptr && obs::kTraceEnabled
+                                 ? session->ensure_shards(backend->num_nodes())
+                                 : nullptr);
     }
   }
 };
@@ -270,8 +275,10 @@ class EngineBase {
   RtNodeStats stats_;
 
   // Observability handles, resolved once at construction (null when no
-  // session is attached). trace_ is used through DPA_TRACE_EVT only.
-  obs::Tracer* trace_ = nullptr;
+  // session is attached). trace_ is used through DPA_TRACE_EVT only; on the
+  // sim backend it is the session tracer, on the native backend this
+  // engine's worker shard (single-writer either way).
+  obs::EventSink* trace_ = nullptr;
   Pow2Histogram* h_msg_bytes_ = nullptr;  // request/reply/accum wire sizes
 
  private:

@@ -180,6 +180,12 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
       std::uint64_t parks = 0;
       for (NodeId i = 0; i < n; ++i) parks += backend.node_stats(i).parks;
       *m.counter("exec.parks") += parks;
+      // Drain the per-worker wall-clock profiles (task service time,
+      // mailbox-lock wait, train occupancy, park duration, queue depth)
+      // into the registry. Safe here: run_phase() returned, workers are
+      // parked between phases.
+      if (cluster_.obs->shards != nullptr)
+        cluster_.obs->shards->publish_profiles(m);
     }
     *m.counter("fm.msgs_sent") += result.fm_total.msgs_sent;
     *m.counter("fm.frags_sent") += result.fm_total.frags_sent;

@@ -50,6 +50,15 @@ void Pow2Histogram::add(std::uint64_t v) {
   ++total_;
 }
 
+void Pow2Histogram::merge(const Pow2Histogram& other) {
+  if (other.total_ == 0) return;
+  if (buckets_.size() < other.buckets_.size())
+    buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+}
+
 std::uint64_t Pow2Histogram::quantile_bound(double q) const {
   DPA_CHECK(q >= 0.0 && q <= 1.0) << "quantile out of range: " << q;
   if (total_ == 0) return 0;

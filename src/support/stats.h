@@ -50,6 +50,9 @@ class Pow2Histogram {
   std::uint64_t quantile_bound(double q) const;
   std::string to_string() const;
 
+  void merge(const Pow2Histogram& other);
+  void reset() { *this = Pow2Histogram(); }
+
  private:
   std::vector<std::uint64_t> buckets_;
   std::uint64_t total_ = 0;

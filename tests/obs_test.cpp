@@ -315,6 +315,125 @@ TEST(ChromeTrace, LargeTimestampsSurviveFormatting) {
   EXPECT_LT(ts[0], ts[1]);
 }
 
+// ---------- sharded sink: drops, merge, export metadata ----------
+
+TEST(ShardSink, RingKeepsTrailingWindowAndCountsDropsPerShard) {
+  if (!obs::kTraceEnabled) GTEST_SKIP() << "compiled with DPA_TRACE=OFF";
+  obs::ShardedTraceSink sink(2, /*shard_capacity=*/8);
+  obs::TraceShard& sh = sink.shard(0);
+  for (int i = 0; i < 20; ++i)
+    sh.instant(obs::Ev::kWorkerDrain, 0, sim::Time(i * 10), unsigned(i));
+  sink.shard(1).instant(obs::Ev::kWorkerDrain, 1, 5);
+
+  // Drops are attributed to the shard that overflowed, not pooled.
+  EXPECT_EQ(sh.recorded(), 20u);
+  EXPECT_EQ(sh.dropped(), 12u);
+  EXPECT_EQ(sink.dropped(0), 12u);
+  EXPECT_EQ(sink.dropped(1), 0u);
+  EXPECT_EQ(sink.dropped_total(), 12u);
+  EXPECT_EQ(sink.recorded_total(), 21u);
+
+  const auto snap = sh.snapshot();
+  EXPECT_FALSE(snap.torn);
+  EXPECT_EQ(snap.first_seq, 12u);  // oldest 12 overwritten
+  ASSERT_EQ(snap.events.size(), 8u);
+  for (std::size_t i = 0; i < snap.events.size(); ++i)
+    EXPECT_EQ(snap.events[i].arg, 12 + i);
+
+  // The merge carries the surviving window with its true sequence numbers.
+  const auto merged = sink.merged();
+  ASSERT_EQ(merged.size(), 9u);
+  EXPECT_EQ(merged.front().ev.at, 5);  // shard 1's lone early event first
+  EXPECT_EQ(merged.back().seq, 19u);
+}
+
+TEST(ChromeTrace, MergedShardExportCarriesPerWorkerDropCounts) {
+  if (!obs::kTraceEnabled) GTEST_SKIP() << "compiled with DPA_TRACE=OFF";
+  // A main-thread tracer (phase markers) plus two worker shards, one of
+  // which overflowed: the export must interleave all three streams into
+  // one valid document and preserve the per-worker drop attribution that
+  // a pooled "dropped_events" total would lose.
+  obs::Tracer t;
+  t.phase_begin("native.phase", 0);
+  t.phase_end("native.phase", 10'000);
+
+  obs::ShardedTraceSink sink(2, /*shard_capacity=*/4);
+  obs::TraceShard& w0 = sink.shard(0);
+  for (int i = 0; i < 10; ++i)  // 6 drops
+    w0.span(obs::Ev::kWorkerRun, 0, sim::Time(1000 + i * 100),
+            sim::Time(1050 + i * 100));
+  obs::TraceShard& w1 = sink.shard(1);
+  w1.span(obs::Ev::kMailboxWait, 1, 2000, 2100, 0, /*peer=*/0);
+  w1.instant(obs::Ev::kTrainFlush, 1, 2100, 7);
+  w1.span(obs::Ev::kPark, 1, 3000, 4000,
+          std::uint64_t(obs::UnparkCause::kQuiesced));
+
+  const std::string json = obs::chrome_trace_json(t, &sink);
+  EXPECT_TRUE(JsonChecker::valid(json)) << json;
+
+  const JsonParseResult doc = json_parse(json);
+  ASSERT_TRUE(doc) << doc.error;
+  const JsonValue& root = *doc.value;
+  ASSERT_NE(root.find("dropped_by_worker"), nullptr);
+  const auto& drops = root.find("dropped_by_worker")->as_array();
+  ASSERT_EQ(drops.size(), 2u);
+  EXPECT_EQ(drops[0].as_number(), 6.0);
+  EXPECT_EQ(drops[1].as_number(), 0.0);
+  EXPECT_EQ(root.find("dropped_events")->as_number(), 6.0);
+  EXPECT_EQ(root.find("recorded_events")->as_number(), 15.0);
+
+  // Native event vocabulary present with its worker attribution.
+  EXPECT_NE(json.find("\"run\""), std::string::npos);
+  EXPECT_NE(json.find("\"mbox_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"train_flush\""), std::string::npos);
+  EXPECT_NE(json.find("\"park\""), std::string::npos);
+  EXPECT_NE(json.find("\"quiesced\""), std::string::npos);  // unpark cause
+  // Phase markers from the main-thread tracer still bracket the stream.
+  EXPECT_NE(json.find("\"native.phase\""), std::string::npos);
+
+  // Timestamps are globally monotone after the merge (9 retained events:
+  // 2 phase markers + w0's surviving window of 4 + w1's 3).
+  const auto ts = extract_timestamps(json);
+  ASSERT_GE(ts.size(), 9u);
+  for (std::size_t i = 1; i < ts.size(); ++i)
+    EXPECT_LE(ts[i - 1], ts[i]) << "timestamp order broken at " << i;
+}
+
+TEST(ShardSink, PublishProfilesDrainsIntoRegistryAcrossPhases) {
+  // Works in OFF builds too: profiles are plain histograms, only the event
+  // ring is compiled out.
+  obs::ShardedTraceSink sink(2);
+  obs::MetricsRegistry m;
+  sink.shard(0).profile.task_service_ns.add(100);
+  sink.shard(1).profile.task_service_ns.add(200);
+  sink.shard(1).profile.park_ns.add(50);
+  sink.publish_profiles(m);
+  ASSERT_NE(m.histogram("exec.task_service_ns"), nullptr);
+  EXPECT_EQ(m.histogram("exec.task_service_ns")->count(), 2u);
+  EXPECT_EQ(m.histogram("exec.park_ns")->count(), 1u);
+
+  // Drain semantics: a second phase's samples add, not double-count.
+  sink.shard(0).profile.task_service_ns.add(300);
+  sink.publish_profiles(m);
+  EXPECT_EQ(m.histogram("exec.task_service_ns")->count(), 3u);
+  EXPECT_EQ(m.histogram("exec.park_ns")->count(), 1u);
+}
+
+TEST(ShardSink, GrowPreservesEarlierCellsEvents) {
+  if (!obs::kTraceEnabled) GTEST_SKIP() << "compiled with DPA_TRACE=OFF";
+  // Sweeps attach progressively larger backends to one session; growing
+  // must keep earlier shards' contents and never shrink.
+  obs::ShardedTraceSink sink(2, /*shard_capacity=*/16);
+  sink.shard(0).instant(obs::Ev::kWorkerDrain, 0, 1);
+  sink.grow(4);
+  EXPECT_EQ(sink.num_shards(), 4u);
+  sink.grow(2);  // no-op
+  EXPECT_EQ(sink.num_shards(), 4u);
+  EXPECT_EQ(sink.recorded_total(), 1u);
+  sink.shard(3).instant(obs::Ev::kWorkerDrain, 3, 2);
+  EXPECT_EQ(sink.merged().size(), 2u);
+}
+
 // ---------- end-to-end: runtime -> session -> exporters ----------
 
 TEST(ObsIntegration, PhaseCountersEqualRtTotals) {
