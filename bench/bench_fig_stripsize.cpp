@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   backend.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
   if (!backend.validate(faults)) return 1;
-  backend.install_watchdog();
+  backend.install();
   obs.init();
 
   using namespace dpa;

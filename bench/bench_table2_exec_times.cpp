@@ -178,7 +178,7 @@ int main(int argc, char** argv) {
   backend.add_flags(options);
   if (!options.parse(argc, argv)) return 0;
   if (!backend.validate(faults)) return 1;
-  backend.install_watchdog();
+  backend.install();
   faults.apply(&dpa::bench::g_net);
   faults.announce();
   backend.announce();

@@ -24,12 +24,14 @@ namespace dpa::bench {
 
 // --backend= plumbing: run a harness's cells on the discrete-event
 // simulator (the default; modeled seconds) or on the native shared-memory
-// backend (one host thread per node; real wall-clock seconds). Native runs
-// are incompatible with fault injection (the in-process fabric cannot lose
-// messages) and force --jobs=1 (a cell already uses one host thread per
-// node, and co-scheduling cells would corrupt each other's timings).
+// backend (an M:N pool of worker threads multiplexing the simulated nodes;
+// real wall-clock seconds). Native runs are incompatible with fault
+// injection (the in-process fabric cannot lose messages) and force --jobs=1
+// (a cell already fans out across the worker pool, and co-scheduling cells
+// would corrupt each other's timings).
 struct BackendOptions {
   std::string name = "sim";
+  std::int64_t workers = 0;      // native pool size; 0 = min(cores, nodes)
   std::int64_t watchdog_ms = 0;  // 0 = no watchdog
   std::string watchdog_dump;     // flight-recorder JSON path ("" = stderr)
 
@@ -37,7 +39,11 @@ struct BackendOptions {
     options
         .str("backend", &name,
              "execution substrate: 'sim' (modeled LogGP network) or "
-             "'native' (one host thread per node, wall-clock timings)")
+             "'native' (worker pool multiplexing the nodes, wall-clock "
+             "timings)")
+        .i64("workers", &workers,
+             "native only: host threads in the worker pool "
+             "(0 = one per host core, clamped to the node count)")
         .i64("watchdog-ms", &watchdog_ms,
              "native only: abort (with a flight-recorder dump) if a phase "
              "outlives this many wall milliseconds or makes no progress "
@@ -83,10 +89,30 @@ struct BackendOptions {
     return cfg;
   }
 
-  // Installs the watchdog policy process-wide (harnesses build their
-  // Clusters deep inside app runners, so the policy is set once here and
-  // picked up by every NativeBackend constructed afterwards).
-  void install_watchdog() const {
+  // Installs the native execution policy process-wide — worker-pool size
+  // and watchdog config. Harnesses build their Clusters deep inside app
+  // runners, so the policy is set once here and picked up by every
+  // NativeBackend constructed afterwards.
+  void install() const {
+    if (workers != 0) {
+      if (!native()) {
+        std::fprintf(stderr,
+                     "warning: --workers=%lld ignored: the worker pool is a "
+                     "native-backend knob (--backend=sim is single-threaded "
+                     "by construction)\n",
+                     (long long)workers);
+      } else if (workers < 0) {
+        std::fprintf(stderr,
+                     "warning: --workers=%lld ignored: want a positive pool "
+                     "size (or 0 = one worker per host core)\n",
+                     (long long)workers);
+      } else {
+        exec::NativeBackend::Tuning tuning =
+            exec::NativeBackend::default_tuning();
+        tuning.workers = std::uint32_t(workers);
+        exec::NativeBackend::set_default_tuning(tuning);
+      }
+    }
     if (watchdog_ms <= 0) return;
     if (!native()) {
       std::fprintf(stderr,
@@ -102,8 +128,8 @@ struct BackendOptions {
   void announce() const {
     if (native())
       std::printf(
-          "backend: native (threads, wall-clock; timings are host seconds, "
-          "not modeled T3D seconds)\n\n");
+          "backend: native (M:N worker pool, wall-clock; timings are host "
+          "seconds, not modeled T3D seconds)\n\n");
   }
 };
 

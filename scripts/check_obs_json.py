@@ -12,7 +12,8 @@ monotone-ready timestamps, per-worker drop counts consistent with the
 total), that a metrics snapshot follows dpa.metrics.v1 (--require-native
 additionally demands the native backend's exec.* wall-clock histograms),
 that bench --json output embeds a metrics block, and that a watchdog
-flight-recorder dump follows dpa.flightrec.v1. Exits non-zero on the
+flight-recorder dump follows dpa.flightrec.v2 (per-node quiescence state
+plus the M:N pool's per-worker scheduler state). Exits non-zero on the
 first violation.
 """
 
@@ -125,25 +126,39 @@ def check_metrics(path, require_native=False):
 def check_flightrec(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "dpa.flightrec.v1":
+    if doc.get("schema") != "dpa.flightrec.v2":
         fail(f"{path}: schema is {doc.get('schema')!r}, "
-             f"expected 'dpa.flightrec.v1'")
+             f"expected 'dpa.flightrec.v2'")
     for key, typ in (("reason", str), ("elapsed_ns", int),
                      ("phase_epoch", int), ("stuck_scans", int),
-                     ("nodes", list)):
+                     ("nodes", list), ("workers", list)):
         if not isinstance(doc.get(key), typ):
             fail(f"{path}: missing or mistyped key {key!r}")
     if not doc["nodes"]:
         fail(f"{path}: empty nodes array")
     for i, n in enumerate(doc["nodes"]):
         for key, typ in (("node", int), ("produced", int), ("consumed", int),
-                         ("inbox_depth", int), ("parked", bool)):
+                         ("inbox_depth", int), ("active", bool),
+                         ("stuck", bool)):
             if not isinstance(n.get(key), typ):
                 fail(f"{path}: node {i} missing or mistyped {key!r}")
         # Per-node consumed > produced is fine (work migrates between
         # nodes); negative counters mean the JSON is garbage.
         if n["produced"] < 0 or n["consumed"] < 0 or n["inbox_depth"] < 0:
             fail(f"{path}: node {i} has a negative counter")
+    if not doc["workers"]:
+        fail(f"{path}: empty workers array")
+    for i, w in enumerate(doc["workers"]):
+        for key, typ in (("worker", int), ("runq_depth", int),
+                         ("parked", bool), ("parks", int), ("steals", int)):
+            if not isinstance(w.get(key), typ):
+                fail(f"{path}: worker {i} missing or mistyped {key!r}")
+        if w["runq_depth"] < 0 or w["parks"] < 0 or w["steals"] < 0:
+            fail(f"{path}: worker {i} has a negative counter")
+    if len(doc["workers"]) > len(doc["nodes"]):
+        fail(f"{path}: more pool workers ({len(doc['workers'])}) than nodes "
+             f"({len(doc['nodes'])}) — the backend clamps the pool to the "
+             f"node count")
     outstanding = (sum(n["produced"] for n in doc["nodes"])
                    - sum(n["consumed"] for n in doc["nodes"]))
     if outstanding <= 0:
@@ -165,7 +180,8 @@ def check_flightrec(path):
         check_metrics_block(doc["metrics"], f"{path}#metrics",
                             require_phases=False)
     print(f"check_obs_json: OK: {path}: {doc['reason']!r}, "
-          f"{len(doc['nodes'])} nodes, {outstanding} outstanding, "
+          f"{len(doc['nodes'])} nodes, {len(doc['workers'])} workers, "
+          f"{outstanding} outstanding, "
           f"{len(doc.get('events', []))} ring events")
 
 

@@ -45,8 +45,9 @@ import time
 # Bigger than the golden-check workload so a single run takes a few hundred
 # milliseconds of host time; run a few times and take best-of to keep the
 # measurement stable on noisy shared runners. The native gate sweeps up to
-# 64 nodes: with 64 worker threads on a small CI runner the workload is
-# heavily oversubscribed, which is exactly the regime the backend's message
+# 64 nodes with --workers=0 (one pool worker per host core): on a small CI
+# runner the node count far exceeds the pool, which is exactly the
+# oversubscribed regime the M:N scheduler's whole-node stealing, message
 # trains, sharded quiescence, and idle parking are gated on.
 BENCH_ARGS = {
     "sim": [
@@ -60,6 +61,7 @@ BENCH_ARGS = {
         "--particles=2048",
         "--terms=8",
         "--max-procs=64",
+        "--workers=0",
     ],
 }
 RUNS = 3

@@ -8,11 +8,13 @@
 //   * SimBackend    — the deterministic discrete-event simulator. Modeled
 //                     LogGP network, modeled time, byte-identical to the
 //                     pre-Backend tree.
-//   * NativeBackend — one std::thread per node with MPSC mailboxes and a
-//                     sense-reversing phase barrier. Messages are real
-//                     cross-thread handoffs; phase elapsed time is real
-//                     monotonic wall-clock, so the DPA engine's tiling and
-//                     aggregation produce *measured* wins, not modeled ones.
+//   * NativeBackend — an M:N pool of worker threads multiplexing the
+//                     simulated nodes (whole-node work stealing, MPSC
+//                     mailboxes, a sense-reversing phase barrier). Messages
+//                     are real cross-thread handoffs; phase elapsed time is
+//                     real monotonic wall-clock, so the DPA engine's tiling
+//                     and aggregation produce *measured* wins, not modeled
+//                     ones.
 //
 // The contract the runtime relies on:
 //   * Tasks posted to a node run serially, in post order, on that node.
@@ -132,6 +134,9 @@ class Backend {
 
   // --- Phase accounting (valid after run_phase) ----------------------
   virtual const NodeStats& node_stats(NodeId node) const = 0;
+  // Scheduler counters for the last phase (worker parks / whole-node
+  // steals / activations). All-zero on backends without a worker pool.
+  virtual SchedStats sched_stats() const { return SchedStats{}; }
   // Per-node idle time for the last phase: elapsed - busy, clamped at 0.
   virtual Time idle_time(NodeId node, Time phase_elapsed) const = 0;
   virtual MsgStats msg_stats_total() const = 0;

@@ -7,20 +7,25 @@
 #include "obs/flight_recorder.h"
 #include "obs/shard_sink.h"
 #include "support/assert.h"
+#include "support/parallel.h"
 
 namespace dpa::exec {
 
 namespace {
 
-// Process-wide default watchdog config, copied into every NativeBackend at
-// construction (see set_default_watchdog).
-std::mutex g_default_watchdog_mu;
+// Process-wide defaults, copied into every NativeBackend at construction
+// (see set_default_watchdog / set_default_tuning).
+std::mutex g_defaults_mu;
 WatchdogConfig g_default_watchdog;
+NativeBackend::Tuning g_default_tuning;
 
-// The worker that owns the node the current thread is executing for, or -1
-// on the main thread. Lets post() skip the mailbox lock for self-posts and
-// route cross-node work through the owner's trains.
+// The node the current thread is executing a task for (-1 outside
+// run_node, including on the main thread). Lets post() skip the mailbox
+// lock for self-posts and route cross-node work through the node's trains.
 thread_local std::int32_t tls_node = -1;
+// The worker lane this thread is (-1 on the main thread and the watchdog):
+// names the trace shard backend events record into.
+thread_local std::int32_t tls_worker = -1;
 
 inline void cpu_pause() {
 #if defined(__x86_64__) || defined(__i386__)
@@ -28,6 +33,25 @@ inline void cpu_pause() {
 #elif defined(__aarch64__)
   asm volatile("yield");
 #endif
+}
+
+// splitmix64: decorrelates per-worker RNG streams from one seed.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint32_t resolve_workers(const NativeBackend::Tuning& t,
+                              std::uint32_t num_nodes) {
+  std::uint32_t w = t.workers != 0
+                        ? t.workers
+                        : std::uint32_t(dpa::host_concurrency());
+  if (w < 1) w = 1;
+  // More workers than nodes would only ever idle: a node is the scheduling
+  // unit, and at most num_nodes of them can be active at once.
+  return std::min(w, num_nodes);
 }
 
 }  // namespace
@@ -51,23 +75,35 @@ void SenseBarrier::arrive_and_wait(bool* my_sense) {
 }
 
 NativeBackend::NativeBackend(std::uint32_t num_nodes)
-    : NativeBackend(num_nodes, Tuning()) {}
+    : NativeBackend(num_nodes, default_tuning()) {}
 
 NativeBackend::NativeBackend(std::uint32_t num_nodes, const Tuning& tuning)
-    : tuning_(tuning), finish_barrier_(num_nodes) {
+    : tuning_(tuning),
+      finish_barrier_(resolve_workers(tuning, num_nodes)) {
   DPA_CHECK(num_nodes > 0);
   DPA_CHECK(tuning_.train_max > 0);
+  const std::uint32_t num_workers = resolve_workers(tuning_, num_nodes);
   nodes_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>());
     nodes_.back()->train.resize(num_nodes);
+    // Initial placement: round-robin. Re-activation follows last_worker
+    // from then on, so steady-state placement is steal-driven.
+    nodes_.back()->affinity.store(i % num_workers, std::memory_order_relaxed);
   }
-  workers_.reserve(num_nodes);
-  for (std::uint32_t i = 0; i < num_nodes; ++i)
-    workers_.emplace_back([this, i] { worker_main(i); });
+  workers_.reserve(num_workers);
+  for (std::uint32_t w = 0; w < num_workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+    // Never zero (xorshift's fixed point); decorrelated across workers so
+    // two thieves scanning at once fan out over different victims.
+    workers_.back()->rng = mix64(tuning_.steal_seed + w) | 1u;
+  }
+  threads_.reserve(num_workers);
+  for (std::uint32_t w = 0; w < num_workers; ++w)
+    threads_.emplace_back([this, w] { worker_main(w); });
   WatchdogConfig default_cfg;
   {
-    std::lock_guard<std::mutex> lk(g_default_watchdog_mu);
+    std::lock_guard<std::mutex> lk(g_defaults_mu);
     default_cfg = g_default_watchdog;
   }
   if (default_cfg.enabled()) arm_watchdog(default_cfg);
@@ -88,18 +124,30 @@ NativeBackend::~NativeBackend() {
     stop_ = true;
   }
   phase_cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& t : threads_) t.join();
 }
 
 void NativeBackend::set_default_watchdog(const WatchdogConfig& cfg) {
-  std::lock_guard<std::mutex> lk(g_default_watchdog_mu);
+  std::lock_guard<std::mutex> lk(g_defaults_mu);
   g_default_watchdog = cfg;
+}
+
+void NativeBackend::set_default_tuning(const Tuning& tuning) {
+  std::lock_guard<std::mutex> lk(g_defaults_mu);
+  g_default_tuning = tuning;
+}
+
+NativeBackend::Tuning NativeBackend::default_tuning() {
+  std::lock_guard<std::mutex> lk(g_defaults_mu);
+  return g_default_tuning;
 }
 
 void NativeBackend::attach_shards(obs::ShardedTraceSink* shards) {
   if (!obs::kTraceEnabled) shards = nullptr;  // OFF builds never attach
   if (shards != nullptr) {
-    DPA_CHECK(shards->num_shards() >= num_nodes());
+    // Sessions size the sink for the node shards (engines bind those);
+    // append the worker shards backend events record into.
+    shards->grow(num_nodes() + num_workers());
   }
   // Under phase_mu_: workers observe the pointer through the next epoch
   // publish, the watchdog reads it under the same mutex.
@@ -107,9 +155,9 @@ void NativeBackend::attach_shards(obs::ShardedTraceSink* shards) {
   shards_ = shards;
 }
 
-obs::TraceShard* NativeBackend::shard(NodeId id) const {
+obs::TraceShard* NativeBackend::worker_shard(std::uint32_t w) const {
   if constexpr (!obs::kTraceEnabled) return nullptr;
-  return shards_ != nullptr ? &shards_->shard(id) : nullptr;
+  return shards_ != nullptr ? &shards_->shard(num_nodes() + w) : nullptr;
 }
 
 bool NativeBackend::arm_watchdog(const WatchdogConfig& cfg) {
@@ -148,19 +196,89 @@ HandlerId NativeBackend::register_handler(std::string name, Handler fn) {
   return HandlerId(handlers_.size() - 1);
 }
 
-void NativeBackend::flush_dest_train(Node& self, NodeId dst) {
+void NativeBackend::activate(NodeId id) {
+  Node& n = *nodes_[id];
+  std::uint32_t expected = 0;
+  // seq_cst pairs with the deactivation protocol in run_node: the winner's
+  // CAS is ordered after the host's idle store, so exactly one thread owns
+  // the enqueue. Losers are done — the node is already queued or running,
+  // and the eventual host drains the mailbox they just appended to.
+  if (!n.active.compare_exchange_strong(expected, 1,
+                                        std::memory_order_seq_cst))
+    return;
+  enqueue_node(n.affinity.load(std::memory_order_relaxed), id);
+}
+
+void NativeBackend::enqueue_node(std::uint32_t w, NodeId id) {
+  Worker& wk = *workers_[w];
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lk(wk.mu);
+    wk.runq.push_back(id);
+    wake = wk.parked.load(std::memory_order_relaxed);
+  }
+  wk.activations.fetch_add(1, std::memory_order_relaxed);
+  if (wake) wk.cv.notify_one();
+}
+
+std::int32_t NativeBackend::pop_own(std::uint32_t w) {
+  Worker& wk = *workers_[w];
+  std::lock_guard<std::mutex> lk(wk.mu);
+  if (wk.runq.empty()) return -1;
+  const NodeId id = wk.runq.front();
+  wk.runq.pop_front();
+  return std::int32_t(id);
+}
+
+std::int32_t NativeBackend::try_steal(std::uint32_t w) {
+  const std::uint32_t num_workers = std::uint32_t(workers_.size());
+  if (num_workers <= 1) return -1;
+  Worker& self = *workers_[w];
+  // xorshift64 over the victim ring: one sweep per call, starting at a
+  // seeded-random offset so concurrent thieves fan out. Stealing from the
+  // BACK takes the node the victim would reach last — the one whose cache
+  // lines the victim is least likely to still own.
+  std::uint64_t x = self.rng;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  self.rng = x;
+  const std::uint32_t start = std::uint32_t(x % (num_workers - 1));
+  for (std::uint32_t k = 0; k < num_workers - 1; ++k) {
+    const std::uint32_t v =
+        (w + 1 + (start + k) % (num_workers - 1)) % num_workers;
+    Worker& vic = *workers_[v];
+    std::int32_t got = -1;
+    {
+      std::lock_guard<std::mutex> lk(vic.mu);
+      if (!vic.runq.empty()) {
+        got = std::int32_t(vic.runq.back());
+        vic.runq.pop_back();
+      }
+    }
+    if (got >= 0) {
+      self.steals.fetch_add(1, std::memory_order_relaxed);
+      if (obs::TraceShard* const sh = worker_shard(w); sh != nullptr)
+        sh->instant(obs::Ev::kSteal, NodeId(got),
+                    since_phase_start(std::chrono::steady_clock::now()), v);
+      return got;
+    }
+  }
+  return -1;
+}
+
+void NativeBackend::flush_dest_train(Node& self, NodeId node, NodeId dst) {
   auto& tr = self.train[dst];
   if (tr.empty()) return;
   Node& dn = *nodes_[dst];
-  // Trains are flushed only by their owning worker (post()'s train-full
-  // path or flush_trains), so tls_node names the recording shard.
+  // Trains are flushed only by the node's hosting worker (post()'s
+  // train-full path or flush_trains), so tls_worker names the shard.
   obs::TraceShard* const sh =
-      tls_node >= 0 ? shard(NodeId(tls_node)) : nullptr;
+      tls_worker >= 0 ? worker_shard(std::uint32_t(tls_worker)) : nullptr;
   const std::uint64_t depth = tr.size();
   Time w0 = 0, w1 = 0;
   std::size_t inbox_depth = 0;
   if (sh != nullptr) w0 = since_phase_start(std::chrono::steady_clock::now());
-  bool wake;
   {
     std::lock_guard<std::mutex> lk(dn.mu);
     if (sh != nullptr) {
@@ -168,19 +286,19 @@ void NativeBackend::flush_dest_train(Node& self, NodeId dst) {
       inbox_depth = dn.inbox.size() + tr.size();
     }
     for (auto& t : tr) dn.inbox.push_back(std::move(t));
-    wake = dn.parked.load(std::memory_order_relaxed);
   }
-  if (wake) dn.cv.notify_one();
   DPA_DCHECK(self.train_pending >= tr.size());
   self.train_pending -= std::uint32_t(tr.size());
   ++self.msg.trains_sent;
   tr.clear();
+  // After the mailbox append: the destination's host (whoever wins the
+  // activation) is guaranteed to see the batch.
+  activate(dst);
   if (sh != nullptr) {
-    const NodeId self_id = NodeId(tls_node);
-    sh->span(obs::Ev::kMailboxWait, self_id, w0, w1, 0, dst);
+    sh->span(obs::Ev::kMailboxWait, node, w0, w1, 0, dst);
     obs::TraceEvent flush_ev;
     flush_ev.kind = obs::Ev::kTrainFlush;
-    flush_ev.node = self_id;
+    flush_ev.node = node;
     flush_ev.peer = dst;
     flush_ev.at = w1;
     flush_ev.arg = depth;
@@ -191,9 +309,9 @@ void NativeBackend::flush_dest_train(Node& self, NodeId dst) {
   }
 }
 
-bool NativeBackend::flush_trains(Node& self) {
+bool NativeBackend::flush_trains(Node& self, NodeId node) {
   if (self.train_pending == 0) return false;
-  for (NodeId d = 0; d < nodes_.size(); ++d) flush_dest_train(self, d);
+  for (NodeId d = 0; d < nodes_.size(); ++d) flush_dest_train(self, node, d);
   DPA_DCHECK(self.train_pending == 0);
   return true;
 }
@@ -208,13 +326,17 @@ void NativeBackend::post(NodeId node, Task task) {
     Node& self = *nodes_[tls_node];
     self.produced.fetch_add(1, std::memory_order_seq_cst);
     if (tls_node == std::int32_t(node)) {
+      // Self-post: the node is active (we are inside one of its tasks), so
+      // no activation is needed — run_node drains local before it can even
+      // consider deactivating.
       self.local.push_back(std::move(task));
       return;
     }
     auto& tr = self.train[node];
     tr.push_back(std::move(task));
     ++self.train_pending;
-    if (tr.size() >= tuning_.train_max) flush_dest_train(self, node);
+    if (tr.size() >= tuning_.train_max)
+      flush_dest_train(self, NodeId(tls_node), node);
     return;
   }
   // Main thread: pre-phase seeding. Counted on the destination's shard —
@@ -222,13 +344,11 @@ void NativeBackend::post(NodeId node, Task task) {
   // (the epoch publish orders these writes before the phase releases).
   Node& dn = *nodes_[node];
   dn.produced.fetch_add(1, std::memory_order_seq_cst);
-  bool wake;
   {
     std::lock_guard<std::mutex> lk(dn.mu);
     dn.inbox.push_back(std::move(task));
-    wake = dn.parked.load(std::memory_order_relaxed);
   }
-  if (wake) dn.cv.notify_one();
+  activate(node);
 }
 
 void NativeBackend::send(Cpu& cpu, NodeId src, NodeId dst, HandlerId handler,
@@ -255,7 +375,7 @@ void NativeBackend::flush(Cpu& cpu, NodeId node) {
   DPA_DCHECK(node < nodes_.size());
   DPA_DCHECK(tls_node == std::int32_t(node))
       << "Backend::flush must run on the node it flushes";
-  flush_trains(*nodes_[node]);
+  flush_trains(*nodes_[node], node);
 }
 
 void NativeBackend::schedule_at(Time at, TimerFn fn) {
@@ -274,6 +394,14 @@ Time NativeBackend::begin_phase() {
     n->stats.reset();
     n->msg.reset();
     DPA_CHECK(n->inbox.empty() && n->local.empty() && n->train_pending == 0);
+    DPA_CHECK(n->active.load(std::memory_order_relaxed) == 0)
+        << "begin_phase with a node still queued";
+  }
+  for (auto& w : workers_) {
+    DPA_CHECK(w->runq.empty());
+    w->parks.store(0, std::memory_order_relaxed);
+    w->steals.store(0, std::memory_order_relaxed);
+    w->activations.store(0, std::memory_order_relaxed);
   }
   // Shard timestamps are phase-relative at the record site; anchoring them
   // to the accumulated clock keeps multi-phase traces monotone against the
@@ -300,8 +428,8 @@ PhaseExec NativeBackend::run_phase() {
   return out;
 }
 
-void NativeBackend::worker_main(NodeId id) {
-  tls_node = std::int32_t(id);
+void NativeBackend::worker_main(std::uint32_t w) {
+  tls_worker = std::int32_t(w);
   bool barrier_sense = true;
   std::uint64_t epoch = 0;
   for (;;) {
@@ -311,12 +439,13 @@ void NativeBackend::worker_main(NodeId id) {
       if (stop_) return;
       epoch = phase_epoch_;
     }
-    run_node_phase(*nodes_[id], id);
+    run_worker_phase(w);
     // Quiescent: every worker independently confirms (or reads quiesced_)
     // and arrives here. The barrier's acquire/release chain makes all
-    // pre-barrier writes visible to node 0, which signals the main thread.
+    // pre-barrier writes visible to worker 0, which signals the main
+    // thread.
     finish_barrier_.arrive_and_wait(&barrier_sense);
-    if (id == 0) {
+    if (w == 0) {
       {
         std::lock_guard<std::mutex> lk(phase_mu_);
         done_epoch_ = epoch;
@@ -339,6 +468,12 @@ void NativeBackend::worker_main(NodeId id) {
 // running (a running task is consumed only after it returns). Quiescence is
 // stable within a phase (only running tasks produce; the main thread seeds
 // only before run_phase), so "quiescent at t0" means quiescent for good.
+//
+// The scan walks nodes, not workers — which worker hosts a node is
+// irrelevant, so stealing cannot perturb the proof. A corollary worth
+// stating: quiescence implies every run queue is empty, because a queued
+// activation exists only while its node has an unconsumed task (the
+// producer that won the CAS had already bumped `produced`).
 bool NativeBackend::quiescent() const {
   std::uint64_t consumed = 0;
   for (const auto& n : nodes_)
@@ -361,7 +496,16 @@ std::uint64_t NativeBackend::outstanding() const {
 void NativeBackend::watchdog_main() {
   const WatchdogConfig& cfg = watchdog_->cfg;
   std::uint64_t watched_epoch = 0;
-  std::uint64_t last_produced = 0, last_consumed = 0;
+  // Per-NODE progress tracking. With whole-node stealing a node's work
+  // migrates between workers mid-phase, so any thread-keyed notion of
+  // progress ("is the original host still running?") would flag a healthy
+  // phase whose first host parked while a thief drains the node. Node
+  // counters are placement-oblivious: a sweep counts as progress when any
+  // node's (produced, consumed) pair moved, no matter which worker moved
+  // it. The residue also names the stuck nodes in the flight record.
+  std::vector<std::uint64_t> last_produced(nodes_.size(), 0);
+  std::vector<std::uint64_t> last_consumed(nodes_.size(), 0);
+  std::vector<bool> node_stuck(nodes_.size(), false);
   std::uint32_t stuck = 0;
   for (;;) {
     {
@@ -389,39 +533,46 @@ void NativeBackend::watchdog_main() {
     if (epoch != watched_epoch) {
       watched_epoch = epoch;
       stuck = 0;
-      last_produced = last_consumed = 0;
+      std::fill(last_produced.begin(), last_produced.end(), 0);
+      std::fill(last_consumed.begin(), last_consumed.end(), 0);
     }
+    bool progress = false;
     std::uint64_t produced = 0, consumed = 0;
-    for (const auto& n : nodes_) {
-      consumed += n->consumed.load(std::memory_order_seq_cst);
-      produced += n->produced.load(std::memory_order_seq_cst);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const std::uint64_t c = nodes_[i]->consumed.load(std::memory_order_seq_cst);
+      const std::uint64_t p = nodes_[i]->produced.load(std::memory_order_seq_cst);
+      const bool moved = p != last_produced[i] || c != last_consumed[i];
+      progress |= moved;
+      node_stuck[i] = !moved && p != c;
+      last_produced[i] = p;
+      last_consumed[i] = c;
+      produced += p;
+      consumed += c;
     }
     if (produced == consumed) {  // drained (or about to finish): healthy
       stuck = 0;
       continue;
     }
-    const bool progress =
-        produced != last_produced || consumed != last_consumed;
-    last_produced = produced;
-    last_consumed = consumed;
     stuck = progress ? 0 : stuck + 1;
     const Time elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
     if (cfg.phase_deadline > 0 && elapsed > cfg.phase_deadline) {
-      watchdog_fire("phase deadline exceeded", elapsed, epoch, stuck);
+      watchdog_fire("phase deadline exceeded", elapsed, epoch, stuck,
+                    node_stuck);
       return;
     }
     if (cfg.stuck_scans > 0 && stuck >= cfg.stuck_scans) {
       watchdog_fire("quiescence counters made no progress", elapsed, epoch,
-                    stuck);
+                    stuck, node_stuck);
       return;
     }
   }
 }
 
 void NativeBackend::watchdog_fire(const char* reason, Time elapsed,
-                                  std::uint64_t epoch, std::uint32_t stuck) {
+                                  std::uint64_t epoch, std::uint32_t stuck,
+                                  const std::vector<bool>& node_stuck) {
   const WatchdogConfig& cfg = watchdog_->cfg;
   obs::FlightRecord rec;
   rec.reason = reason;
@@ -434,9 +585,20 @@ void NativeBackend::watchdog_fire(const char* reason, Time elapsed,
     auto& st = rec.nodes[i];
     st.produced = n.produced.load(std::memory_order_seq_cst);
     st.consumed = n.consumed.load(std::memory_order_seq_cst);
-    st.parked = n.parked.load(std::memory_order_relaxed);
+    st.active = n.active.load(std::memory_order_relaxed) != 0;
+    st.stuck = node_stuck[i];
     std::lock_guard<std::mutex> lk(n.mu);
     st.inbox_depth = n.inbox.size();
+  }
+  rec.workers.resize(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    Worker& wk = *workers_[w];
+    auto& st = rec.workers[w];
+    st.parked = wk.parked.load(std::memory_order_relaxed);
+    st.parks = wk.parks.load(std::memory_order_relaxed);
+    st.steals = wk.steals.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(wk.mu);
+    st.runq_depth = wk.runq.size();
   }
   obs::ShardedTraceSink* shards;
   {
@@ -468,20 +630,20 @@ void NativeBackend::watchdog_fire(const char* reason, Time elapsed,
               << (cfg.dump_path.empty() ? "<none>" : cfg.dump_path) << ")");
 }
 
-void NativeBackend::wake_parked() {
-  for (auto& n : nodes_) {
+void NativeBackend::wake_all_workers() {
+  for (auto& w : workers_) {
     bool wake;
     {
-      std::lock_guard<std::mutex> lk(n->mu);
-      wake = n->parked.load(std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(w->mu);
+      wake = w->parked.load(std::memory_order_relaxed);
     }
-    if (wake) n->cv.notify_all();
+    if (wake) w->cv.notify_all();
   }
 }
 
-void NativeBackend::run_node_phase(Node& n, NodeId id) {
-  obs::TraceShard* const sh = shard(id);
-  std::deque<Task> batch;
+void NativeBackend::run_worker_phase(std::uint32_t w) {
+  Worker& wk = *workers_[w];
+  obs::TraceShard* const sh = worker_shard(w);
   std::uint32_t idle = 0;
   // Parked-spell coalescing: consecutive timed-out re-parks record ONE
   // kPark span (start of the first park -> final unpark), not one per
@@ -492,13 +654,98 @@ void NativeBackend::run_node_phase(Node& n, NodeId id) {
   const auto end_park_spell = [&](obs::UnparkCause cause) {
     if (sh == nullptr || park_start < 0) return;
     const Time t = since_phase_start(std::chrono::steady_clock::now());
-    sh->span(obs::Ev::kPark, id, park_start, t, std::uint64_t(cause));
+    sh->span(obs::Ev::kPark, w, park_start, t, std::uint64_t(cause));
     sh->profile.park_ns.add(std::uint64_t(t - park_start));
     park_start = -1;
   };
   for (;;) {
+    std::int32_t id = pop_own(w);
+    if (id < 0 && tuning_.steal) id = try_steal(w);
+    if (id >= 0) {
+      end_park_spell(obs::UnparkCause::kWork);
+      idle = 0;
+      run_node(w, NodeId(id));
+      continue;
+    }
+    // No runnable node anywhere we can see. Check for phase end before
+    // climbing the idle ladder.
+    if (quiesced_.load(std::memory_order_acquire)) {
+      end_park_spell(obs::UnparkCause::kQuiesced);
+      return;
+    }
+    if (quiescent()) {
+      if (sh != nullptr)
+        sh->instant(obs::Ev::kQuiesceScan, w,
+                    since_phase_start(std::chrono::steady_clock::now()), 0);
+      quiesced_.store(true, std::memory_order_release);
+      wake_all_workers();
+      end_park_spell(obs::UnparkCause::kQuiesced);
+      return;
+    }
+    // Idle escalation: spin briefly (work usually arrives within the spin
+    // window when workers have their own cores), then share the core, then
+    // surrender it. Parking is what keeps oversubscribed runs (workers >>
+    // cores) from burning whole scheduler quanta in yield loops.
+    ++idle;
+    if (idle <= tuning_.idle_spins) {
+      cpu_pause();
+      continue;
+    }
+    if (idle == tuning_.idle_spins + 1 && sh != nullptr) {
+      // One instant pair per dry spell (at the spin->yield transition),
+      // not per scan pass — idle workers rescan thousands of times per
+      // second and must leave the ring quiescent while they wait.
+      const Time t = since_phase_start(std::chrono::steady_clock::now());
+      sh->instant(obs::Ev::kIdleYield, w, t);
+      sh->instant(obs::Ev::kQuiesceScan, w, t, outstanding());
+    }
+    if (idle <= tuning_.idle_spins + tuning_.idle_yields) {
+      std::this_thread::yield();
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lk(wk.mu);
+      if (!wk.runq.empty()) continue;  // lost the race with a producer
+      // Checked under mu: the detector sets quiesced_ before taking mu to
+      // read `parked`, so either we see the flag here or it sees us parked
+      // and notifies. No sleep-through-the-end window. The timeout backstop
+      // also re-runs the steal sweep, so a thief that parked just as its
+      // victim received work cannot oversleep a backlog.
+      if (quiesced_.load(std::memory_order_acquire)) {
+        lk.unlock();
+        end_park_spell(obs::UnparkCause::kQuiesced);
+        return;
+      }
+      if (sh != nullptr && park_start < 0)
+        park_start = since_phase_start(std::chrono::steady_clock::now());
+      wk.parked.store(true, std::memory_order_relaxed);
+      wk.parks.fetch_add(1, std::memory_order_relaxed);
+      wk.cv.wait_for(lk, std::chrono::microseconds(tuning_.park_timeout_us));
+      wk.parked.store(false, std::memory_order_relaxed);
+    }
+    // Woken (or timed out): rescan from the top. `idle` stays above the
+    // spin window so a fruitless wake re-parks after one scan instead of
+    // re-climbing the ladder; real work resets it via the pop above.
+    idle = tuning_.idle_spins + tuning_.idle_yields;
+  }
+}
+
+void NativeBackend::run_node(std::uint32_t w, NodeId id) {
+  Node& n = *nodes_[id];
+  // Placement bookkeeping before any draining: after the deactivation
+  // store another worker may host the node, and only the current host may
+  // write these. Affinity follows the host, so a stolen node re-activates
+  // on its thief.
+  n.affinity.store(w, std::memory_order_relaxed);
+  n.last_worker.store(std::int32_t(w), std::memory_order_relaxed);
+  tls_node = std::int32_t(id);
+  obs::TraceShard* const sh = worker_shard(w);
+  std::deque<Task> batch;
+  for (;;) {
     if (stall_node_.load(std::memory_order_acquire) == std::int32_t(id)) {
       // Test-only wedge: block (holding no backend locks) until released.
+      // The node stays active the whole time — exactly what a task stuck
+      // in an infinite loop looks like to the watchdog.
       std::unique_lock<std::mutex> lk(stall_mu_);
       stall_cv_.wait(lk, [this] { return stall_released_; });
     }
@@ -525,72 +772,34 @@ void NativeBackend::run_node_phase(Node& n, NodeId id) {
       run_task(n, id, std::move(t));
       ran = true;
     }
-    if (ran) {
-      end_park_spell(obs::UnparkCause::kWork);
-      idle = 0;
-      continue;  // our own tasks may have posted more to us
-    }
-    // Out of runnable work. First push any buffered outbound trains — the
-    // implicit phase-barrier flush point that makes termination independent
-    // of the engine calling Backend::flush().
-    flush_trains(n);
-    if (quiesced_.load(std::memory_order_acquire)) {
-      end_park_spell(obs::UnparkCause::kQuiesced);
-      return;
-    }
-    if (quiescent()) {
-      if (sh != nullptr)
-        sh->instant(obs::Ev::kQuiesceScan, id,
-                    since_phase_start(std::chrono::steady_clock::now()), 0);
-      quiesced_.store(true, std::memory_order_release);
-      wake_parked();
-      end_park_spell(obs::UnparkCause::kQuiesced);
-      return;
-    }
-    // Idle escalation: spin briefly (work usually arrives within the spin
-    // window when nodes have their own cores), then share the core, then
-    // surrender it. Parking is what keeps oversubscribed runs (nodes >>
-    // cores) from burning whole scheduler quanta in yield loops.
-    ++idle;
-    if (idle <= tuning_.idle_spins) {
-      cpu_pause();
-      continue;
-    }
-    if (idle == tuning_.idle_spins + 1 && sh != nullptr) {
-      // One instant pair per dry spell (at the spin->yield transition),
-      // not per scan pass — idle workers rescan thousands of times per
-      // second and must leave the ring quiescent while they wait.
-      const Time t = since_phase_start(std::chrono::steady_clock::now());
-      sh->instant(obs::Ev::kIdleYield, id, t);
-      sh->instant(obs::Ev::kQuiesceScan, id, t, outstanding());
-    }
-    if (idle <= tuning_.idle_spins + tuning_.idle_yields) {
-      std::this_thread::yield();
-      continue;
-    }
+    if (ran) continue;  // our own tasks may have posted more to us
+    // Dry. Push any buffered outbound trains — the implicit flush point
+    // that makes termination independent of the engine calling
+    // Backend::flush() — then give up the node.
+    flush_trains(n, id);
+    // Deactivate-then-recheck: the idle store and a producer's CAS are both
+    // seq_cst, so they are totally ordered. If a producer appended to the
+    // inbox after our last drain but CASed before our store, the CAS lost
+    // (active was still 1) — no one queued the node, so WE must recheck the
+    // inbox and reclaim. If the producer CASed after our store, it won and
+    // enqueued the node; our reclaim CAS then fails and the new host
+    // drains. Either way no task is stranded on a deactivated node.
+    n.active.store(0, std::memory_order_seq_cst);
+    bool pending;
     {
-      std::unique_lock<std::mutex> lk(n.mu);
-      if (!n.inbox.empty()) continue;  // lost the race with a sender: drain
-      // Checked under mu: the detector sets quiesced_ before taking mu to
-      // read `parked`, so either we see the flag here or it sees us parked
-      // and notifies. No sleep-through-the-end window.
-      if (quiesced_.load(std::memory_order_acquire)) {
-        lk.unlock();
-        end_park_spell(obs::UnparkCause::kQuiesced);
-        return;
-      }
-      if (sh != nullptr && park_start < 0)
-        park_start = since_phase_start(std::chrono::steady_clock::now());
-      n.parked.store(true, std::memory_order_relaxed);
-      ++n.stats.parks;
-      n.cv.wait_for(lk, std::chrono::microseconds(tuning_.park_timeout_us));
-      n.parked.store(false, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(n.mu);
+      pending = !n.inbox.empty();
     }
-    // Woken (or timed out): rescan from the top. `idle` stays above the
-    // spin window so a fruitless wake re-parks after one scan instead of
-    // re-climbing the ladder; real work resets it via `ran`.
-    idle = tuning_.idle_spins + tuning_.idle_yields;
+    if (pending) {
+      std::uint32_t expected = 0;
+      if (n.active.compare_exchange_strong(expected, 1,
+                                           std::memory_order_seq_cst))
+        continue;  // reclaimed: keep hosting, no re-enqueue needed
+      // A producer won the reclaim race and enqueued the node elsewhere.
+    }
+    break;
   }
+  tls_node = -1;
 }
 
 void NativeBackend::run_task(Node& n, NodeId id, Task task) {
@@ -604,7 +813,9 @@ void NativeBackend::run_task(Node& n, NodeId id, Task task) {
   n.stats.busy_total += wall;
   n.stats.finish_time = since_phase_start(t1);
   ++n.stats.tasks_run;
-  if (obs::TraceShard* const sh = shard(id); sh != nullptr) {
+  if (obs::TraceShard* const sh =
+          tls_worker >= 0 ? worker_shard(std::uint32_t(tls_worker)) : nullptr;
+      sh != nullptr) {
     // Reuses the two clock reads the stats already paid for; with tracing
     // attached a task costs one ring store and one histogram bump extra.
     sh->span(obs::Ev::kWorkerRun, id, since_phase_start(t0),
@@ -631,6 +842,16 @@ MsgStats NativeBackend::msg_stats_total() const {
 
 void NativeBackend::reset_msg_stats() {
   for (auto& n : nodes_) n->msg.reset();
+}
+
+SchedStats NativeBackend::sched_stats() const {
+  SchedStats s;
+  for (const auto& w : workers_) {
+    s.parks += w->parks.load(std::memory_order_relaxed);
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    s.activations += w->activations.load(std::memory_order_relaxed);
+  }
+  return s;
 }
 
 }  // namespace dpa::exec

@@ -1,4 +1,5 @@
-// NativeBackend: one host thread per node, real time, real message passing.
+// NativeBackend: an M:N work-stealing scheduler — a pool of worker threads
+// multiplexing the simulated nodes, real time, real message passing.
 //
 // The same runtime/engine/app stack that runs on the simulator runs here
 // unchanged, but "a message" is a genuine cross-thread handoff and "phase
@@ -6,49 +7,75 @@
 // pipelining show up as measured host performance, not modeled cycles.
 //
 // Execution model:
-//   * Each node is a persistent std::thread with an MPSC mailbox (mutex +
-//     deque) for cross-thread posts and an unlocked local queue for
-//     self-posts (a node's scheduler kicking itself never takes a lock).
-//   * send() appends a delivery task to the sender's per-destination
-//     *train* — an owner-thread-only outbound buffer. A train is handed to
-//     the destination mailbox under ONE lock acquisition when it reaches
+//   * Tuning::workers host threads (default: one per core, capped at the
+//     node count) each own a run queue of *node activations*. A node is
+//     idle, queued, or running — never two of those at once. Producers that
+//     make an idle node runnable win a CAS on its `active` flag and enqueue
+//     it on the worker it last ran on (affinity); a worker whose own queue
+//     is dry steals a **whole node** from the back of a victim's queue.
+//     Stealing whole nodes — never individual tasks — is what keeps every
+//     per-node ordering guarantee intact: a node's mailbox is still drained
+//     FIFO by exactly one thread at a time, so the deterministic
+//     (src, seq)-sorted accumulation commit is schedule-independent.
+//   * Each node keeps an MPSC mailbox (mutex + deque) for cross-node posts
+//     and an unlocked local queue for self-posts (a node's scheduler
+//     kicking itself never takes a lock).
+//   * send() appends a delivery task to the sending node's per-destination
+//     *train* — an owner-only outbound buffer. A train is handed to the
+//     destination mailbox under ONE lock acquisition when it reaches
 //     Tuning::train_max depth, when the engine calls Backend::flush() at a
-//     tile/strip boundary, or — unconditionally — when the sending worker
-//     runs out of local work. That last rule makes trains invisible to
-//     termination: buffered messages always depart before their owner can
-//     so much as look for quiescence. The host fabric thus applies the
-//     paper's aggregation idea to itself: per-message lock overhead is
-//     amortized across a batch, exactly like per-message wire overhead is
-//     amortized by pointer aggregation. In-process delivery stays lossless
-//     and per-(src,dst) FIFO, unordered across sources — like the model.
+//     tile/strip boundary, or — unconditionally — before the node
+//     deactivates. That last rule makes trains invisible to termination:
+//     buffered messages always depart before their host worker can so much
+//     as look for quiescence. The host fabric thus applies the paper's
+//     aggregation idea to itself: per-message lock overhead is amortized
+//     across a batch, exactly like per-message wire overhead is amortized
+//     by pointer aggregation. In-process delivery stays lossless and
+//     per-(src,dst) FIFO, unordered across sources — like the model.
 //   * Phase termination is global quiescence over *sharded* counters: each
-//     node owns a (produced, consumed) pair — tasks its thread created vs.
-//     tasks it finished — each written only by its owner, on its own cache
-//     line. An idle worker decides "everything drained" with a two-phase
-//     Dijkstra-style confirm: read every consumed counter, then every
-//     produced counter; equality proves quiescence (argument in the .cpp).
-//     Nothing in the task hot path touches a shared cache line.
-//   * Idle workers escalate spin (cpu_pause) -> yield -> park on their
-//     mailbox condvar, so oversubscribed runs (nodes >> cores) surrender
-//     the core instead of burning it. Senders wake parked destinations;
-//     the first worker to confirm quiescence wakes everyone.
+//     node owns a (produced, consumed) pair — tasks created on it vs. tasks
+//     finished on it — each written only by the thread currently running
+//     the node, on its own cache line. An idle worker decides "everything
+//     drained" with a two-phase Dijkstra-style confirm: read every consumed
+//     counter, then every produced counter; equality proves quiescence
+//     (argument in the .cpp). The scan walks nodes, not workers — it is
+//     oblivious to which worker hosts what.
+//   * Idle workers escalate spin (cpu_pause) -> yield -> park on their own
+//     condvar, so oversubscribed runs (workers >> cores) surrender the core
+//     instead of burning it. Producers wake the parked owner of the queue
+//     they append to; the first worker to confirm quiescence wakes everyone.
 //   * Workers then meet at a sense-reversing barrier; the main thread is
 //     woken through a condvar and is afterwards the only thread touching
 //     runtime state until the next phase (that handoff is the
 //     synchronization point for all per-node stats).
+//
+// Determinism argument (why stealing cannot change physics): the runtime's
+// only ordering promises are per-node task FIFO and the post-quiescence
+// (src, seq)-sorted accumulation commit. The `active` flag pins a node to
+// at most one worker at any instant, and the handoff chain (release store
+// on deactivation -> winner's CAS -> queue append under the worker mutex ->
+// pop under the worker mutex) carries a happens-before edge from everything
+// the previous host did to everything the next host does. So whichever
+// worker runs a node sees its mailbox, local queue, trains, counters and
+// stats exactly as the previous host left them — a steal is a context
+// switch, not a reordering.
 //
 // Time: task charges still accumulate *modeled* nanoseconds, so the
 // compute/runtime/comm attribution in NodeStats.busy[] keeps its meaning,
 // while busy_total and finish_time are *real* nanoseconds measured around
 // each task — idle = elapsed - busy_total is genuine wait time.
 //
-// Observability: attach_shards() wires one single-writer ring + histogram
-// set per worker (obs::ShardedTraceSink); every instrumentation point is
-// gated on the shard pointer, and DPA_TRACE=OFF folds the pointer to null
-// at compile time so the task loop carries zero instrumentation cost in
-// measurement builds. arm_watchdog() starts a monitor thread that sweeps
-// the quiescence counters and dumps a flight-recorder JSON instead of
-// letting a wedged phase hang CI.
+// Observability: attach_shards() wires single-writer rings + histogram
+// sets (obs::ShardedTraceSink) laid out as [0, nodes) for engine-recorded
+// events (engines bind shard(node)) followed by [nodes, nodes + workers)
+// for backend-recorded events — a stolen node's backend events land in the
+// stealing worker's shard, while its engine events stay in the node's own
+// shard (single-writer holds because a node runs on one worker at a time).
+// Every instrumentation point is gated on the shard pointer, and
+// DPA_TRACE=OFF folds the pointer to null at compile time so the task loop
+// carries zero instrumentation cost in measurement builds. arm_watchdog()
+// starts a monitor thread that sweeps the per-node quiescence counters and
+// dumps a flight-recorder JSON instead of letting a wedged phase hang CI.
 //
 // Not supported (sim-only by design): reliability retransmit timers
 // (supports_timers() is false; schedule_at panics as a backstop — the
@@ -92,20 +119,32 @@ class SenseBarrier {
 
 class NativeBackend final : public Backend {
  public:
-  // Communication/idle policy knobs. Defaults suit both the provisioned
-  // case (nodes <= cores) and oversubscription; tests shrink the idle
-  // ladder to force the parking path deterministically.
+  // Scheduling/communication/idle policy knobs. Defaults suit both the
+  // provisioned case (cores >= nodes) and oversubscription; tests shrink
+  // the idle ladder to force the parking path deterministically, and the
+  // schedule fuzzer perturbs every knob here to prove physics are
+  // schedule-independent.
   struct Tuning {
+    // Worker pool size; 0 = min(host cores, nodes). Clamped to
+    // [1, num_nodes] — more workers than nodes would only ever idle.
+    std::uint32_t workers = 0;
     // Flush a destination's train at this depth even if its owner is still
     // busy (bounds delivery latency when the engine never calls flush()).
     std::uint32_t train_max = 16;
     // Idle escalation: cpu_pause() this many times, then sched-yield this
-    // many times, then park on the mailbox condvar.
+    // many times, then park on the worker condvar.
     std::uint32_t idle_spins = 64;
     std::uint32_t idle_yields = 16;
     // Parked workers re-scan for quiescence at this interval as a backstop
-    // (normally a sender or the quiescence detector wakes them first).
+    // (normally a producer or the quiescence detector wakes them first).
     std::uint32_t park_timeout_us = 200;
+    // Whole-node stealing on/off. Off pins every node to its affinity
+    // worker — useful for isolating the affinity path in tests; the
+    // park-timeout backstop keeps termination live either way.
+    bool steal = true;
+    // Seeds the per-worker xorshift that randomizes steal-victim order
+    // (the schedule fuzzer's main lever).
+    std::uint64_t steal_seed = 0x9e3779b97f4a7c15ull;
   };
 
   explicit NativeBackend(std::uint32_t num_nodes);
@@ -115,6 +154,9 @@ class NativeBackend final : public Backend {
   BackendKind kind() const override { return BackendKind::kNative; }
   std::uint32_t num_nodes() const override {
     return std::uint32_t(nodes_.size());
+  }
+  std::uint32_t num_workers() const {
+    return std::uint32_t(workers_.size());
   }
 
   HandlerId register_handler(std::string name, Handler fn) override;
@@ -144,6 +186,7 @@ class NativeBackend final : public Backend {
   }
   MsgStats msg_stats_total() const override;
   void reset_msg_stats() override;
+  SchedStats sched_stats() const override;
 
   bool lossy() const override { return false; }
 
@@ -163,42 +206,86 @@ class NativeBackend final : public Backend {
   // app signature.
   static void set_default_watchdog(const WatchdogConfig& cfg);
 
-  // Test-only: wedges node `id`'s worker at the top of its phase loop (it
-  // stops draining work, holding no locks) until release_test_stalls().
+  // Process-wide default tuning, applied to every subsequently constructed
+  // single-argument NativeBackend — the same plumbing rationale as the
+  // default watchdog (--workers is a harness flag; Clusters are built deep
+  // inside app runners).
+  static void set_default_tuning(const Tuning& tuning);
+  static Tuning default_tuning();
+
+  // Test-only views of scheduler placement: the worker a node will be
+  // enqueued on next, and the worker that last ran it (-1 before its first
+  // run). Meaningful between phases, when only the caller is running.
+  std::uint32_t affinity_of(NodeId id) const {
+    return nodes_[id]->affinity.load(std::memory_order_relaxed);
+  }
+  std::int32_t last_worker(NodeId id) const {
+    return nodes_[id]->last_worker.load(std::memory_order_relaxed);
+  }
+
+  // Test-only: wedges node `id` at the top of its drain loop (its host
+  // worker blocks holding no locks) until release_test_stalls().
   // Simulates a deadlocked node for the watchdog tests.
   void test_stall_node(NodeId id);
   void release_test_stalls();
 
  private:
   // Padded to a cache line boundary: stats and queues are written at task
-  // rate by the owning worker; neighbors must not false-share.
+  // rate by the hosting worker; neighbors must not false-share.
   struct alignas(64) Node {
-    // Cross-thread inbox (trains from other workers, pre-phase seeding from
-    // the main thread). MPSC: producers under the mutex, drained in batches
-    // by the owning worker. `parked` is guarded by mu: a producer that
-    // observes it set notifies cv after enqueueing.
+    // Cross-thread inbox (trains from other nodes' hosts, pre-phase seeding
+    // from the main thread). MPSC: producers under the mutex, drained in
+    // batches by the hosting worker.
     std::mutex mu;
     std::deque<Task> inbox;
-    // Written under mu (the producer-notify protocol is unchanged); atomic
-    // so the watchdog can report park states without a happens-before edge
-    // to the owning worker.
-    std::atomic<bool> parked{false};
-    std::condition_variable cv;
-    // Self-posts from the owning worker; never locked.
+    // Self-posts from the hosting worker; never locked (only the host
+    // touches it, and the activation handoff orders host switches).
     std::deque<Task> local;
     // Outbound trains: train[d] holds delivery tasks bound for node d,
-    // written only by this node's worker (main-thread posts bypass trains).
+    // written only by this node's host (main-thread posts bypass trains).
     // train_pending is the total across destinations.
     std::vector<std::vector<Task>> train;
     std::uint32_t train_pending = 0;
     NodeStats stats;
-    MsgStats msg;  // sent-side fields written by owner, recv-side by owner
-    // Quiescence shards. produced = tasks created by this node's thread
-    // (plus pre-phase seeds the main thread charged to it); consumed =
-    // tasks finished here. Single writer each, own cache line; seq_cst so
-    // the detector's two-pass scan linearizes (see quiescent()).
+    MsgStats msg;  // sent-side fields written by host, recv-side by host
+    // Activation state: 0 = idle (no queued tasks anywhere... or a producer
+    // is about to win the CAS), 1 = queued on some worker or running.
+    // Producers CAS 0 -> 1 and enqueue on the affinity worker; the host
+    // releases with the deactivation protocol in run_node(). seq_cst: the
+    // idle store must be totally ordered against the post-deactivation
+    // inbox recheck (see the stranded-task argument in the .cpp).
+    std::atomic<std::uint32_t> active{0};
+    // Worker this node is enqueued on when activated — updated by each
+    // host, so a stolen node re-activates on its thief (locality follows
+    // the cache lines).
+    std::atomic<std::uint32_t> affinity{0};
+    std::atomic<std::int32_t> last_worker{-1};
+    // Quiescence shards. produced = tasks created on this node (plus
+    // pre-phase seeds the main thread charged to it); consumed = tasks
+    // finished here. Written only by the current host (single writer at a
+    // time), own cache line; seq_cst so the detector's two-pass scan
+    // linearizes (see quiescent()).
     alignas(64) std::atomic<std::uint64_t> produced{0};
     alignas(64) std::atomic<std::uint64_t> consumed{0};
+  };
+
+  // One scheduler lane. Padded: runq and counters are touched at activation
+  // rate by the owner and occasionally by thieves/producers.
+  struct alignas(64) Worker {
+    // Guards runq and the parked flag (producer-notify protocol: a
+    // producer that observes parked set notifies cv after enqueueing).
+    std::mutex mu;
+    std::deque<NodeId> runq;  // owner pops front; thieves pop back
+    std::condition_variable cv;
+    // Written under mu; atomic so the watchdog can report park states
+    // without a happens-before edge to the owner.
+    std::atomic<bool> parked{false};
+    std::uint64_t rng = 1;  // owner-only xorshift state (victim order)
+    // Relaxed counters: read mid-phase by the watchdog, summed post-phase
+    // by sched_stats().
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> activations{0};
   };
 
   struct HandlerEntry {
@@ -206,24 +293,39 @@ class NativeBackend final : public Backend {
     Handler fn;
   };
 
-  void worker_main(NodeId id);
-  void run_node_phase(Node& n, NodeId id);
+  void worker_main(std::uint32_t w);
+  void run_worker_phase(std::uint32_t w);
+  // Drains node `id` to empty and deactivates it (the whole-node unit of
+  // scheduling; never preempted mid-mailbox).
+  void run_node(std::uint32_t w, NodeId id);
   void run_task(Node& n, NodeId id, Task task);
-  // Worker `id`'s trace shard, or null (no sink attached / tracing
-  // compiled out — the null fold is what dead-codes the record paths).
-  obs::TraceShard* shard(NodeId id) const;
+  // Makes `id` runnable if it is idle: CAS active 0 -> 1, enqueue on its
+  // affinity worker, wake the worker if parked. Idempotent under races —
+  // exactly one producer wins the CAS.
+  void activate(NodeId id);
+  void enqueue_node(std::uint32_t w, NodeId id);
+  // Pops the front of w's own queue; -1 when empty.
+  std::int32_t pop_own(std::uint32_t w);
+  // One randomized sweep over the other workers' queues, stealing a whole
+  // node from the back of the first non-empty one; -1 when all dry.
+  std::int32_t try_steal(std::uint32_t w);
+  // Worker w's trace shard (index num_nodes + w), or null (no sink
+  // attached / tracing compiled out — the null fold is what dead-codes the
+  // record paths).
+  obs::TraceShard* worker_shard(std::uint32_t w) const;
   // Sum of produced - consumed across shards (instrumentation only; the
   // correctness-bearing scan is quiescent()).
   std::uint64_t outstanding() const;
   void watchdog_main();
   void watchdog_fire(const char* reason, Time elapsed, std::uint64_t epoch,
-                     std::uint32_t stuck);
-  // Hands self's train for `dst` to the destination mailbox (one lock).
-  void flush_dest_train(Node& self, NodeId dst);
+                     std::uint32_t stuck, const std::vector<bool>& node_stuck);
+  // Hands `node`'s train for `dst` to the destination mailbox (one lock)
+  // and activates the destination.
+  void flush_dest_train(Node& self, NodeId node, NodeId dst);
   // Flushes every non-empty train; returns true if anything departed.
-  bool flush_trains(Node& self);
+  bool flush_trains(Node& self, NodeId node);
   bool quiescent() const;
-  void wake_parked();
+  void wake_all_workers();
   Time since_phase_start(std::chrono::steady_clock::time_point t) const {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(t - phase_t0_)
         .count();
@@ -231,6 +333,7 @@ class NativeBackend final : public Backend {
 
   Tuning tuning_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<HandlerEntry>> handlers_;
 
   // Set by the first worker whose two-pass scan confirms quiescence; lets
@@ -253,9 +356,10 @@ class NativeBackend final : public Backend {
   // monotonically increasing "now", used only for phase bracketing.
   Time clock_ns_ = 0;
 
-  // Per-worker trace rings (null = tracing off). Written under phase_mu_
-  // between phases; workers observe it through the epoch publish, the
-  // watchdog reads it under phase_mu_.
+  // Trace rings (null = tracing off): node shards [0, nodes) are written
+  // by engines, worker shards [nodes, nodes + workers) by the backend.
+  // Written under phase_mu_ between phases; workers observe it through the
+  // epoch publish, the watchdog reads it under phase_mu_.
   obs::ShardedTraceSink* shards_ = nullptr;
 
   // Stall watchdog: a monitor thread sweeping the quiescence counters.
@@ -277,7 +381,26 @@ class NativeBackend final : public Backend {
   std::condition_variable stall_cv_;
   bool stall_released_ = false;
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> threads_;
+};
+
+// Scoped process-wide default tuning: installs `tuning` for its lifetime
+// and restores the previous default on destruction. The schedule fuzzer
+// and the --workers determinism grid wrap each configuration in one of
+// these so app runners (which construct their own Clusters) pick it up.
+class ScopedDefaultTuning {
+ public:
+  explicit ScopedDefaultTuning(const NativeBackend::Tuning& tuning)
+      : saved_(NativeBackend::default_tuning()) {
+    NativeBackend::set_default_tuning(tuning);
+  }
+  ~ScopedDefaultTuning() { NativeBackend::set_default_tuning(saved_); }
+
+  ScopedDefaultTuning(const ScopedDefaultTuning&) = delete;
+  ScopedDefaultTuning& operator=(const ScopedDefaultTuning&) = delete;
+
+ private:
+  NativeBackend::Tuning saved_;
 };
 
 }  // namespace dpa::exec

@@ -34,7 +34,7 @@ constexpr double to_micros(Time t) { return double(t) / double(kMicrosecond); }
 // Which execution substrate a Cluster runs on.
 enum class BackendKind : std::uint8_t {
   kSim,     // deterministic discrete-event simulator (modeled time)
-  kNative,  // one host thread per node, real monotonic time
+  kNative,  // M:N worker pool over the nodes, real monotonic time
 };
 
 // Where a charged nanosecond goes in the breakdown figures.
@@ -105,11 +105,22 @@ struct NodeStats {
   Time busy_total = 0;
   Time finish_time = 0;  // time the node last stopped being busy
   std::uint64_t tasks_run = 0;
-  // Native backend only: times the worker gave up its core (condvar park)
-  // after the spin -> yield idle escalation ran dry. Zero on the simulator.
-  std::uint64_t parks = 0;
 
   void reset() { *this = NodeStats{}; }
+};
+
+// Scheduler-level counters for the last phase (native worker pool only;
+// all-zero on the simulator, which has no workers). These are worker
+// properties, not node properties: with M:N scheduling a node has no park
+// state of its own — it is queued, running on some worker, or idle.
+struct SchedStats {
+  // Condvar parks taken by idle workers after the spin -> yield escalation
+  // ran dry.
+  std::uint64_t parks = 0;
+  // Whole-node activations stolen from another worker's run queue.
+  std::uint64_t steals = 0;
+  // idle -> queued node transitions (each enqueues one node activation).
+  std::uint64_t activations = 0;
 };
 
 // Per-node messaging statistics (the FM layer's units, shared by both

@@ -14,7 +14,7 @@ std::string flight_recorder_json(const FlightRecord& rec,
   JsonWriter w;
   {
     auto root = w.obj();
-    w.field("schema", "dpa.flightrec.v1");
+    w.field("schema", "dpa.flightrec.v2");
     w.field("reason", rec.reason);
     w.field("elapsed_ns", std::int64_t(rec.elapsed));
     w.field("phase_epoch", rec.phase_epoch);
@@ -28,7 +28,20 @@ std::string flight_recorder_json(const FlightRecord& rec,
         w.field("produced", n.produced);
         w.field("consumed", n.consumed);
         w.field("inbox_depth", n.inbox_depth);
-        w.field("parked", n.parked);
+        w.field("active", n.active);
+        w.field("stuck", n.stuck);
+      }
+    }
+    {
+      auto workers = w.arr("workers");
+      for (std::size_t i = 0; i < rec.workers.size(); ++i) {
+        const FlightRecord::WorkerState& ws = rec.workers[i];
+        auto e = w.obj();
+        w.field("worker", std::uint64_t(i));
+        w.field("runq_depth", ws.runq_depth);
+        w.field("parked", ws.parked);
+        w.field("parks", ws.parks);
+        w.field("steals", ws.steals);
       }
     }
     if (shards != nullptr) {

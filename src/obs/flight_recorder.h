@@ -1,11 +1,15 @@
 // Flight-recorder dumps: what the native backend's stall watchdog writes
 // when a phase blows its deadline or the quiescence counters stop moving.
 //
-// The dump is a single JSON document (schema "dpa.flightrec.v1") holding
+// The dump is a single JSON document (schema "dpa.flightrec.v2") holding
 // everything needed to diagnose a wedged phase after the fact:
 //   * why the watchdog fired and how long the phase had been running,
-//   * per-node produced/consumed quiescence counters, park state, and
-//     mailbox depth — the "who is waiting on whom" picture,
+//   * per-node produced/consumed quiescence counters, activation state,
+//     and mailbox depth — the "who is waiting on whom" picture — with the
+//     watchdog's own per-node stuck verdict,
+//   * per-worker scheduler state (run-queue depth, park state, park/steal
+//     counters): with M:N scheduling "which node is wedged" and "which
+//     worker is idle" are separate questions, answered by separate arrays,
 //   * the merged per-worker trace rings (the trailing event window), and
 //   * a metrics-registry snapshot when a session registry is wired up.
 //
@@ -33,9 +37,21 @@ struct FlightRecord {
     std::uint64_t produced = 0;
     std::uint64_t consumed = 0;
     std::uint64_t inbox_depth = 0;
-    bool parked = false;
+    // Queued on some worker's run queue or currently running.
+    bool active = false;
+    // Counters unmoved across the watchdog's last sweep while unbalanced
+    // (produced != consumed): this node is the one holding the phase up.
+    bool stuck = false;
   };
   std::vector<NodeState> nodes;
+
+  struct WorkerState {
+    std::uint64_t runq_depth = 0;
+    bool parked = false;
+    std::uint64_t parks = 0;
+    std::uint64_t steals = 0;
+  };
+  std::vector<WorkerState> workers;
 };
 
 // The full document. `shards` and `metrics` may be null (tracing compiled

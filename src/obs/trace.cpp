@@ -24,6 +24,7 @@ const char* to_string(Ev kind) {
     case Ev::kQuiesceScan: return "quiesce_scan";
     case Ev::kIdleYield: return "idle_yield";
     case Ev::kPark: return "park";
+    case Ev::kSteal: return "steal";
   }
   return "unknown";
 }

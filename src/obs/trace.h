@@ -54,15 +54,21 @@ enum class Ev : std::uint8_t {
   // Native-backend worker vocabulary (wall-clock, recorded into per-worker
   // shards; see shard_sink.h). Timestamps are phase-relative at the record
   // site; the shard adds the backend clock base so phases stay monotone.
-  kWorkerRun,    // span: one task ran on this worker thread
+  // Node-scoped events (kWorkerRun/kWorkerDrain/kMailboxWait/kTrainFlush/
+  // kSteal) carry the node id in `node`; worker-scoped events (kQuiesceScan/
+  // kIdleYield/kPark) carry the worker index instead — with the M:N pool a
+  // worker is not a node, and its idle behavior belongs to no node.
+  kWorkerRun,    // span: one task ran (node = the node it ran for)
   kWorkerDrain,  // instant: inbox batch swapped in (arg = batch depth)
   kMailboxWait,  // span: acquiring a destination mailbox lock (peer = dst)
   kTrainFlush,   // instant: train handed off (peer = dst, arg = train depth)
   kQuiesceScan,  // instant: two-pass quiescence scan (arg = outstanding tasks)
   kIdleYield,    // instant: idle escalation left the spin window
-  kPark,         // span: parked on the mailbox condvar (arg = UnparkCause)
+  kPark,         // span: parked on the worker condvar (arg = UnparkCause)
+  kSteal,        // instant: whole node stolen (node = stolen node,
+                 //   arg = victim worker; recorded by the thief)
 };
-constexpr int kNumEventKinds = 20;
+constexpr int kNumEventKinds = 21;
 
 // Why a parked native worker left its parked spell (TraceEvent::arg of
 // kPark). Consecutive timed-out re-parks coalesce into one span, so a

@@ -174,12 +174,14 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
       // Native progress unit: tasks executed across all workers.
       *m.counter("exec.tasks") += result.sim_events;
       *m.counter("exec.elapsed_ns") += std::uint64_t(result.elapsed);
-      // Fabric batching + idle behavior: mailbox handoffs (message trains)
-      // and condvar parks taken by idle workers.
+      // Fabric batching + scheduler behavior: mailbox handoffs (message
+      // trains), condvar parks taken by idle workers, and whole-node
+      // steals/activations from the M:N worker pool.
       *m.counter("exec.trains") += result.fm_total.trains_sent;
-      std::uint64_t parks = 0;
-      for (NodeId i = 0; i < n; ++i) parks += backend.node_stats(i).parks;
-      *m.counter("exec.parks") += parks;
+      const exec::SchedStats sched = backend.sched_stats();
+      *m.counter("exec.parks") += sched.parks;
+      *m.counter("exec.steals") += sched.steals;
+      *m.counter("exec.activations") += sched.activations;
       // Drain the per-worker wall-clock profiles (task service time,
       // mailbox-lock wait, train occupancy, park duration, queue depth)
       // into the registry. Safe here: run_phase() returned, workers are

@@ -85,9 +85,39 @@ TEST(BackendOptions, InstallWatchdogWarnsWhenBackendIsSim) {
   bench::BackendOptions b;
   b.watchdog_ms = 500;
   ::testing::internal::CaptureStderr();
-  b.install_watchdog();  // sim: warns, does not install
+  b.install();  // sim: warns, does not install
   const std::string err = ::testing::internal::GetCapturedStderr();
   EXPECT_NE(err.find("--watchdog-ms=500 ignored"), std::string::npos) << err;
+}
+
+TEST(BackendOptions, InstallPublishesWorkerPoolSizeForNativeOnly) {
+  // Snapshot-and-restore the process-wide default so this test cannot leak
+  // a pool size into later tests in the binary.
+  exec::ScopedDefaultTuning guard(exec::NativeBackend::default_tuning());
+
+  bench::BackendOptions b;
+  b.name = "native";
+  b.workers = 3;
+  b.install();
+  EXPECT_EQ(exec::NativeBackend::default_tuning().workers, 3u);
+
+  // Sim backend: the knob is meaningless, warn and leave the default alone.
+  b.name = "sim";
+  b.workers = 5;
+  ::testing::internal::CaptureStderr();
+  b.install();
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("--workers=5 ignored"), std::string::npos) << err;
+  EXPECT_EQ(exec::NativeBackend::default_tuning().workers, 3u);
+
+  // Negative pool sizes warn and are ignored.
+  b.name = "native";
+  b.workers = -2;
+  ::testing::internal::CaptureStderr();
+  b.install();
+  const std::string err2 = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err2.find("--workers=-2 ignored"), std::string::npos) << err2;
+  EXPECT_EQ(exec::NativeBackend::default_tuning().workers, 3u);
 }
 
 TEST(ObsOptions, SessionAttachesOnlyWhenSomeOutputWantsIt) {

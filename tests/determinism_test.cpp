@@ -23,6 +23,7 @@
 #include "apps/olden/power.h"
 #include "apps/olden/treeadd.h"
 #include "exec/backend.h"
+#include "exec/native_backend.h"
 #include "obs/session.h"
 #include "runtime/config.h"
 #include "sim/fault.h"
@@ -308,6 +309,44 @@ TEST(SimVsNative, OversubscribedEm3dIsByteIdenticalAt64Nodes) {
     append_doubles(b, native.e_values.data(), native.e_values.size());
     append_doubles(b, native.h_values.data(), native.h_values.size());
     EXPECT_EQ(a, b) << "engine " << engine;
+  }
+}
+
+TEST(SimVsNative, WorkerPoolSizeNeverPerturbsPhysics) {
+  // The M:N scheduler's determinism claim quantified over the pool size:
+  // the same 64-node em3d program must compute the same bits whether one
+  // worker multiplexes all 64 nodes, a handful of workers steal from each
+  // other, or the pool matches the host core count (--workers=0). The sim
+  // oracle is computed once per engine; every pool size is compared
+  // byte-for-byte against it.
+  apps::em3d::Em3dConfig cfg;
+  cfg.e_per_node = 8;
+  cfg.h_per_node = 8;
+  cfg.remote_prob = 0.5;
+  cfg.iters = 2;
+  const apps::em3d::Em3dApp em(cfg, 64);
+  const std::uint32_t worker_axis[] = {1, 2, 4, 0};  // 0 = one per core
+  for (std::size_t engine = 0; engine < kEngines; ++engine) {
+    const auto rcfg = equivalence_config(engine);
+    const auto sim =
+        em.run(net(false), rcfg, nullptr, exec::BackendKind::kSim);
+    ASSERT_TRUE(sim.all_completed()) << "engine " << engine;
+    std::string oracle;
+    append_doubles(oracle, sim.e_values.data(), sim.e_values.size());
+    append_doubles(oracle, sim.h_values.data(), sim.h_values.size());
+    for (const std::uint32_t workers : worker_axis) {
+      exec::NativeBackend::Tuning tuning;
+      tuning.workers = workers;
+      exec::ScopedDefaultTuning guard(tuning);
+      const auto native =
+          em.run(net(false), rcfg, nullptr, exec::BackendKind::kNative);
+      ASSERT_TRUE(native.all_completed())
+          << "engine " << engine << " workers " << workers;
+      std::string got;
+      append_doubles(got, native.e_values.data(), native.e_values.size());
+      append_doubles(got, native.h_values.data(), native.h_values.size());
+      EXPECT_EQ(oracle, got) << "engine " << engine << " workers " << workers;
+    }
   }
 }
 

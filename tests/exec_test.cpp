@@ -239,13 +239,14 @@ TEST(NativeBackend, FlushHookDrainsTrainsOnDemand) {
 }
 
 TEST(NativeBackend, OversubscribedNodesParkAndStillQuiesce) {
-  // 64 workers on however few cores the runner has (CI constrains this to
-  // a couple): the idle ladder must escalate to condvar parks instead of
+  // 64 nodes multiplexed onto a 4-worker pool on however few cores the
+  // runner has: the idle ladder must escalate to condvar parks instead of
   // burning the cores, and the sharded two-pass quiescence check must still
   // terminate a recursive cross-node fanout exactly.
   constexpr std::uint32_t kNodes = 64;
   constexpr int kDepth = 10;
   exec::NativeBackend::Tuning tuning;
+  tuning.workers = 4;     // some workers idle while the fanout ramps up
   tuning.idle_spins = 4;  // reach the park stage almost immediately
   tuning.idle_yields = 2;
   tuning.park_timeout_us = 50;
@@ -269,19 +270,241 @@ TEST(NativeBackend, OversubscribedNodesParkAndStillQuiesce) {
   };
   Spawner spawner{backend.get(), &ran};
 
-  std::uint64_t parks = 0;
   for (int phase = 0; phase < 3; ++phase) {
     ran.store(0);
     backend->begin_phase();
     backend->post(0, [spawner](exec::Cpu&) { spawner(kDepth, 0); });
     backend->run_phase();
     EXPECT_EQ(ran.load(), (1u << (kDepth + 1)) - 1) << "phase " << phase;
-    for (std::uint32_t n = 0; n < kNodes; ++n)
-      parks += backend->node_stats(n).parks;
   }
-  // The fanout starts on one node while 63 others sit idle with a 6-step
-  // ladder: some of them must have parked.
-  EXPECT_GT(parks, 0u);
+  // Parking needs genuinely idle workers, which the fanout phases rarely
+  // leave (with work stealing, a worker idles only when the whole pool's
+  // queues are dry — that scarcity is the point of the M:N scheduler). One
+  // more phase with a single slow task: the other three workers have
+  // nothing to steal for its whole duration and must walk the 6-step
+  // ladder into a park instead of burning their cores.
+  backend->begin_phase();
+  backend->post(0, [](exec::Cpu&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  backend->run_phase();
+  EXPECT_GT(backend->sched_stats().parks, 0u);
+}
+
+TEST(NativeBackend, WorkerPoolSizeResolvesFromTuningAndDefaults) {
+  {
+    // Explicit pool size wins; more workers than nodes clamps to nodes (a
+    // node is the scheduling unit — extra workers could only idle).
+    exec::NativeBackend::Tuning tuning;
+    tuning.workers = 3;
+    exec::NativeBackend backend(8, tuning);
+    EXPECT_EQ(backend.num_workers(), 3u);
+    tuning.workers = 100;
+    exec::NativeBackend clamped(4, tuning);
+    EXPECT_EQ(clamped.num_workers(), 4u);
+  }
+  {
+    // workers = 0 resolves to min(host cores, nodes), never zero.
+    exec::NativeBackend backend(2);
+    EXPECT_GE(backend.num_workers(), 1u);
+    EXPECT_LE(backend.num_workers(), 2u);
+  }
+  {
+    // The process-wide default (the --workers flag's plumbing) applies to
+    // single-argument construction and restores on scope exit.
+    exec::NativeBackend::Tuning tuning;
+    tuning.workers = 2;
+    exec::ScopedDefaultTuning scoped(tuning);
+    exec::NativeBackend backend(8);
+    EXPECT_EQ(backend.num_workers(), 2u);
+  }
+  EXPECT_EQ(exec::NativeBackend::default_tuning().workers, 0u);
+}
+
+TEST(NativeBackend, StealMovesWholeNodesAndPreservesMailboxFifo) {
+  // Forces a steal deterministically: node 0 and node 2 both have affinity
+  // worker 0 (round-robin over 2 workers), and node 0's task pins worker 0
+  // until node 2's 100-message stream has fully run. Worker 1's own queue
+  // is empty, so the only way the stream can run — and the phase can end —
+  // is worker 1 stealing node 2 whole. The messages were seeded in order
+  // by the main thread, and whole-node stealing must preserve that FIFO
+  // exactly (the node runs on one worker at a time, draining its mailbox
+  // in order).
+  constexpr std::uint32_t kMsgs = 100;
+  exec::NativeBackend::Tuning tuning;
+  tuning.workers = 2;
+  tuning.idle_spins = 4;
+  tuning.idle_yields = 2;
+  tuning.park_timeout_us = 50;
+  exec::NativeBackend backend(3, tuning);
+
+  std::vector<std::uint32_t> order;  // node 2 only; read post-phase
+  std::atomic<std::uint32_t> done{0};
+  backend.begin_phase();
+  backend.post(0, [&done](exec::Cpu&) {
+    while (done.load(std::memory_order_acquire) < kMsgs)
+      std::this_thread::yield();
+  });
+  for (std::uint32_t i = 0; i < kMsgs; ++i) {
+    backend.post(2, [&order, &done, i](exec::Cpu&) {
+      order.push_back(i);
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  backend.run_phase();
+
+  ASSERT_EQ(order.size(), std::size_t(kMsgs));
+  for (std::uint32_t i = 0; i < kMsgs; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_GE(backend.sched_stats().steals, 1u);
+  // The thief ran the node, so the node's placement followed it.
+  EXPECT_EQ(backend.last_worker(2), 1);
+  EXPECT_EQ(backend.affinity_of(2), 1u);
+}
+
+TEST(NativeBackend, AffinityReactivationLandsOnOwningWorker) {
+  // With stealing off, a node only ever runs on its affinity worker — and
+  // re-activation mid-phase (ping-pong traffic) must keep landing there.
+  constexpr int kRounds = 16;
+  exec::NativeBackend::Tuning tuning;
+  tuning.workers = 2;
+  tuning.steal = false;
+  tuning.idle_spins = 4;
+  tuning.idle_yields = 2;
+  tuning.park_timeout_us = 50;
+  exec::NativeBackend backend(4, tuning);
+
+  std::atomic<int> bounces{0};
+  auto* b = &backend;
+  const exec::HandlerId h = backend.register_handler(
+      "test.pingpong", [b, &bounces](exec::Cpu& cpu, const exec::Packet& pkt) {
+        if (bounces.fetch_add(1, std::memory_order_relaxed) >= kRounds)
+          return;
+        b->send(cpu, pkt.dst, pkt.src, pkt.handler, nullptr, 8);
+      });
+
+  for (int phase = 0; phase < 2; ++phase) {
+    backend.begin_phase();
+    backend.post(1, [b, h](exec::Cpu& cpu) { b->send(cpu, 1, 3, h, nullptr, 8); });
+    backend.run_phase();
+    // Nodes 1 and 3 re-activated kRounds times between them; both have
+    // affinity worker 1 (id % 2) and stealing is off, so every activation
+    // must have landed there.
+    EXPECT_EQ(backend.last_worker(1), 1) << "phase " << phase;
+    EXPECT_EQ(backend.last_worker(3), 1) << "phase " << phase;
+    EXPECT_EQ(backend.affinity_of(1), 1u);
+    EXPECT_EQ(backend.affinity_of(3), 1u);
+    EXPECT_EQ(backend.sched_stats().steals, 0u);
+    bounces.store(0);
+  }
+  // Nodes 0 and 2 never ran at all.
+  EXPECT_EQ(backend.last_worker(0), -1);
+  EXPECT_EQ(backend.last_worker(2), -1);
+}
+
+TEST(NativeBackend, QuiescenceStaysExactWhileStealsAreInFlight) {
+  // The steal-stress variant of the quiescence test (this binary runs
+  // under the TSan CI job): a recursive fanout across 16 nodes on a
+  // 4-worker pool with an aggressive idle ladder, where the seed node's
+  // lane is deliberately blocked so the fanout can only progress through
+  // steals. The two-pass double-collect must still terminate every phase
+  // exactly — no lost tasks, no early exit — while nodes migrate between
+  // workers mid-phase.
+  constexpr std::uint32_t kNodes = 16;
+  constexpr int kDepth = 9;
+  constexpr std::uint64_t kExpected = (1u << (kDepth + 1)) - 1;
+  exec::NativeBackend::Tuning tuning;
+  tuning.workers = 4;
+  tuning.idle_spins = 2;
+  tuning.idle_yields = 2;
+  tuning.park_timeout_us = 50;
+  tuning.train_max = 4;
+  exec::NativeBackend backend(kNodes, tuning);
+  std::atomic<std::uint64_t> ran{0};
+
+  struct Spawner {
+    exec::Backend* b;
+    std::atomic<std::uint64_t>* ran;
+    void operator()(int depth, std::uint32_t node) const {
+      ran->fetch_add(1, std::memory_order_relaxed);
+      if (depth == 0) return;
+      const Spawner self = *this;
+      for (int c = 0; c < 2; ++c) {
+        // Fan out over nodes 1..15 only: node 0 hosts the blocker.
+        const std::uint32_t next =
+            1 + (node * 2 + std::uint32_t(c)) % (kNodes - 1);
+        b->post(next,
+                [self, depth, next](exec::Cpu&) { self(depth - 1, next); });
+      }
+    }
+  };
+  Spawner spawner{&backend, &ran};
+
+  std::uint64_t steals = 0;
+  for (int phase = 0; phase < 3; ++phase) {
+    ran.store(0);
+    backend.begin_phase();
+    // Node 0 and node 4 share affinity worker 0. The blocker pins worker 0
+    // until the whole fanout has run, so the seed on node 4 MUST be stolen
+    // by another worker for the phase to terminate at all.
+    backend.post(0, [&ran](exec::Cpu&) {
+      while (ran.load(std::memory_order_acquire) < kExpected)
+        std::this_thread::yield();
+    });
+    backend.post(4, [spawner](exec::Cpu&) { spawner(kDepth, 4); });
+    backend.run_phase();
+    EXPECT_EQ(ran.load(), kExpected) << "phase " << phase;
+    steals += backend.sched_stats().steals;
+  }
+  EXPECT_GE(steals, 3u);  // at least the forced steal, every phase
+}
+
+TEST(NativeBackend, WatchdogStaysQuietWhileStolenNodeMakesProgress) {
+  // Regression for the M:N port of the stall watchdog: progress is counted
+  // per NODE (placement-oblivious counters), not per thread. Here node 2's
+  // work is stolen by worker 1 and trickles along slowly — many watchdog
+  // sweeps — while node 2's original lane (worker 0) sits blocked the
+  // whole time. A thread-keyed sweep would see a parked/wedged-looking
+  // original host and fire; the node-keyed sweep must stay quiet.
+  constexpr std::uint32_t kTasks = 30;
+  exec::NativeBackend::Tuning tuning;
+  tuning.workers = 2;
+  tuning.idle_spins = 4;
+  tuning.idle_yields = 2;
+  tuning.park_timeout_us = 50;
+  exec::NativeBackend backend(3, tuning);
+  exec::WatchdogConfig cfg;
+  cfg.stuck_scans = 2;
+  cfg.scan_interval = 1'000'000;  // 1 ms: many sweeps across the phase
+  cfg.fatal = false;
+  ASSERT_TRUE(backend.arm_watchdog(cfg));
+
+  std::atomic<std::uint32_t> done{0};
+  auto* b = &backend;
+  struct Trickle {
+    exec::Backend* b;
+    std::atomic<std::uint32_t>* done;
+    void operator()(std::uint32_t i) const {
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+      done->fetch_add(1, std::memory_order_release);
+      if (i + 1 >= kTasks) return;
+      const Trickle self = *this;
+      b->post(2, [self, i](exec::Cpu&) { self(i + 1); });
+    }
+  };
+  backend.begin_phase();
+  // Blocker on node 0 (affinity worker 0) gated on the trickle finishing:
+  // node 2 (also affinity worker 0) can only run via a steal by worker 1.
+  backend.post(0, [&done](exec::Cpu&) {
+    while (done.load(std::memory_order_acquire) < kTasks)
+      std::this_thread::yield();
+  });
+  backend.post(2, [b, &done](exec::Cpu&) { Trickle{b, &done}(0); });
+  backend.run_phase();
+
+  EXPECT_EQ(done.load(), kTasks);
+  EXPECT_GE(backend.sched_stats().steals, 1u);
+  EXPECT_EQ(backend.last_worker(2), 1);
+  EXPECT_FALSE(backend.watchdog_fired());
 }
 
 TEST(Backend, TimerCapabilityMatchesSubstrate) {
@@ -510,7 +733,7 @@ TEST(NativeBackend, WatchdogFiresOnWedgedWorkerAndDumpsFlightRecord) {
   ASSERT_TRUE(doc) << doc.error;
   const JsonValue& root = *doc.value;
   ASSERT_NE(root.find("schema"), nullptr);
-  EXPECT_EQ(root.find("schema")->as_string(), "dpa.flightrec.v1");
+  EXPECT_EQ(root.find("schema")->as_string(), "dpa.flightrec.v2");
   ASSERT_NE(root.find("reason"), nullptr);
   EXPECT_NE(root.find("reason")->as_string().find("no progress"),
             std::string::npos);
@@ -518,17 +741,33 @@ TEST(NativeBackend, WatchdogFiresOnWedgedWorkerAndDumpsFlightRecord) {
   const auto& nodes = root.find("nodes")->as_array();
   ASSERT_EQ(nodes.size(), 2u);
   // The wedged node: its seed task was produced (charged by the pre-phase
-  // post) but never consumed, and it is sitting unread in the inbox.
+  // post) but never consumed, it is sitting unread in the inbox, and the
+  // watchdog's per-node sweep named it as the stuck one. It is `active`:
+  // a worker popped it and wedged inside it.
   const JsonValue& stalled = nodes[1];
   EXPECT_EQ(stalled.find("produced")->as_number(), 1.0);
   EXPECT_EQ(stalled.find("consumed")->as_number(), 0.0);
   EXPECT_EQ(stalled.find("inbox_depth")->as_number(), 1.0);
-  ASSERT_TRUE(stalled.find("parked")->is_bool());
+  ASSERT_NE(stalled.find("active"), nullptr);
+  EXPECT_TRUE(stalled.find("active")->as_bool());
+  ASSERT_NE(stalled.find("stuck"), nullptr);
+  EXPECT_TRUE(stalled.find("stuck")->as_bool());
+  EXPECT_FALSE(nodes[0].find("stuck")->as_bool());
+  // Worker scheduler state is its own array now — park state is a worker
+  // property, not a node property, under M:N scheduling.
+  ASSERT_NE(root.find("workers"), nullptr);
+  const auto& workers = root.find("workers")->as_array();
+  ASSERT_EQ(workers.size(), std::size_t(backend.num_workers()));
+  for (const JsonValue& ws : workers) {
+    ASSERT_NE(ws.find("parked"), nullptr);
+    ASSERT_NE(ws.find("runq_depth"), nullptr);
+  }
   if (obs::kTraceEnabled) {
-    // Shards attached: the dump embeds the merged rings and the per-worker
-    // drop counts.
+    // Shards attached: the dump embeds the merged rings and the per-shard
+    // drop counts (node shards + worker shards).
     ASSERT_NE(root.find("dropped_by_worker"), nullptr);
-    EXPECT_EQ(root.find("dropped_by_worker")->as_array().size(), 2u);
+    EXPECT_EQ(root.find("dropped_by_worker")->as_array().size(),
+              2u + backend.num_workers());
     ASSERT_NE(root.find("events"), nullptr);
   }
   std::remove(dump.c_str());
@@ -597,7 +836,10 @@ TEST(NativeEngines, Em3dPublishesWorkerTraceAndProfiles) {
     return;
   }
   ASSERT_NE(session.shards, nullptr);
-  EXPECT_EQ(session.shards->num_shards(), 4u);
+  // Node shards [0, 4) for engine events plus one shard per worker (the
+  // backend sizes its pool to min(host cores, nodes)).
+  EXPECT_GE(session.shards->num_shards(), 5u);
+  EXPECT_LE(session.shards->num_shards(), 8u);
   EXPECT_GT(session.shards->recorded_total(), 0u);
   const auto merged = session.shards->merged();
   bool saw_run = false, saw_flush = false;
