@@ -57,7 +57,12 @@ def run_bench(bench):
 
 
 def compare(golden, fresh, tolerance):
-    bad = []
+    # Collect every cell first: on failure the report is the FULL
+    # per-field diff (expected vs actual vs tolerance for every timing
+    # cell), not just the first offender — one CI run gives the whole
+    # drift picture.
+    cells = []
+    drifted = 0
     for app, rows in golden.items():
         fresh_rows = fresh.get(app, [])
         if len(rows) != len(fresh_rows):
@@ -69,12 +74,20 @@ def compare(golden, fresh, tolerance):
             for key in TIMING_KEYS:
                 w, g = want[key], got[key]
                 rel = abs(g - w) / w if w else abs(g - w)
-                if rel > tolerance:
-                    bad.append(f"{app} P={want['procs']} {key}: "
-                               f"golden {w:.6f} vs fresh {g:.6f} "
-                               f"({rel * 100:.3f}% > {tolerance * 100:.2f}%)")
-    if bad:
-        fail("timing drift:\n  " + "\n  ".join(bad))
+                ok = rel <= tolerance
+                drifted += 0 if ok else 1
+                cells.append((app, want["procs"], key, w, g, rel, ok))
+    if drifted:
+        header = (f"{'field':<26} {'expected':>12} {'actual':>12} "
+                  f"{'drift':>9} {'tolerance':>9}  verdict")
+        lines = [header, "-" * len(header)]
+        for app, procs, key, w, g, rel, ok in cells:
+            field = f"{app} P={procs} {key}"
+            lines.append(f"{field:<26} {w:>12.6f} {g:>12.6f} "
+                         f"{rel * 100:>8.3f}% {tolerance * 100:>8.2f}%  "
+                         f"{'ok' if ok else 'DRIFT'}")
+        fail(f"{drifted} timing cell(s) drifted beyond tolerance:\n  "
+             + "\n  ".join(lines))
 
 
 def main():

@@ -79,6 +79,7 @@ NativeBackend::NativeBackend(std::uint32_t num_nodes)
 
 NativeBackend::NativeBackend(std::uint32_t num_nodes, const Tuning& tuning)
     : tuning_(tuning),
+      trains_(num_nodes, tuning.train_max, *this),
       finish_barrier_(resolve_workers(tuning, num_nodes)) {
   DPA_CHECK(num_nodes > 0);
   DPA_CHECK(tuning_.train_max > 0);
@@ -86,7 +87,6 @@ NativeBackend::NativeBackend(std::uint32_t num_nodes, const Tuning& tuning)
   nodes_.reserve(num_nodes);
   for (std::uint32_t i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>());
-    nodes_.back()->train.resize(num_nodes);
     // Initial placement: round-robin. Re-activation follows last_worker
     // from then on, so steady-state placement is steal-driven.
     nodes_.back()->affinity.store(i % num_workers, std::memory_order_relaxed);
@@ -267,15 +267,14 @@ std::int32_t NativeBackend::try_steal(std::uint32_t w) {
   return -1;
 }
 
-void NativeBackend::flush_dest_train(Node& self, NodeId node, NodeId dst) {
-  auto& tr = self.train[dst];
-  if (tr.empty()) return;
+void NativeBackend::deliver_train(NodeId src, NodeId dst,
+                                  std::vector<Task>& batch) {
   Node& dn = *nodes_[dst];
-  // Trains are flushed only by the node's hosting worker (post()'s
-  // train-full path or flush_trains), so tls_worker names the shard.
+  // Trains are flushed only by the node's hosting worker (the channel's
+  // depth-trigger on buffer() or flush_src), so tls_worker names the shard.
   obs::TraceShard* const sh =
       tls_worker >= 0 ? worker_shard(std::uint32_t(tls_worker)) : nullptr;
-  const std::uint64_t depth = tr.size();
+  const std::uint64_t depth = batch.size();
   Time w0 = 0, w1 = 0;
   std::size_t inbox_depth = 0;
   if (sh != nullptr) w0 = since_phase_start(std::chrono::steady_clock::now());
@@ -283,22 +282,18 @@ void NativeBackend::flush_dest_train(Node& self, NodeId node, NodeId dst) {
     std::lock_guard<std::mutex> lk(dn.mu);
     if (sh != nullptr) {
       w1 = since_phase_start(std::chrono::steady_clock::now());
-      inbox_depth = dn.inbox.size() + tr.size();
+      inbox_depth = dn.inbox.size() + batch.size();
     }
-    for (auto& t : tr) dn.inbox.push_back(std::move(t));
+    for (auto& t : batch) dn.inbox.push_back(std::move(t));
   }
-  DPA_DCHECK(self.train_pending >= tr.size());
-  self.train_pending -= std::uint32_t(tr.size());
-  ++self.msg.trains_sent;
-  tr.clear();
   // After the mailbox append: the destination's host (whoever wins the
   // activation) is guaranteed to see the batch.
   activate(dst);
   if (sh != nullptr) {
-    sh->span(obs::Ev::kMailboxWait, node, w0, w1, 0, dst);
+    sh->span(obs::Ev::kMailboxWait, src, w0, w1, 0, dst);
     obs::TraceEvent flush_ev;
     flush_ev.kind = obs::Ev::kTrainFlush;
-    flush_ev.node = node;
+    flush_ev.node = src;
     flush_ev.peer = dst;
     flush_ev.at = w1;
     flush_ev.arg = depth;
@@ -307,13 +302,6 @@ void NativeBackend::flush_dest_train(Node& self, NodeId node, NodeId dst) {
     sh->profile.train_occupancy.add(depth);
     sh->profile.queue_depth.add(inbox_depth);
   }
-}
-
-bool NativeBackend::flush_trains(Node& self, NodeId node) {
-  if (self.train_pending == 0) return false;
-  for (NodeId d = 0; d < nodes_.size(); ++d) flush_dest_train(self, node, d);
-  DPA_DCHECK(self.train_pending == 0);
-  return true;
 }
 
 void NativeBackend::post(NodeId node, Task task) {
@@ -332,11 +320,8 @@ void NativeBackend::post(NodeId node, Task task) {
       self.local.push_back(std::move(task));
       return;
     }
-    auto& tr = self.train[node];
-    tr.push_back(std::move(task));
-    ++self.train_pending;
-    if (tr.size() >= tuning_.train_max)
-      flush_dest_train(self, NodeId(tls_node), node);
+    // The channel auto-flushes the destination train at train_max depth.
+    trains_.buffer(NodeId(tls_node), node, std::move(task));
     return;
   }
   // Main thread: pre-phase seeding. Counted on the destination's shard —
@@ -375,7 +360,7 @@ void NativeBackend::flush(Cpu& cpu, NodeId node) {
   DPA_DCHECK(node < nodes_.size());
   DPA_DCHECK(tls_node == std::int32_t(node))
       << "Backend::flush must run on the node it flushes";
-  flush_trains(*nodes_[node], node);
+  trains_.flush_src(node);
 }
 
 void NativeBackend::schedule_at(Time at, TimerFn fn) {
@@ -390,13 +375,16 @@ void NativeBackend::schedule_at(Time at, TimerFn fn) {
 Time NativeBackend::begin_phase() {
   DPA_CHECK(quiescent()) << "begin_phase with tasks still outstanding";
   quiesced_.store(false, std::memory_order_relaxed);
-  for (auto& n : nodes_) {
+  for (NodeId i = 0; i < NodeId(nodes_.size()); ++i) {
+    Node* n = nodes_[i].get();
     n->stats.reset();
     n->msg.reset();
-    DPA_CHECK(n->inbox.empty() && n->local.empty() && n->train_pending == 0);
+    DPA_CHECK(n->inbox.empty() && n->local.empty() &&
+              trains_.pending(i) == 0);
     DPA_CHECK(n->active.load(std::memory_order_relaxed) == 0)
         << "begin_phase with a node still queued";
   }
+  trains_.reset_stats();
   for (auto& w : workers_) {
     DPA_CHECK(w->runq.empty());
     w->parks.store(0, std::memory_order_relaxed);
@@ -776,7 +764,7 @@ void NativeBackend::run_node(std::uint32_t w, NodeId id) {
     // Dry. Push any buffered outbound trains — the implicit flush point
     // that makes termination independent of the engine calling
     // Backend::flush() — then give up the node.
-    flush_trains(n, id);
+    trains_.flush_src(id);
     // Deactivate-then-recheck: the idle store and a producer's CAS are both
     // seq_cst, so they are totally ordered. If a producer appended to the
     // inbox after our last drain but CASed before our store, the CAS lost
@@ -829,19 +817,21 @@ void NativeBackend::run_task(Node& n, NodeId id, Task task) {
 
 MsgStats NativeBackend::msg_stats_total() const {
   MsgStats total;
-  for (const auto& n : nodes_) {
+  for (NodeId i = 0; i < NodeId(nodes_.size()); ++i) {
+    const Node* n = nodes_[i].get();
     total.msgs_sent += n->msg.msgs_sent;
     total.frags_sent += n->msg.frags_sent;
     total.msgs_recv += n->msg.msgs_recv;
     total.bytes_sent += n->msg.bytes_sent;
     total.bytes_recv += n->msg.bytes_recv;
-    total.trains_sent += n->msg.trains_sent;
+    total.trains_sent += trains_.trains_sent(i);
   }
   return total;
 }
 
 void NativeBackend::reset_msg_stats() {
   for (auto& n : nodes_) n->msg.reset();
+  trains_.reset_stats();
 }
 
 SchedStats NativeBackend::sched_stats() const {

@@ -21,11 +21,14 @@
 //     and an unlocked local queue for self-posts (a node's scheduler
 //     kicking itself never takes a lock).
 //   * send() appends a delivery task to the sending node's per-destination
-//     *train* — an owner-only outbound buffer. A train is handed to the
-//     destination mailbox under ONE lock acquisition when it reaches
-//     Tuning::train_max depth, when the engine calls Backend::flush() at a
-//     tile/strip boundary, or — unconditionally — before the node
-//     deactivates. That last rule makes trains invisible to termination:
+//     *train* — an owner-only outbound buffer, owned since the transport
+//     split by transport::InProcChannel (the backend supplies the delivery
+//     sink: mailbox lock, tracing, destination activation). A train is
+//     handed to the destination mailbox under ONE lock acquisition when it
+//     reaches Tuning::train_max depth, when the engine calls
+//     Backend::flush() at a tile/strip boundary, or — unconditionally —
+//     before the node deactivates. That last rule makes trains invisible
+//     to termination:
 //     buffered messages always depart before their host worker can so much
 //     as look for quiescence. The host fabric thus applies the paper's
 //     aggregation idea to itself: per-message lock overhead is amortized
@@ -94,6 +97,7 @@
 #include <vector>
 
 #include "exec/backend.h"
+#include "transport/inproc_channel.h"
 
 namespace dpa::obs {
 class TraceShard;
@@ -117,7 +121,8 @@ class SenseBarrier {
   std::atomic<bool> sense_{false};
 };
 
-class NativeBackend final : public Backend {
+class NativeBackend final : public Backend,
+                            private transport::InProcChannel::Sink {
  public:
   // Scheduling/communication/idle policy knobs. Defaults suit both the
   // provisioned case (cores >= nodes) and oversubscription; tests shrink
@@ -241,11 +246,9 @@ class NativeBackend final : public Backend {
     // Self-posts from the hosting worker; never locked (only the host
     // touches it, and the activation handoff orders host switches).
     std::deque<Task> local;
-    // Outbound trains: train[d] holds delivery tasks bound for node d,
-    // written only by this node's host (main-thread posts bypass trains).
-    // train_pending is the total across destinations.
-    std::vector<std::vector<Task>> train;
-    std::uint32_t train_pending = 0;
+    // Outbound trains live in trains_ (transport::InProcChannel), indexed
+    // by this node's id; written only by this node's host (main-thread
+    // posts bypass trains).
     NodeStats stats;
     MsgStats msg;  // sent-side fields written by host, recv-side by host
     // Activation state: 0 = idle (no queued tasks anywhere... or a producer
@@ -319,11 +322,11 @@ class NativeBackend final : public Backend {
   void watchdog_main();
   void watchdog_fire(const char* reason, Time elapsed, std::uint64_t epoch,
                      std::uint32_t stuck, const std::vector<bool>& node_stuck);
-  // Hands `node`'s train for `dst` to the destination mailbox (one lock)
-  // and activates the destination.
-  void flush_dest_train(Node& self, NodeId node, NodeId dst);
-  // Flushes every non-empty train; returns true if anything departed.
-  bool flush_trains(Node& self, NodeId node);
+  // transport::InProcChannel::Sink — the channel calls this with a full
+  // train; we hand it to the destination mailbox (one lock) and activate
+  // the destination.
+  void deliver_train(NodeId src, NodeId dst,
+                     std::vector<Task>& batch) override;
   bool quiescent() const;
   void wake_all_workers();
   Time since_phase_start(std::chrono::steady_clock::time_point t) const {
@@ -333,6 +336,9 @@ class NativeBackend final : public Backend {
 
   Tuning tuning_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Per-source outbound train buffers + flush policy (depth train_max).
+  // Declared after tuning_/nodes_ — its ctor reads tuning_.train_max.
+  transport::InProcChannel trains_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<HandlerEntry>> handlers_;
 

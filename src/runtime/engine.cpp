@@ -8,6 +8,19 @@
 
 namespace dpa::rt {
 
+namespace {
+// RetryParams (runtime config surface) -> RetryPolicy (transport core).
+// Field-for-field; the two exist so transport/ carries no config.h dep.
+transport::RetryPolicy retry_policy(const RetryParams& r) {
+  transport::RetryPolicy p;
+  p.timeout_ns = r.timeout_ns;
+  p.backoff = r.backoff;
+  p.max_timeout_ns = r.max_timeout_ns;
+  p.max_retries = r.max_retries;
+  return p;
+}
+}  // namespace
+
 fm::FmLayer& Cluster::fm() {
   DPA_CHECK(backend->is_sim()) << "cluster is not on the sim backend";
   return static_cast<exec::SimBackend*>(backend.get())->fm();
@@ -40,60 +53,55 @@ EngineBase::EngineBase(Cluster& cluster, NodeId node,
     }
   }
   pool_payloads_ = cluster.exec().is_sim();
-  rel_enabled_ = cfg.retry.enabled || cluster.exec().lossy();
+  const bool rel_enabled = cfg.retry.enabled || cluster.exec().lossy();
   // PhaseRunner already rejected this combination at construction; keep a
   // backstop for engines built outside a PhaseRunner.
-  DPA_CHECK(!rel_enabled_ || cluster.exec().supports_timers())
+  DPA_CHECK(!rel_enabled || cluster.exec().supports_timers())
       << "the reliability/retry protocol needs a backend with deferred "
       << "timers (retransmit deadlines); this one has none";
-  if (rel_enabled_) rel_seen_.resize(cluster.num_nodes());
+  if (rel_enabled)
+    rel_.engage(cluster.num_nodes(), retry_policy(cfg.retry), node_);
 }
 
 void EngineBase::rel_track(sim::Cpu& cpu, NodeId dst, fm::HandlerId handler,
                            std::shared_ptr<void> data, std::uint32_t bytes,
                            std::uint64_t seq, obs::MsgCause cause) {
   (void)cause;
-  RelPending pending;
+  transport::Reliable::Pending pending;
   pending.dst = dst;
   pending.handler = handler;
   pending.data = std::move(data);
   pending.bytes = bytes;
-  pending.timeout = cfg_.retry.timeout_ns;
-  const Time deadline = cpu.logical_now() + pending.timeout;
-  rel_pending_.emplace(seq, std::move(pending));
+  const Time deadline = rel_.track(seq, std::move(pending), cpu.logical_now());
   cluster_.backend->schedule_at(deadline, [this, seq] { rel_timer(seq); });
 }
 
 void EngineBase::rel_timer(std::uint64_t seq) {
-  if (rel_pending_.find(seq) == rel_pending_.end()) return;  // acked
+  if (!rel_.is_pending(seq)) return;  // acked
   cluster_.backend->post(node_,
                          [this, seq](sim::Cpu& cpu) { rel_retry(cpu, seq); });
 }
 
 void EngineBase::rel_retry(sim::Cpu& cpu, std::uint64_t seq) {
-  auto it = rel_pending_.find(seq);
-  if (it == rel_pending_.end()) return;  // ack raced the posted task
-  RelPending& p = it->second;
-  ++p.attempts;
-  DPA_CHECK(p.attempts <= cfg_.retry.max_retries)
-      << "node " << node_ << " gave up on seq " << seq << " to node " << p.dst
-      << " after " << p.attempts << " attempts — fabric unusable or the "
-      << "reliability layer is broken";
+  // retry() bumps attempts (fatal past max_retries) and applies the capped
+  // exponential backoff; this side re-sends and re-arms — the substrate
+  // half the protocol core does not own. The returned pointer is stable
+  // here: nothing below touches the in-flight table.
+  const transport::Reliable::Pending* p = rel_.retry(seq);
+  if (p == nullptr) return;  // ack raced the posted task
   ++stats_.retries;
-  // Exponential backoff, capped: attempt n waits timeout * backoff^n.
-  p.timeout = std::min<Time>(Time(double(p.timeout) * cfg_.retry.backoff),
-                             cfg_.retry.max_timeout_ns);
   cpu.charge(cfg_.cost.flush_fixed, sim::Work::kComm);
   DPA_TRACE_EVT(trace_, msg_event(obs::Ev::kMsgDepart, obs::MsgCause::kRetry,
-                                  node_, p.dst, p.bytes, cpu.logical_now()));
-  cluster_.backend->send(cpu, node_, p.dst, p.handler, p.data, p.bytes);
-  cluster_.backend->schedule_at(cpu.logical_now() + p.timeout,
+                                  node_, p->dst, p->bytes, cpu.logical_now()));
+  cluster_.backend->send(cpu, node_, p->dst, fm::HandlerId(p->handler),
+                         p->data, p->bytes);
+  cluster_.backend->schedule_at(cpu.logical_now() + p->timeout,
                                 [this, seq] { rel_timer(seq); });
 }
 
 bool EngineBase::rel_accept(sim::Cpu& cpu, NodeId src, std::uint64_t seq) {
   if (seq == 0) return true;  // unsequenced: sender runs without the protocol
-  DPA_CHECK(rel_enabled_)
+  DPA_CHECK(rel_.engaged())
       << "sequenced message on node " << node_ << " but its engine has the "
       << "reliability layer off — mismatched RuntimeConfigs?";
   // Ack every copy, duplicates included: the ack for an earlier copy may
@@ -107,7 +115,7 @@ bool EngineBase::rel_accept(sim::Cpu& cpu, NodeId src, std::uint64_t seq) {
                                   cpu.logical_now()));
   cluster_.backend->send(cpu, node_, src, h_ack_, std::move(ack),
                          cfg_.cost.msg_header_bytes);
-  if (!rel_seen_[src].insert(seq).second) {
+  if (!rel_.accept(src, seq)) {
     ++stats_.dup_msgs_dropped;
     return false;
   }
@@ -118,7 +126,7 @@ void EngineBase::on_ack(sim::Cpu& cpu, const AckPayload& ack) {
   (void)cpu;  // recv overhead is already charged by the FM layer
   DPA_TRACE_EVT(trace_, msg_event(obs::Ev::kMsgArrive, obs::MsgCause::kAck,
                                   node_, ack.from, 0, cpu.logical_now()));
-  if (rel_pending_.erase(ack.seq) > 0) ++stats_.acks_recv;
+  if (rel_.on_ack(ack.seq)) ++stats_.acks_recv;
 }
 
 void EngineBase::accumulate(sim::Cpu& cpu, GlobalRef ref, AccumFn update) {

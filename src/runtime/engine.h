@@ -33,6 +33,7 @@
 #include "support/arena.h"
 #include "support/flat_map.h"
 #include "support/inline_fn.h"
+#include "transport/reliable.h"
 
 namespace dpa::rt {
 
@@ -196,6 +197,12 @@ class EngineBase {
 
   // --- Reliability layer (sequence numbers + ack/timeout/retry) ---
   //
+  // The protocol state machine lives in transport::Reliable (seq space,
+  // in-flight table, backoff, receiver dedup); the engine supplies the
+  // substrate — modeled cost charges, arena-pooled ack payloads, backend
+  // sends, and schedule_at retransmit timers — so the sim's event schedule
+  // is byte-identical to when the state lived here.
+  //
   // Engaged when the network carries a FaultPlan or cfg.retry.enabled is
   // set; otherwise every path below is dead and messages fly exactly as on
   // the reliable fabric (rel_seq stays 0, no acks, no timers).
@@ -209,7 +216,7 @@ class EngineBase {
   // Sender side: an ack arrived for one of our in-flight messages.
   void on_ack(sim::Cpu& cpu, const AckPayload& ack);
 
-  bool rel_enabled() const { return rel_enabled_; }
+  bool rel_enabled() const { return rel_.engaged(); }
 
   NodeId node_id() const { return node_; }
   Cluster& cluster() { return cluster_; }
@@ -239,8 +246,8 @@ class EngineBase {
   void rel_send(sim::Cpu& cpu, NodeId dst, fm::HandlerId handler,
                 std::shared_ptr<Payload> payload, std::uint32_t bytes,
                 obs::MsgCause cause) {
-    if (rel_enabled_ && dst != node_) {
-      payload->rel_seq = ++rel_next_seq_;
+    if (rel_.engaged() && dst != node_) {
+      payload->rel_seq = rel_.next_seq();
       rel_track(cpu, dst, handler, payload, bytes, payload->rel_seq, cause);
     }
     cluster_.backend->send(cpu, node_, dst, handler, std::move(payload),
@@ -282,17 +289,6 @@ class EngineBase {
   Pow2Histogram* h_msg_bytes_ = nullptr;  // request/reply/accum wire sizes
 
  private:
-  // One unacked in-flight message. `data` keeps the payload alive for
-  // retransmission; a retry re-sends the same bytes under the same seq.
-  struct RelPending {
-    NodeId dst = 0;
-    fm::HandlerId handler = 0;
-    std::shared_ptr<void> data;
-    std::uint32_t bytes = 0;
-    std::uint32_t attempts = 0;  // retransmissions so far
-    Time timeout = 0;            // current (backed-off) timer interval
-  };
-
   void rel_track(sim::Cpu& cpu, NodeId dst, fm::HandlerId handler,
                  std::shared_ptr<void> data, std::uint32_t bytes,
                  std::uint64_t seq, obs::MsgCause cause);
@@ -302,11 +298,10 @@ class EngineBase {
   void rel_timer(std::uint64_t seq);
   void rel_retry(sim::Cpu& cpu, std::uint64_t seq);
 
-  bool rel_enabled_ = false;
-  std::uint64_t rel_next_seq_ = 0;
-  FlatMap<std::uint64_t, RelPending> rel_pending_;
-  // Per-source sets of delivered sequence numbers (receiver-side dedup).
-  std::vector<FlatSet<std::uint64_t>> rel_seen_;
+  // The relocated PR-2 protocol: seq space, unacked in-flight table,
+  // receiver dedup sets. All seq/ack/retransmit *state* lives there; the
+  // engine only glues it to the backend (sends, timers, cost charges).
+  transport::Reliable rel_;
 
   // Outgoing accumulation-message sequence (stamped into accum_seq) and
   // the home-side staging buffer for the two-level reduction.

@@ -166,6 +166,17 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
     auto& m = cluster_.obs->metrics;
     result.rt.publish(m);
     *m.counter("rt.phases") += 1;
+    // Transport-layer aliases. The reliability protocol lives in
+    // transport::Reliable and trains depart through transport::Channel, so
+    // the same counters are published under transport.* alongside the
+    // legacy rt.* / exec.trains names (scripts/check_obs_json.py checks
+    // each pair stays equal). trains_sent covers both fabrics: mailbox
+    // hand-offs on native, FM-layer message trains on sim.
+    *m.counter("transport.retries") += result.rt.retries;
+    *m.counter("transport.acks_sent") += result.rt.acks_sent;
+    *m.counter("transport.acks_recv") += result.rt.acks_recv;
+    *m.counter("transport.dup_msgs_dropped") += result.rt.dup_msgs_dropped;
+    *m.counter("transport.trains_sent") += result.fm_total.trains_sent;
     if (backend.is_sim()) {
       *m.counter("sim.events") += result.sim_events;
       *m.counter("net.messages") += result.net.messages;

@@ -1,0 +1,14 @@
+#include "transport/channel.h"
+
+#include "support/assert.h"
+
+namespace dpa::transport {
+
+void Channel::set_deliver(FrameDeliverFn fn) {
+  (void)fn;
+  DPA_PANIC("channel '" << name()
+                        << "' delivers synchronously — only framed channels "
+                        << "take a delivery callback");
+}
+
+}  // namespace dpa::transport

@@ -1,0 +1,107 @@
+// Channel: the transport abstraction beneath exec::Backend.
+//
+// A Channel moves *trains* — per-(src, dst) batches of messages — between
+// nodes. The backends own the scheduling (mailboxes, workers, the event
+// heap); the channel owns how a buffered train becomes a delivery: an
+// in-memory mailbox hand-off (InProcChannel), a modeled LogGP injection
+// (SimChannel), or encoded frames over a byte stream (PipeChannel, and the
+// future multi-process socket transport). The reliability protocol
+// (transport::Reliable) layers over any of them.
+//
+// Layering:
+//
+//   apps -> runtime engines -> exec::Backend -> transport::Channel
+//                                                |-- InProcChannel (native)
+//                                                |-- SimChannel    (sim)
+//                                                `-- PipeChannel   (socketpair)
+//
+// A message enters as a TrainItem carrying up to three representations of
+// itself — the in-memory Packet (modeled transports), the delivery Task
+// (in-process transports), and the marshalled wire bytes (framed
+// transports). Each channel consumes the representation its fabric needs;
+// the unused ones stay empty and cost nothing. This is what lets the
+// native mailbox hand-off and a socket write be "the same train" without
+// forcing closure-carrying payloads through a byte codec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exec/types.h"
+#include "transport/frame.h"
+
+namespace dpa::transport {
+
+using exec::NodeId;
+using exec::Time;
+
+// What a channel's fabric guarantees. The reliability decorator engages
+// exactly when lossless is absent; FIFO loss determines whether receivers
+// need reorder-tolerant staging (the runtime's (src, seq)-sorted commit
+// already is).
+struct ChannelCaps {
+  bool lossless = true;  // delivery guaranteed without transport::Reliable
+  bool fifo = true;      // per-(src, dst) order preserved
+  bool framed = false;   // messages cross a byte boundary via the codec
+  bool buffered = false; // per-destination trains accumulate until flush
+};
+
+// One message entering a channel. See the header comment for why it
+// carries multiple representations.
+struct TrainItem {
+  exec::Packet packet;             // in-memory form (SimChannel)
+  exec::Task task;                 // delivery closure (InProcChannel)
+  std::uint16_t tag = 0;           // framed channels: payload tag
+  std::uint64_t seq = 0;           // reliability seq (0 = unsequenced)
+  std::vector<std::uint8_t> wire;  // framed channels: marshalled payload
+};
+
+// Delivery callback for framed channels: one decoded payload, with the
+// frame header that carried it (routing + epoch).
+using FrameDeliverFn =
+    std::function<void(const FrameHeader&, const FramePayload&)>;
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  virtual const char* name() const = 0;
+  virtual ChannelCaps caps() const = 0;
+
+  // Appends one message to src's outbound train for dst. Buffered channels
+  // hand the train off when it reaches their depth limit or at flush();
+  // unbuffered channels forward immediately. `cpu` is the sending task's
+  // execution context — modeled channels charge send overhead to it,
+  // wall-clock channels ignore it (and accept null).
+  virtual void send_train(exec::Cpu* cpu, NodeId src, NodeId dst,
+                          TrainItem item) = 0;
+
+  // Pushes src's buffered trains to their destinations; returns true if
+  // anything departed. No-op (false) on unbuffered channels.
+  virtual bool flush(exec::Cpu* cpu, NodeId src) = 0;
+
+  // Framed channels: drain arrived frames into the delivery callback;
+  // returns payloads delivered. Synchronous channels deliver inside
+  // send_train/flush and return 0 here.
+  virtual std::size_t poll() { return 0; }
+
+  // Framed channels: installs the delivery callback (transport::Reliable
+  // interposes here). Panics on channels that deliver synchronously.
+  virtual void set_deliver(FrameDeliverFn fn);
+
+  // Trains handed off by src since construction / the last stats reset.
+  virtual std::uint64_t trains_sent(NodeId src) const {
+    (void)src;
+    return 0;
+  }
+
+ protected:
+  Channel() = default;
+};
+
+}  // namespace dpa::transport

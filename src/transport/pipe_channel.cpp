@@ -1,0 +1,202 @@
+#include "transport/pipe_channel.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "support/assert.h"
+
+namespace dpa::transport {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  DPA_CHECK(flags >= 0) << "fcntl(F_GETFL): " << std::strerror(errno);
+  DPA_CHECK(fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0)
+      << "fcntl(F_SETFL): " << std::strerror(errno);
+}
+
+}  // namespace
+
+PipeChannel::PipeChannel(std::uint32_t num_nodes, std::uint32_t train_max)
+    : train_max_(train_max), srcs_(num_nodes), fault_rng_(1) {
+  DPA_CHECK(train_max_ > 0);
+  for (auto& s : srcs_) s.train.resize(num_nodes);
+  DPA_CHECK(socketpair(AF_UNIX, SOCK_STREAM, 0, fds_) == 0)
+      << "socketpair: " << std::strerror(errno);
+  set_nonblocking(fds_[0]);
+  set_nonblocking(fds_[1]);
+}
+
+PipeChannel::~PipeChannel() {
+  if (fds_[0] >= 0) close(fds_[0]);
+  if (fds_[1] >= 0) close(fds_[1]);
+}
+
+void PipeChannel::set_faults(const ChannelFaults& faults) {
+  faults_ = faults;
+  fault_rng_ = Rng(faults.seed);
+}
+
+void PipeChannel::send_train(exec::Cpu* cpu, NodeId src, NodeId dst,
+                             TrainItem item) {
+  (void)cpu;  // wall-clock fabric: costs are measured, not charged
+  SrcState& s = srcs_[src];
+  auto& tr = s.train[dst];
+  FramePayload p;
+  p.tag = item.tag;
+  p.seq = item.seq;
+  p.bytes = std::move(item.wire);
+  tr.push_back(std::move(p));
+  ++s.pending;
+  if (tr.size() >= train_max_) flush_dest(src, dst);
+}
+
+void PipeChannel::flush_dest(NodeId src, NodeId dst) {
+  SrcState& s = srcs_[src];
+  auto& tr = s.train[dst];
+  if (tr.empty()) return;
+  DPA_DCHECK(s.pending >= tr.size());
+  s.pending -= std::uint32_t(tr.size());
+  ++s.trains;
+  std::vector<std::uint8_t> frame;
+  const std::uint16_t flags =
+      (tr.size() == 1 && tr[0].tag == 0xffff) ? kFrameFlagControl : 0;
+  encode_frame(src, dst, epoch_, flags, tr, &frame);
+  tr.clear();
+  transmit(std::move(frame));
+}
+
+bool PipeChannel::flush(exec::Cpu* cpu, NodeId src) {
+  (void)cpu;
+  SrcState& s = srcs_[src];
+  if (s.pending == 0) return false;
+  for (NodeId d = 0; d < NodeId(s.train.size()); ++d) flush_dest(src, d);
+  DPA_DCHECK(s.pending == 0);
+  if (!pumping_) pump();
+  return true;
+}
+
+void PipeChannel::transmit(std::vector<std::uint8_t> frame) {
+  if (faults_.any()) {
+    if (fault_rng_.chance(faults_.drop)) {
+      ++stats_.dropped_frames;
+      return;
+    }
+    const bool dup = fault_rng_.chance(faults_.dup);
+    if (fault_rng_.chance(faults_.reorder) && held_.empty()) {
+      // Hold this frame back one slot: it departs right after the next
+      // frame (or at drain()). A retransmission also flushes it out.
+      ++stats_.reordered_frames;
+      held_ = std::move(frame);
+      if (dup) {
+        ++stats_.dup_frames;
+        enqueue_wire(held_);  // the duplicate copy jumps the held original
+      }
+      return;
+    }
+    enqueue_wire(frame);
+    if (dup) {
+      ++stats_.dup_frames;
+      enqueue_wire(frame);
+    }
+    if (!held_.empty()) enqueue_wire(std::exchange(held_, {}));
+    return;
+  }
+  enqueue_wire(std::move(frame));
+}
+
+void PipeChannel::enqueue_wire(std::vector<std::uint8_t> frame) {
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.size();
+  tx_.push_back(std::move(frame));
+}
+
+std::size_t PipeChannel::pump() {
+  DPA_CHECK(!pumping_) << "re-entrant pump";
+  pumping_ = true;
+  std::size_t delivered = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Write side: push backlog until the kernel buffer is full.
+    while (!tx_.empty()) {
+      const auto& f = tx_.front();
+      const ssize_t n =
+          write(fds_[0], f.data() + tx_off_, f.size() - tx_off_);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        DPA_CHECK(errno == EAGAIN || errno == EWOULDBLOCK)
+            << "pipe write: " << std::strerror(errno);
+        break;
+      }
+      progress = true;
+      tx_off_ += std::size_t(n);
+      if (tx_off_ == f.size()) {
+        tx_.pop_front();
+        tx_off_ = 0;
+      }
+    }
+    // Read side: drain the socket into the reassembly buffer.
+    for (;;) {
+      std::uint8_t buf[65536];
+      const ssize_t n = read(fds_[1], buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        DPA_CHECK(errno == EAGAIN || errno == EWOULDBLOCK)
+            << "pipe read: " << std::strerror(errno);
+        break;
+      }
+      DPA_CHECK(n != 0) << "pipe peer closed";
+      progress = true;
+      rx_.insert(rx_.end(), buf, buf + n);
+    }
+    // Decode every complete frame in the buffer. Delivery callbacks may
+    // append new frames to the TX backlog (acks) — the outer loop's
+    // progress flag sends those before we give up.
+    for (;;) {
+      DecodedFrame frame;
+      std::size_t consumed = 0;
+      const DecodeStatus st = decode_frame(rx_.data() + rx_pos_,
+                                           rx_.size() - rx_pos_, &frame,
+                                           &consumed);
+      if (st == DecodeStatus::kNeedMore) break;
+      // The fault injector reorders whole frames, never bytes: a decode
+      // failure here is a codec bug, not an injected fault.
+      DPA_CHECK(st == DecodeStatus::kOk)
+          << "pipe stream corrupt: " << to_string(st) << " at offset "
+          << rx_pos_;
+      rx_pos_ += consumed;
+      ++stats_.frames_recv;
+      stats_.payloads_recv += frame.payloads.size();
+      delivered += frame.payloads.size();
+      progress = true;
+      DPA_CHECK(deliver_ != nullptr)
+          << "pipe frame arrived with no delivery callback installed";
+      for (const FramePayload& p : frame.payloads) deliver_(frame.header, p);
+    }
+    // Compact the reassembly buffer once the decoded prefix dominates.
+    if (rx_pos_ > 0 && rx_pos_ >= rx_.size() / 2) {
+      rx_.erase(rx_.begin(), rx_.begin() + std::ptrdiff_t(rx_pos_));
+      rx_pos_ = 0;
+    }
+  }
+  pumping_ = false;
+  return delivered;
+}
+
+void PipeChannel::drain() {
+  if (!held_.empty()) enqueue_wire(std::exchange(held_, {}));
+  // Every pump with a non-empty backlog makes progress (a full kernel
+  // buffer is drained by our own read side in the same call), so this
+  // terminates once the wire is quiet and all deliveries ran.
+  while (pump() > 0 || !tx_.empty()) {
+  }
+}
+
+}  // namespace dpa::transport

@@ -1,0 +1,137 @@
+// PipeChannel: the frame codec exercised over a real byte stream — a
+// non-blocking AF_UNIX socketpair() on localhost.
+//
+// Proof-of-concept for the multi-process backend: every train a node
+// flushes is encoded into one frame (transport/frame.h), written to the
+// socket, read back, reassembled from the byte stream, decoded, and
+// delivered payload by payload. All nodes share the one loopback stream;
+// the frame header's src/dst route delivery. The bytes on this wire are
+// exactly the bytes a TCP transport will carry.
+//
+// I/O model — a miniature event loop, single-threaded and non-blocking:
+//   * transmit appends encoded frames to a TX backlog (after optional
+//     fault injection, below);
+//   * pump() writes as much backlog as the kernel buffer takes (partial
+//     writes resume mid-frame), then reads everything available,
+//     decodes complete frames from the reassembly buffer, and delivers.
+// Because writes never block and delivery callbacks only ever *append*
+// to the backlog (acks from ReliableChannel, say), re-entrancy cannot
+// deadlock: the loop makes progress as long as someone keeps pumping —
+// which is what the caller's poll() loop is.
+//
+// Fault injection (seeded, deterministic) corrupts the *schedule*, never
+// the bytes: whole encoded frames are dropped, duplicated, or held back
+// one slot before they reach the wire, so the stream stays well-formed
+// and any decode failure is a real codec bug (and panics). Byte-level
+// corruption is the fuzz suite's job, directly against decode_frame.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "support/rng.h"
+#include "transport/channel.h"
+
+namespace dpa::transport {
+
+// Whole-frame fault schedule for PipeChannel (the transport-level analog
+// of sim::FaultPlan — same idea, applied to frames instead of fragments).
+struct ChannelFaults {
+  double drop = 0.0;     // P(frame silently discarded before the wire)
+  double dup = 0.0;      // P(frame written twice)
+  double reorder = 0.0;  // P(frame held back one slot — swaps with the next)
+  std::uint64_t seed = 1;
+
+  bool any() const { return drop > 0 || dup > 0 || reorder > 0; }
+};
+
+class PipeChannel final : public Channel {
+ public:
+  struct WireStats {
+    std::uint64_t frames_sent = 0;   // frames that reached the wire
+    std::uint64_t frames_recv = 0;
+    std::uint64_t payloads_recv = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t dropped_frames = 0;
+    std::uint64_t dup_frames = 0;
+    std::uint64_t reordered_frames = 0;
+  };
+
+  PipeChannel(std::uint32_t num_nodes, std::uint32_t train_max);
+  ~PipeChannel() override;
+
+  // Frames carry the phase epoch; the phase driver stamps it.
+  void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }
+  // Arms (or disarms, with {}) the fault schedule. Faulted delivery is
+  // only exactly-once under a ReliableChannel wrapper.
+  void set_faults(const ChannelFaults& faults);
+
+  const char* name() const override { return "pipe"; }
+  ChannelCaps caps() const override {
+    return ChannelCaps{/*lossless=*/!(faults_.drop > 0 || faults_.dup > 0),
+                       /*fifo=*/!(faults_.reorder > 0),
+                       /*framed=*/true, /*buffered=*/true};
+  }
+
+  void set_deliver(FrameDeliverFn fn) override { deliver_ = std::move(fn); }
+
+  // Buffers {tag, seq, wire} on src's train for dst (the Packet/Task
+  // representations are ignored — this fabric moves bytes).
+  void send_train(exec::Cpu* cpu, NodeId src, NodeId dst,
+                  TrainItem item) override;
+
+  // Encodes each non-empty train of src as one frame, queues it for the
+  // wire, and pumps. True if anything departed.
+  bool flush(exec::Cpu* cpu, NodeId src) override;
+
+  // Writes backlog / reads / decodes / delivers; returns payloads
+  // delivered by this call.
+  std::size_t poll() override { return pump(); }
+
+  std::uint64_t trains_sent(NodeId src) const override {
+    return srcs_[src].trains;
+  }
+
+  // Forces everything queued — including a fault-held frame — onto the
+  // wire and drains until no progress. Phase-end barrier for unfaulted
+  // runs; faulted runs converge through ReliableChannel retransmission
+  // instead.
+  void drain();
+
+  const WireStats& wire_stats() const { return stats_; }
+  std::size_t tx_backlog() const { return tx_.size(); }
+
+ private:
+  struct SrcState {
+    std::vector<std::vector<FramePayload>> train;
+    std::uint32_t pending = 0;
+    std::uint64_t trains = 0;
+  };
+
+  void flush_dest(NodeId src, NodeId dst);
+  // Applies the fault schedule to one encoded frame, then queues the
+  // survivors (and any held-back predecessor) for the wire.
+  void transmit(std::vector<std::uint8_t> frame);
+  void enqueue_wire(std::vector<std::uint8_t> frame);
+  std::size_t pump();
+
+  std::uint32_t train_max_;
+  std::uint64_t epoch_ = 0;
+  std::vector<SrcState> srcs_;
+  FrameDeliverFn deliver_;
+
+  int fds_[2] = {-1, -1};  // [0] write end, [1] read end (one direction)
+  std::deque<std::vector<std::uint8_t>> tx_;  // encoded frames awaiting write
+  std::size_t tx_off_ = 0;                    // partial-write offset in front
+  std::vector<std::uint8_t> rx_;              // reassembly buffer
+  std::size_t rx_pos_ = 0;                    // decoded-up-to offset in rx_
+  bool pumping_ = false;                      // re-entrancy guard
+
+  ChannelFaults faults_;
+  Rng fault_rng_;
+  std::vector<std::uint8_t> held_;  // reorder: frame held back one slot
+  WireStats stats_;
+};
+
+}  // namespace dpa::transport

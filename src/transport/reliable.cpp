@@ -1,0 +1,24 @@
+#include "transport/reliable.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace dpa::transport {
+
+const Reliable::Pending* Reliable::retry(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return nullptr;  // ack raced the timer
+  Pending& p = it->second;
+  ++p.attempts;
+  DPA_CHECK(p.attempts <= policy_.max_retries)
+      << "node " << self_ << " gave up on seq " << seq << " to node " << p.dst
+      << " after " << p.attempts << " attempts — fabric unusable or the "
+      << "reliability layer is broken";
+  // Exponential backoff, capped: attempt n waits timeout * backoff^n.
+  p.timeout = std::min<Time>(Time(double(p.timeout) * policy_.backoff),
+                             policy_.max_timeout_ns);
+  return &p;
+}
+
+}  // namespace dpa::transport

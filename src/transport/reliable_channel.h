@@ -1,0 +1,102 @@
+// ReliableChannel: exactly-once delivery over any framed, possibly lossy
+// Channel — the transport::Reliable protocol core wired up as a decorator.
+//
+// The same state machine the runtime engines drive through the simulator's
+// timer wheel (seq/ack/backoff-retransmit, receiver dedup) runs here
+// against a real wire: the decorator stamps each outgoing payload with a
+// per-sender sequence number, tracks it until the matching ack frame comes
+// back, and retransmits past-deadline messages when the caller pumps the
+// clock forward. Receivers ack every sequenced copy (duplicates included —
+// the earlier ack may itself be lost) and pass exactly the first copy of
+// each (src, seq) up to the application.
+//
+// Clocking is explicit: pump(now) advances the retransmit scan to `now`
+// (any monotonic nanosecond count — tests drive it with virtual time,
+// which keeps chaos runs deterministic). The decorator covers all nodes
+// sharing the inner channel, one protocol instance per sending node, so
+// sequence spaces are per sender exactly as in the engine path.
+//
+// Acks travel as control frames: a payload tagged kAckTag whose 8 bytes
+// are the acked seq (little-endian), flushed eagerly so ack latency does
+// not depend on the receiver's batching.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "transport/channel.h"
+#include "transport/reliable.h"
+
+namespace dpa::transport {
+
+// Reserved payload tag for ack control messages; application tags must
+// stay below it.
+constexpr std::uint16_t kAckTag = 0xffff;
+
+class ReliableChannel final : public Channel {
+ public:
+  struct Stats {
+    std::uint64_t retries = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t acks_recv = 0;
+    std::uint64_t dup_msgs_dropped = 0;
+  };
+
+  // `inner` must be framed (DPA_CHECKed); the decorator installs itself as
+  // the inner delivery callback. `now` starts at 0; pump() advances it.
+  ReliableChannel(Channel& inner, std::uint32_t num_nodes,
+                  const RetryPolicy& policy);
+
+  const char* name() const override { return "reliable"; }
+  ChannelCaps caps() const override {
+    ChannelCaps c = inner_.caps();
+    c.lossless = true;  // that is the whole point
+    return c;
+  }
+
+  // The application's sink (sequenced duplicates and ack frames are
+  // filtered out before it).
+  void set_deliver(FrameDeliverFn fn) override { deliver_ = std::move(fn); }
+
+  // Stamps a sequence number (cross-node sends only) and tracks the wire
+  // bytes for retransmission before forwarding.
+  void send_train(exec::Cpu* cpu, NodeId src, NodeId dst,
+                  TrainItem item) override;
+
+  bool flush(exec::Cpu* cpu, NodeId src) override {
+    return inner_.flush(cpu, src);
+  }
+  std::size_t poll() override { return inner_.poll(); }
+  std::uint64_t trains_sent(NodeId src) const override {
+    return inner_.trains_sent(src);
+  }
+
+  // Advances the protocol clock to `now` and retransmits every in-flight
+  // message whose deadline passed; returns retransmissions issued.
+  std::size_t pump(Time now);
+
+  std::uint64_t in_flight() const {
+    std::uint64_t n = 0;
+    for (const Reliable& r : rel_) n += r.in_flight();
+    return n;
+  }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Deadline {
+    NodeId src = 0;
+    std::uint64_t seq = 0;
+    Time at = 0;
+  };
+
+  void on_frame(const FrameHeader& h, const FramePayload& p);
+
+  Channel& inner_;
+  FrameDeliverFn deliver_;
+  std::vector<Reliable> rel_;  // one protocol instance per sending node
+  std::vector<Deadline> timers_;
+  Time now_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dpa::transport

@@ -1,0 +1,48 @@
+// SimChannel: the modeled transport — sim::Network + fm::FmLayer behind
+// the Channel interface.
+//
+// Forwards each message eagerly to the FM layer (the simulator models
+// train aggregation in *time*, not in buffering: the engine's aggregation
+// decides what shares a message, and the LogGP network charges the wire).
+// Byte-identical to the pre-transport tree by construction: the one send
+// path calls the same fm::FmLayer::send in the same order with the same
+// arguments, so modeled costs, event order, and goldens are unchanged.
+#pragma once
+
+#include "fm/fm.h"
+#include "support/assert.h"
+#include "transport/channel.h"
+
+namespace dpa::transport {
+
+class SimChannel final : public Channel {
+ public:
+  explicit SimChannel(fm::FmLayer& fm) : fm_(fm) {}
+
+  const char* name() const override { return "sim"; }
+  ChannelCaps caps() const override {
+    // A fault injector on the modeled network makes the fabric lossy and
+    // reordering — exactly what engages the runtime's reliability layer.
+    const bool faulted = fm_.machine().network().injector() != nullptr;
+    return ChannelCaps{/*lossless=*/!faulted, /*fifo=*/!faulted,
+                       /*framed=*/false, /*buffered=*/false};
+  }
+
+  void send_train(exec::Cpu* cpu, NodeId src, NodeId dst,
+                  TrainItem item) override {
+    DPA_DCHECK(cpu != nullptr) << "the modeled network charges the sender";
+    fm_.send(*cpu, src, dst, item.packet.handler, std::move(item.packet.data),
+             item.packet.bytes);
+  }
+
+  bool flush(exec::Cpu* cpu, NodeId src) override {
+    (void)cpu;
+    (void)src;
+    return false;  // FM hands messages to the modeled network eagerly
+  }
+
+ private:
+  fm::FmLayer& fm_;
+};
+
+}  // namespace dpa::transport

@@ -120,6 +120,31 @@ TEST(BackendOptions, InstallPublishesWorkerPoolSizeForNativeOnly) {
   EXPECT_EQ(exec::NativeBackend::default_tuning().workers, 3u);
 }
 
+// Dedicated coverage for the --workers/--backend=sim mismatch: the sim
+// backend is single-threaded by construction, so a pool size passed with
+// it must warn (naming both flags) and must NOT leak into the process-wide
+// native tuning default.
+TEST(BackendOptions, InstallWarnsWorkersIgnoredOnSimBackend) {
+  exec::ScopedDefaultTuning guard(exec::NativeBackend::default_tuning());
+  const std::uint32_t before = exec::NativeBackend::default_tuning().workers;
+
+  bench::BackendOptions b;  // default backend: "sim"
+  b.workers = 8;
+  ::testing::internal::CaptureStderr();
+  b.install();
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("--workers=8 ignored"), std::string::npos) << err;
+  EXPECT_NE(err.find("--backend=sim"), std::string::npos) << err;
+  EXPECT_NE(err.find("native"), std::string::npos) << err;
+  EXPECT_EQ(exec::NativeBackend::default_tuning().workers, before);
+
+  // workers=0 is the "use the default" sentinel: no warning even on sim.
+  b.workers = 0;
+  ::testing::internal::CaptureStderr();
+  b.install();
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
 TEST(ObsOptions, SessionAttachesOnlyWhenSomeOutputWantsIt) {
   bench::ObsOptions plain;
   plain.init();

@@ -1,0 +1,297 @@
+// PipeChannel end-to-end: an em3d-style phase on 64 nodes round-trips
+// through the socketpair frame codec with bit-identical physics, and — the
+// chaos variant — survives frame drop/dup/reorder under ReliableChannel
+// with the same bits.
+//
+// The workload mirrors the runtime's remote-accumulation pattern on em3d's
+// bipartite graph: each node owns E and H values; an E-update phase walks
+// the H-side dependencies, computes coeff * h where the H value lives, and
+// accumulates -contrib into the E value's home — remotely via the channel,
+// locally via the staging buffer. Deliveries are staged and committed in
+// (src, per-sender index) order after the phase drains, exactly the
+// runtime's deterministic two-level reduction, so the committed doubles
+// must be BIT-identical across in-memory reference, clean pipe, and lossy
+// pipe + reliability — any difference means the transport perturbed
+// physics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "support/rng.h"
+#include "transport/pipe_channel.h"
+#include "transport/reliable_channel.h"
+
+namespace dpa::transport {
+namespace {
+
+constexpr std::uint32_t kNodes = 64;
+constexpr std::uint32_t kEPerNode = 8;   // E values owned per node
+constexpr std::uint32_t kHPerNode = 8;   // H values owned per node
+constexpr std::uint32_t kDegree = 4;     // H-dependencies per E value
+constexpr std::uint16_t kAccumTag = 3;   // the one application payload tag
+
+// One E <- H dependency edge, grouped by the H side's owner (the sender).
+struct Edge {
+  std::uint32_t e_slot = 0;  // global E index (owner = e_slot / kEPerNode)
+  std::uint32_t h_slot = 0;  // global H index (owner = h_slot / kHPerNode)
+  double coeff = 0;
+};
+
+struct Graph {
+  std::vector<double> e_init;
+  std::vector<double> h;
+  std::vector<std::vector<Edge>> by_sender;  // edges grouped by H owner
+};
+
+Graph build_graph(std::uint64_t seed) {
+  Graph g;
+  Rng rng(seed);
+  g.e_init.resize(kNodes * kEPerNode);
+  g.h.resize(kNodes * kHPerNode);
+  for (auto& v : g.e_init) v = rng.next_double() * 2.0 - 1.0;
+  for (auto& v : g.h) v = rng.next_double() * 2.0 - 1.0;
+  g.by_sender.resize(kNodes);
+  for (std::uint32_t e = 0; e < kNodes * kEPerNode; ++e) {
+    for (std::uint32_t d = 0; d < kDegree; ++d) {
+      Edge edge;
+      edge.e_slot = e;
+      // ~half the dependencies cross node boundaries, like em3d's
+      // remote_prob — the rest exercise the local (no-wire) path.
+      edge.h_slot = std::uint32_t(rng.next_below(kNodes * kHPerNode));
+      edge.coeff = rng.next_double();
+      g.by_sender[edge.h_slot / kHPerNode].push_back(edge);
+    }
+  }
+  return g;
+}
+
+// One staged accumulation: applied in (src, index) order at commit, which
+// pins floating-point summation order no matter how the transport
+// reordered delivery.
+struct Staged {
+  NodeId src = 0;
+  std::uint64_t index = 0;  // per-sender message index (dense from 0)
+  std::uint32_t e_slot = 0;
+  double contrib = 0;
+};
+
+std::vector<std::uint8_t> marshal(std::uint64_t index, std::uint32_t e_slot,
+                                  double contrib) {
+  std::vector<std::uint8_t> w(20);
+  std::memcpy(w.data(), &index, 8);
+  std::memcpy(w.data() + 8, &e_slot, 4);
+  std::memcpy(w.data() + 12, &contrib, 8);
+  return w;
+}
+
+Staged unmarshal(NodeId src, const FramePayload& p) {
+  EXPECT_EQ(p.bytes.size(), 20u);
+  Staged s;
+  s.src = src;
+  std::memcpy(&s.index, p.bytes.data(), 8);
+  std::memcpy(&s.e_slot, p.bytes.data() + 8, 4);
+  std::memcpy(&s.contrib, p.bytes.data() + 12, 8);
+  return s;
+}
+
+std::vector<double> commit(const Graph& g, std::vector<Staged> staged) {
+  std::sort(staged.begin(), staged.end(), [](const Staged& a, const Staged& b) {
+    return a.src != b.src ? a.src < b.src : a.index < b.index;
+  });
+  std::vector<double> e = g.e_init;
+  for (const Staged& s : staged) e[s.e_slot] -= s.contrib;
+  return e;
+}
+
+// The phase, parameterized over "how a remote contribution travels". The
+// send function receives (sender, e-owner, marshalled bytes); local
+// contributions stage directly (they never hit a wire, as in the engine).
+void run_phase(const Graph& g, std::vector<Staged>* staged_out,
+               const std::function<void(NodeId, NodeId, std::uint64_t,
+                                        std::vector<std::uint8_t>)>&
+                   send_remote) {
+  std::vector<Staged>& staged = *staged_out;
+  for (NodeId sender = 0; sender < kNodes; ++sender) {
+    std::uint64_t index = 0;
+    for (const Edge& edge : g.by_sender[sender]) {
+      const double contrib = edge.coeff * g.h[edge.h_slot];
+      const NodeId home = edge.e_slot / kEPerNode;
+      if (home == sender) {
+        Staged s;
+        s.src = sender;
+        s.index = index++;
+        s.e_slot = edge.e_slot;
+        s.contrib = contrib;
+        staged.push_back(s);
+      } else {
+        send_remote(sender, home, index,
+                    marshal(index, edge.e_slot, contrib));
+        ++index;
+      }
+    }
+  }
+}
+
+std::uint64_t count_remote(const Graph& g) {
+  std::uint64_t n = 0;
+  for (NodeId sender = 0; sender < kNodes; ++sender)
+    for (const Edge& edge : g.by_sender[sender])
+      if (edge.e_slot / kEPerNode != sender) ++n;
+  return n;
+}
+
+// Reference: every contribution staged in memory, no transport.
+std::vector<double> run_reference(const Graph& g) {
+  std::vector<Staged> staged;
+  run_phase(g, &staged,
+            [&](NodeId src, NodeId, std::uint64_t,
+                std::vector<std::uint8_t> w) {
+              FramePayload p;
+              p.bytes = std::move(w);
+              staged.push_back(unmarshal(src, p));
+            });
+  return commit(g, std::move(staged));
+}
+
+TEST(PipeChannel, Em3dPhaseRoundTripsBitIdentical) {
+  const Graph g = build_graph(0xE3D1);
+  const std::vector<double> want = run_reference(g);
+
+  PipeChannel pipe(kNodes, /*train_max=*/8);
+  pipe.set_epoch(1);
+  std::vector<Staged> staged;
+  pipe.set_deliver([&](const FrameHeader& h, const FramePayload& p) {
+    EXPECT_EQ(h.epoch, 1u);
+    EXPECT_EQ(p.tag, kAccumTag);
+    staged.push_back(unmarshal(h.src, p));
+  });
+  run_phase(g, &staged,
+            [&](NodeId src, NodeId dst, std::uint64_t,
+                std::vector<std::uint8_t> w) {
+              TrainItem item;
+              item.tag = kAccumTag;
+              item.wire = std::move(w);
+              pipe.send_train(nullptr, src, dst, std::move(item));
+            });
+  for (NodeId n = 0; n < kNodes; ++n) pipe.flush(nullptr, n);
+  pipe.drain();
+
+  EXPECT_EQ(pipe.tx_backlog(), 0u);
+  const PipeChannel::WireStats& ws = pipe.wire_stats();
+  EXPECT_EQ(ws.payloads_recv, count_remote(g));
+  EXPECT_EQ(ws.frames_recv, ws.frames_sent);
+  EXPECT_EQ(ws.dropped_frames, 0u);
+  EXPECT_GT(ws.frames_sent, 0u);
+  // Trains amortize: strictly fewer frames than messages.
+  EXPECT_LT(ws.frames_sent, ws.payloads_recv);
+  std::uint64_t trains = 0;
+  for (NodeId n = 0; n < kNodes; ++n) trains += pipe.trains_sent(n);
+  EXPECT_EQ(trains, ws.frames_sent);
+
+  const std::vector<double> got = commit(g, std::move(staged));
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i], want[i]) << "e[" << i << "] diverged";  // bit-identical
+}
+
+TEST(PipeChannel, ChaosPhaseConvergesBitIdenticalUnderReliable) {
+  const Graph g = build_graph(0xE3D1);
+  const std::vector<double> want = run_reference(g);
+
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    PipeChannel pipe(kNodes, /*train_max=*/8);
+    pipe.set_epoch(2);
+    ChannelFaults faults;
+    faults.drop = 0.15;
+    faults.dup = 0.10;
+    faults.reorder = 0.10;
+    faults.seed = seed;
+    pipe.set_faults(faults);
+    EXPECT_FALSE(pipe.caps().lossless);
+
+    RetryPolicy policy;
+    policy.timeout_ns = 2'000'000;
+    ReliableChannel rc(pipe, kNodes, policy);
+    ASSERT_TRUE(rc.caps().lossless);
+    std::vector<Staged> staged;
+    rc.set_deliver([&](const FrameHeader& h, const FramePayload& p) {
+      staged.push_back(unmarshal(h.src, p));
+    });
+
+    run_phase(g, &staged,
+              [&](NodeId src, NodeId dst, std::uint64_t,
+                  std::vector<std::uint8_t> w) {
+                TrainItem item;
+                item.tag = kAccumTag;
+                item.wire = std::move(w);
+                rc.send_train(nullptr, src, dst, std::move(item));
+              });
+    for (NodeId n = 0; n < kNodes; ++n) rc.flush(nullptr, n);
+
+    // Drive the protocol on virtual time until every sequenced message is
+    // acked. Retransmission — not luck — is what ends this loop.
+    Time now = 0;
+    std::uint32_t rounds = 0;
+    while (rc.in_flight() > 0) {
+      ASSERT_LT(++rounds, 100000u) << "reliability failed to converge, "
+                                   << rc.in_flight() << " still in flight";
+      rc.poll();
+      now += 1'000'000;  // 1 ms of virtual time per round
+      rc.pump(now);
+    }
+    rc.poll();
+
+    const ReliableChannel::Stats& st = rc.stats();
+    const PipeChannel::WireStats& ws = pipe.wire_stats();
+    EXPECT_GT(ws.dropped_frames, 0u) << "seed " << seed;
+    EXPECT_GT(st.retries, 0u) << "seed " << seed;
+    EXPECT_GT(st.acks_recv, 0u) << "seed " << seed;
+    // Dups come from the fault plan AND from retransmissions whose
+    // original survived; either way the dedup layer ate them. Exactly-once:
+    // every edge staged exactly one contribution — remote ones over the
+    // lossy wire, local ones directly.
+    EXPECT_EQ(staged.size(), std::size_t(kNodes) * kEPerNode * kDegree)
+        << "seed " << seed;
+
+    const std::vector<double> got = commit(g, std::move(staged));
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      ASSERT_EQ(got[i], want[i])
+          << "seed " << seed << ": e[" << i << "] diverged";
+  }
+}
+
+TEST(PipeChannel, ControlFramesCarryTheControlFlag) {
+  // Acks travel as single-payload control frames; the flag is how a future
+  // prioritizing transport will tell them apart without decoding bodies.
+  PipeChannel pipe(2, /*train_max=*/4);
+  ReliableChannel rc(pipe, 2, RetryPolicy{});
+  std::uint64_t data_frames = 0;
+  rc.set_deliver([&](const FrameHeader& h, const FramePayload&) {
+    EXPECT_EQ(h.flags & kFrameFlagControl, 0);
+    ++data_frames;
+  });
+  TrainItem item;
+  item.tag = 1;
+  item.wire = {1, 2, 3};
+  rc.send_train(nullptr, 0, 1, std::move(item));
+  rc.flush(nullptr, 0);
+  Time now = 0;
+  std::uint32_t rounds = 0;
+  while (rc.in_flight() > 0) {
+    ASSERT_LT(++rounds, 100u);
+    rc.poll();
+    rc.pump(now += 1'000'000);
+  }
+  EXPECT_EQ(data_frames, 1u);
+  EXPECT_EQ(rc.stats().acks_sent, 1u);
+  EXPECT_EQ(rc.stats().acks_recv, 1u);
+  EXPECT_EQ(rc.stats().retries, 0u);
+}
+
+}  // namespace
+}  // namespace dpa::transport
