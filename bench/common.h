@@ -12,6 +12,7 @@
 
 #include "exec/backend.h"
 #include "exec/native_backend.h"
+#include "exec/proc_backend.h"
 #include "obs/chrome_trace.h"
 #include "obs/session.h"
 #include "runtime/phase.h"
@@ -23,38 +24,48 @@
 namespace dpa::bench {
 
 // --backend= plumbing: run a harness's cells on the discrete-event
-// simulator (the default; modeled seconds) or on the native shared-memory
+// simulator (the default; modeled seconds), on the native shared-memory
 // backend (an M:N pool of worker threads multiplexing the simulated nodes;
-// real wall-clock seconds). Native runs are incompatible with fault
-// injection (the in-process fabric cannot lose messages) and force --jobs=1
-// (a cell already fans out across the worker pool, and co-scheduling cells
-// would corrupt each other's timings).
+// real wall-clock seconds), or on the multi-process backend ('proc': one
+// worker process per group of nodes, cross-process messages over
+// socketpairs, real wall-clock seconds). Native and proc runs are
+// incompatible with fault injection (their fabrics cannot lose messages —
+// proc's reliability layer lives inside the transport) and force --jobs=1
+// (a cell already fans out across workers, and co-scheduling cells would
+// corrupt each other's timings).
 struct BackendOptions {
   std::string name = "sim";
   std::int64_t workers = 0;      // native pool size; 0 = min(cores, nodes)
+  std::int64_t procs = 2;        // proc backend: worker process count
   std::int64_t watchdog_ms = 0;  // 0 = no watchdog
   std::string watchdog_dump;     // flight-recorder JSON path ("" = stderr)
 
   void add_flags(Options& options) {
     options
         .str("backend", &name,
-             "execution substrate: 'sim' (modeled LogGP network) or "
+             "execution substrate: 'sim' (modeled LogGP network), "
              "'native' (worker pool multiplexing the nodes, wall-clock "
-             "timings)")
+             "timings), or 'proc' (worker processes over socketpairs, "
+             "wall-clock timings)")
         .i64("workers", &workers,
-             "native only: host threads in the worker pool "
+             "native/proc only: host threads in the worker pool "
              "(0 = one per host core, clamped to the node count)")
+        .i64("procs", &procs,
+             "proc only: worker processes the nodes are partitioned "
+             "across (clamped to the node count)")
         .i64("watchdog-ms", &watchdog_ms,
-             "native only: abort (with a flight-recorder dump) if a phase "
-             "outlives this many wall milliseconds or makes no progress "
-             "(0 = no watchdog)")
+             "native/proc only: abort (with a flight-recorder dump) if a "
+             "phase outlives this many wall milliseconds or makes no "
+             "progress (0 = no watchdog)")
         .str("watchdog-dump", &watchdog_dump,
              "where the watchdog writes its flight-recorder JSON "
              "(default: stderr summary only)");
   }
 
   bool native() const { return name == "native"; }
+  bool proc() const { return name == "proc"; }
   exec::BackendKind kind() const {
+    if (proc()) return exec::BackendKind::kProc;
     return native() ? exec::BackendKind::kNative : exec::BackendKind::kSim;
   }
 
@@ -62,11 +73,11 @@ struct BackendOptions {
   bool validate(const struct FaultOptions& faults) const;
 
   std::size_t clamp_jobs(std::size_t jobs) const {
-    if (native() && jobs != 1) {
+    if ((native() || proc()) && jobs != 1) {
       std::fprintf(stderr,
-                   "warning: --jobs=%zu ignored: --backend=native runs cells "
-                   "serially (each already fans out across host threads)\n",
-                   jobs);
+                   "warning: --jobs=%zu ignored: --backend=%s runs cells "
+                   "serially (each already fans out across workers)\n",
+                   jobs, name.c_str());
       return 1;
     }
     return jobs;
@@ -95,11 +106,11 @@ struct BackendOptions {
   // NativeBackend constructed afterwards.
   void install() const {
     if (workers != 0) {
-      if (!native()) {
+      if (!native() && !proc()) {
         std::fprintf(stderr,
                      "warning: --workers=%lld ignored: the worker pool is a "
-                     "native-backend knob (--backend=sim is single-threaded "
-                     "by construction)\n",
+                     "native/proc-backend knob (--backend=sim is "
+                     "single-threaded by construction)\n",
                      (long long)workers);
       } else if (workers < 0) {
         std::fprintf(stderr,
@@ -107,18 +118,26 @@ struct BackendOptions {
                      "size (or 0 = one worker per host core)\n",
                      (long long)workers);
       } else {
+        // On proc this sizes each worker process's *inner* pool.
         exec::NativeBackend::Tuning tuning =
             exec::NativeBackend::default_tuning();
         tuning.workers = std::uint32_t(workers);
         exec::NativeBackend::set_default_tuning(tuning);
       }
     }
+    if (proc()) {
+      exec::ProcBackend::Config cfg = exec::ProcBackend::default_config();
+      cfg.procs = procs > 0 ? std::uint32_t(procs) : 1;
+      if (watchdog_ms > 0) cfg.watchdog = watchdog_config();
+      exec::ProcBackend::set_default_config(cfg);
+      return;
+    }
     if (watchdog_ms <= 0) return;
     if (!native()) {
       std::fprintf(stderr,
                    "warning: --watchdog-ms=%lld ignored: the watchdog "
-                   "guards native phases (--backend=sim is deterministic "
-                   "and cannot stall)\n",
+                   "guards native/proc phases (--backend=sim is "
+                   "deterministic and cannot stall)\n",
                    (long long)watchdog_ms);
       return;
     }
@@ -130,6 +149,12 @@ struct BackendOptions {
       std::printf(
           "backend: native (M:N worker pool, wall-clock; timings are host "
           "seconds, not modeled T3D seconds)\n\n");
+    if (proc())
+      std::printf(
+          "backend: proc (%lld worker processes over socketpairs, "
+          "wall-clock; timings are host seconds, not modeled T3D "
+          "seconds)\n\n",
+          (long long)(procs > 0 ? procs : 1));
   }
 };
 
@@ -302,15 +327,18 @@ struct FaultOptions {
 };
 
 inline bool BackendOptions::validate(const FaultOptions& faults) const {
-  if (name != "sim" && name != "native") {
-    std::fprintf(stderr, "error: unknown --backend=%s (want sim|native)\n",
+  if (name != "sim" && name != "native" && name != "proc") {
+    std::fprintf(stderr,
+                 "error: unknown --backend=%s (want sim|native|proc)\n",
                  name.c_str());
     return false;
   }
-  if (native() && faults.active()) {
+  if ((native() || proc()) && faults.active()) {
     std::fprintf(stderr,
-                 "error: --backend=native cannot run under --faults= (the "
-                 "in-process fabric is lossless)\n");
+                 "error: --backend=%s cannot run under --faults= (its "
+                 "fabric is lossless; proc retransmission is transport-"
+                 "internal, not a modeled fault)\n",
+                 name.c_str());
     return false;
   }
   return true;

@@ -4,14 +4,14 @@
 Usage:
   check_perf.py --bench path/to/bench_table2_exec_times \\
                 --baseline BENCH_perf.json [--regen] [--tolerance 0.25] \\
-                [--backend sim|native]
+                [--backend sim|native|proc]
 
 Runs the table-2 harness at a small fixed scale, records host wall-clock
 and progress units per host second, and compares throughput against the
 committed baseline. Throughput below (1 - tolerance) x baseline fails the
 gate.
 
-Two gated substrates:
+Three gated substrates:
 
   sim (default): progress unit is discrete events (`sim.events` in the
     `dpa.metrics.v1` snapshot). The event count is deterministic, so it is
@@ -23,6 +23,12 @@ Two gated substrates:
     assertion — just the throughput floor, stored under the "native" key of
     the same baseline file. Thread scheduling is noisier than simulation;
     CI uses a wider tolerance for this mode.
+
+  proc: the multi-process backend (fork-per-phase workers over socketpair
+    frames); progress unit is `exec.tasks` like native, floor-only for the
+    same reason, stored under the "proc" key. Runs at a smaller scale —
+    the per-phase fork + frame-level termination protocol dominates at
+    tiny node counts, which is exactly the overhead this gate watches.
 
 Re-bless a deliberate change (new cost model, bigger workload) with
 --regen — and say why in the commit; --regen touches only the keys of the
@@ -63,10 +69,17 @@ BENCH_ARGS = {
         "--max-procs=64",
         "--workers=0",
     ],
+    "proc": [
+        "--bodies=512",
+        "--particles=512",
+        "--terms=4",
+        "--max-procs=8",
+        "--procs=2",
+    ],
 }
 RUNS = 3
 
-COUNTER = {"sim": "sim.events", "native": "exec.tasks"}
+COUNTER = {"sim": "sim.events", "native": "exec.tasks", "proc": "exec.tasks"}
 
 
 def fail(msg):
@@ -132,7 +145,9 @@ def main():
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--regen", action="store_true")
     ap.add_argument("--tolerance", type=float, default=0.25)
-    ap.add_argument("--backend", choices=["sim", "native"], default="sim")
+    ap.add_argument(
+        "--backend", choices=["sim", "native", "proc"], default="sim"
+    )
     args = ap.parse_args()
 
     current = measure(args.bench, args.backend)
@@ -152,10 +167,10 @@ def main():
         except FileNotFoundError:
             blessed = {}
         if args.backend == "sim":
-            blessed = {**{k: v for k, v in blessed.items() if k == "native"},
-                       **current}
+            kept = {k: v for k, v in blessed.items() if k in ("native", "proc")}
+            blessed = {**kept, **current}
         else:
-            blessed["native"] = current
+            blessed[args.backend] = current
         with open(args.baseline, "w") as f:
             json.dump(blessed, f, indent=2, sort_keys=True)
             f.write("\n")
@@ -167,7 +182,7 @@ def main():
             blessed = json.load(f)
     except FileNotFoundError:
         fail(f"no baseline at {args.baseline}; run with --regen to create it")
-    baseline = blessed if args.backend == "sim" else blessed.get("native")
+    baseline = blessed if args.backend == "sim" else blessed.get(args.backend)
     if not baseline:
         fail(
             f"baseline has no '{args.backend}' numbers; run with "

@@ -98,6 +98,21 @@ BarnesRun BarnesApp::run(std::uint32_t nodes, const sim::NetParams& net,
     params.cost_body_start = cfg_.cost_body_start;
 
     // --- the timed phase ---
+    // Phase-visible host memory for the multi-process backend: force tasks
+    // write owned bodies' acc/work fields (byte-merged — owners are
+    // disjoint) and bump the shared walk counters (delta-summed).
+    exec::ScopedPhaseSpan span_bodies(
+        cluster.exec(),
+        exec::PhaseSpan{bodies.data(), bodies.size() * sizeof(Body),
+                        exec::SpanMerge::kBytes});
+    exec::ScopedPhaseSpan span_inter(
+        cluster.exec(), exec::PhaseSpan{&params.interactions,
+                                        sizeof(params.interactions),
+                                        exec::SpanMerge::kSumU64});
+    exec::ScopedPhaseSpan span_opens(
+        cluster.exec(),
+        exec::PhaseSpan{&params.opens, sizeof(params.opens),
+                        exec::SpanMerge::kSumU64});
     BarnesStep st;
     st.phase =
         runner.run(make_force_work(bodies, owned, root, &params), "bh.force");

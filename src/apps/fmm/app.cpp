@@ -78,6 +78,33 @@ FmmRun FmmApp::run(std::uint32_t nodes, const sim::NetParams& net,
                                 cluster.heap);
 
     // --- the timed interaction phase ---
+    // Phase-visible host memory for the multi-process backend: M2L writes
+    // the target cells' local expansions and P2P writes the target
+    // particles' forces (both target-partitioned, so byte-merged), and the
+    // shared work counters are delta-summed.
+    std::vector<std::unique_ptr<exec::ScopedPhaseSpan>> spans;
+    spans.push_back(std::make_unique<exec::ScopedPhaseSpan>(
+        cluster.exec(),
+        exec::PhaseSpan{particles.data(),
+                        particles.size() * sizeof(Particle),
+                        exec::SpanMerge::kBytes}));
+    for (std::size_t c = 0; c < tree.num_cells(); ++c) {
+      const std::span<Cmplx> local = tree.local(std::int32_t(c));
+      if (local.empty()) continue;
+      spans.push_back(std::make_unique<exec::ScopedPhaseSpan>(
+          cluster.exec(),
+          exec::PhaseSpan{local.data(), local.size() * sizeof(Cmplx),
+                          exec::SpanMerge::kBytes}));
+    }
+    spans.push_back(std::make_unique<exec::ScopedPhaseSpan>(
+        cluster.exec(),
+        exec::PhaseSpan{&pc.m2l_done, sizeof(pc.m2l_done),
+                        exec::SpanMerge::kSumU64}));
+    spans.push_back(std::make_unique<exec::ScopedPhaseSpan>(
+        cluster.exec(),
+        exec::PhaseSpan{&pc.p2p_pairs_done, sizeof(pc.p2p_pairs_done),
+                        exec::SpanMerge::kSumU64}));
+
     FmmStep st;
     st.phase = runner.run(make_interaction_work(&pc, part), "fmm.interact");
     DPA_CHECK(st.phase.completed)

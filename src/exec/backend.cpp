@@ -1,6 +1,7 @@
 #include "exec/backend.h"
 
 #include "exec/native_backend.h"
+#include "exec/proc_backend.h"
 #include "exec/sim_backend.h"
 #include "support/assert.h"
 
@@ -15,6 +16,10 @@ std::unique_ptr<Backend> make_backend(BackendKind kind, std::uint32_t nodes,
       DPA_CHECK(!params.faults.any())
           << "fault injection needs the modeled network: use the sim backend";
       return std::make_unique<NativeBackend>(nodes);
+    case BackendKind::kProc:
+      DPA_CHECK(!params.faults.any())
+          << "fault injection needs the modeled network: use the sim backend";
+      return std::make_unique<ProcBackend>(nodes);
   }
   DPA_PANIC("unknown backend kind");
 }

@@ -27,9 +27,12 @@
 //     thread touching runtime state until the next run_phase().
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "exec/types.h"
 
@@ -69,6 +72,50 @@ struct WatchdogConfig {
   bool fatal = true;      // abort after dumping (fail loudly instead of hang)
 
   bool enabled() const { return phase_deadline > 0 || stuck_scans > 0; }
+};
+
+// How the multi-process backend merges a registered memory span back into
+// the coordinator at the phase barrier.
+enum class SpanMerge : std::uint8_t {
+  kBytes,   // owner's bytes win: ship changed runs, copy them over
+  kSumU64,  // commutative counters: ship per-lane u64 deltas, add them
+};
+
+// A host-memory region that phase tasks may write and the phase result
+// depends on. Single-process backends share the address space and ignore
+// these; the multi-process backend diffs each worker's spans against its
+// fork-time snapshot and applies the changes in the coordinator. Spans
+// must cover every phase-visible write (global-heap objects are registered
+// automatically; apps register their host arrays and counters).
+struct PhaseSpan {
+  const void* addr = nullptr;
+  std::uint64_t bytes = 0;
+  SpanMerge merge = SpanMerge::kBytes;
+};
+
+// How a handler payload crosses a process boundary: marshal flattens the
+// in-memory payload to bytes, unmarshal rebuilds it on the other side.
+// Single-process backends never invoke these.
+struct WireCodec {
+  std::function<std::vector<std::uint8_t>(const void* data,
+                                          std::uint32_t bytes)>
+      marshal;
+  std::function<std::shared_ptr<void>(const std::uint8_t* bytes,
+                                      std::size_t len)>
+      unmarshal;
+};
+
+// Aggregate wire-transport counters for the last phase, merged across all
+// worker processes. All-zero on backends without a byte-stream fabric.
+struct WireStatsTotal {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_recv = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t payloads_recv = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_recv = 0;
+  std::uint64_t dup_msgs_dropped = 0;
 };
 
 class Backend {
@@ -166,6 +213,51 @@ class Backend {
     return false;
   }
 
+  // --- Multi-process hooks ---------------------------------------------
+  // All of these are meaningful only on BackendKind::kProc; the defaults
+  // make single-process backends behave exactly as before, so callers may
+  // use them unconditionally.
+
+  // Registers the byte codec for one handler's payloads. Must happen after
+  // register_handler and before the first run_phase.
+  virtual void set_wire_codec(HandlerId handler, WireCodec codec) {
+    (void)handler;
+    (void)codec;
+  }
+
+  // Installs the producer of the durable span list (global-heap objects,
+  // registered once at cluster construction). Called with the vector to
+  // append to; runs in the coordinator before each fork.
+  virtual void set_span_source(
+      std::function<void(std::vector<PhaseSpan>&)> fn) {
+    (void)fn;
+  }
+
+  // Registers / unregisters a transient span (an app's per-step host array
+  // or counter) for the next run_phase. remove is keyed by addr.
+  virtual void add_phase_span(PhaseSpan span) { (void)span; }
+  virtual void remove_phase_span(const void* addr) { (void)addr; }
+
+  // The phase epilogue runs once per node after quiescence, *in the
+  // process that owns the node*, and returns that node's result blob
+  // (commit order, done flags, stats — PhaseRunner defines the encoding).
+  // Single-process backends run it inline on the caller's thread from
+  // collect_epilogues(); the multi-process backend runs it in each worker
+  // and ships the blobs home. An empty blob means the owning process died.
+  using PhaseEpilogue = std::function<std::string(NodeId)>;
+  void set_phase_epilogue(PhaseEpilogue fn) { phase_epilogue_ = std::move(fn); }
+  virtual std::vector<std::string> collect_epilogues(std::uint32_t nodes) {
+    std::vector<std::string> blobs(nodes);
+    for (NodeId n = 0; n < nodes; ++n) blobs[n] = phase_epilogue_(n);
+    return blobs;
+  }
+
+  // Human-readable explanation of an incomplete phase (which worker died,
+  // which nodes it owned). Empty when the last phase completed.
+  virtual std::string phase_diagnostics() const { return {}; }
+
+  virtual WireStatsTotal wire_stats_total() const { return {}; }
+
   // Escape hatch for sim-specific callers (trace attachment, network
   // stats, targeted fault injection in tests). Null on the native backend.
   virtual sim::Machine* sim_machine() { return nullptr; }
@@ -174,6 +266,26 @@ class Backend {
 
  protected:
   Backend() = default;
+
+  PhaseEpilogue phase_epilogue_;  // installed by PhaseRunner before run()
+};
+
+// RAII registration of a transient phase span (no-op on single-process
+// backends, matching add/remove above).
+class ScopedPhaseSpan {
+ public:
+  ScopedPhaseSpan(Backend& backend, PhaseSpan span)
+      : backend_(backend), addr_(span.addr) {
+    backend_.add_phase_span(span);
+  }
+  ~ScopedPhaseSpan() { backend_.remove_phase_span(addr_); }
+
+  ScopedPhaseSpan(const ScopedPhaseSpan&) = delete;
+  ScopedPhaseSpan& operator=(const ScopedPhaseSpan&) = delete;
+
+ private:
+  Backend& backend_;
+  const void* addr_;
 };
 
 // Factory. `params` configures the simulated network; the native backend

@@ -1,0 +1,257 @@
+// ProcBackend: multi-process execution over the PR-9 transport layer.
+//
+// A coordinator process forks one worker process per group of nodes at
+// each run_phase(); every worker runs the existing M:N NativeBackend pool
+// over the full node-id space but executes only the nodes it owns
+// (owner(node) = node % procs — the same modular affinity the native
+// scheduler uses). Cross-process messages travel as encoded frames over
+// one AF_UNIX socketpair per process pair (transport::PipeChannel in
+// endpoint mode) wrapped in transport::ReliableChannel; a per-worker
+// control socketpair — every frame stamped kFrameFlagControl — carries
+// the coordinator-driven termination protocol, the span diffs, and the
+// result blobs.
+//
+// Execution model (fork-per-phase):
+//   * Between phases the coordinator is the only thread alive. post() and
+//     register_handler() stage work/handlers; run_phase() builds the span
+//     list, creates the socketpairs, and forks the workers — each child a
+//     copy-on-write replica of the engines, handlers and application
+//     state at phase start.
+//   * A worker alternates *sub-phases* with channel pumping: seed the
+//     staged posts for its owned nodes into a freshly constructed inner
+//     NativeBackend, run it to local quiescence, flush the peer trains,
+//     then pump every channel — inbound remote messages become posts for
+//     the next sub-phase. DPA threads are non-blocking continuations, so
+//     local quiescence is always reachable: a pending remote require
+//     holds no task, and the engines' done() flags simply stay false
+//     until the replies arrive and drive another sub-phase.
+//   * Termination is the PR-5/7 two-pass quiescence shape lifted to
+//     frame level: the coordinator broadcasts probe rounds; each worker
+//     reports (quiescent?, tasks run, per-peer sent/recv counts at the
+//     application level — retransmissions excluded). The phase is done
+//     when two consecutive rounds are identical, every worker is
+//     quiescent, and the sent/recv matrices match pairwise.
+//   * After the done broadcast each worker runs the phase epilogue for
+//     its owned nodes (committing staged accumulations (src, seq)-sorted
+//     — the determinism-bearing step), diffs every registered span
+//     against its fork-time snapshot, and ships only the changed runs
+//     home. The coordinator applies them directly: owned writes are
+//     disjoint, so application order cannot matter, and kSumU64 spans
+//     travel as per-lane deltas that simply add.
+//
+// Byte-identity across sim / native / proc: replies carry phase-start
+// object state (the fork snapshot) exactly as the single-process phases
+// read phase-start state under the read-mostly contract; accumulations
+// commit in (src, accum_seq) order at the owning worker; and the same
+// binary performs the same FP operations in the same order.
+//
+// Peer death is a reported error, not a crash: a worker that dies
+// mid-phase surfaces as kPeerDown on its channels (EPIPE/EOF — see
+// ChannelStatus) and as a reaped pid at the coordinator, which writes a
+// flight-record JSON naming the dead worker, aborts the survivors, and
+// fails the phase with diagnostics instead of hanging.
+#pragma once
+
+#include <sys/types.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exec/backend.h"
+#include "transport/pipe_channel.h"
+#include "transport/reliable_channel.h"
+
+namespace dpa::exec {
+
+class NativeBackend;
+
+class ProcBackend final : public Backend {
+ public:
+  struct Config {
+    // Worker process count; clamped to [1, num_nodes].
+    std::uint32_t procs = 2;
+    // Depth at which a per-peer train auto-flushes (wire aggregation).
+    std::uint32_t train_max = 16;
+    // Armed at construction when enabled() — the harness-flag path, same
+    // plumbing as NativeBackend::set_default_watchdog. arm_watchdog()
+    // overrides it per instance.
+    WatchdogConfig watchdog;
+    // Chaos hook: worker index that self-terminates (as if killed) after
+    // `kill_after_pumps` pump-loop iterations; -1 = disabled. A worker can
+    // only finish via the coordinator's done broadcast, which arrives in
+    // its pump loop — so kill_after_pumps=1 fires strictly before any
+    // worker can complete the phase.
+    std::int32_t kill_worker_for_test = -1;
+    std::uint32_t kill_after_pumps = 1;
+  };
+
+  explicit ProcBackend(std::uint32_t num_nodes);
+  ProcBackend(std::uint32_t num_nodes, const Config& config);
+  ~ProcBackend() override;
+
+  // Process-wide default config for subsequently constructed ProcBackends
+  // — same plumbing rationale as NativeBackend::set_default_tuning
+  // (--procs is a harness flag; Clusters are built deep inside app
+  // runners).
+  static void set_default_config(const Config& config);
+  static Config default_config();
+
+  BackendKind kind() const override { return BackendKind::kProc; }
+  std::uint32_t num_nodes() const override { return num_nodes_; }
+  std::uint32_t num_procs() const { return procs_; }
+  NodeId owner_of(NodeId node) const { return node % procs_; }
+
+  HandlerId register_handler(std::string name, Handler fn) override;
+  const std::string& handler_name(HandlerId id) const override {
+    return handlers_[id]->name;
+  }
+
+  void send(Cpu& cpu, NodeId src, NodeId dst, HandlerId handler,
+            std::shared_ptr<void> data, std::uint32_t bytes) override;
+  void post(NodeId node, Task task) override;
+  void flush(Cpu& cpu, NodeId node) override;
+
+  bool supports_timers() const override { return false; }
+  void schedule_at(Time at, TimerFn fn) override;
+
+  Time begin_phase() override;
+  PhaseExec run_phase() override;
+
+  const NodeStats& node_stats(NodeId node) const override {
+    return node_stats_[node];
+  }
+  Time idle_time(NodeId node, Time phase_elapsed) const override {
+    const Time idle = phase_elapsed - node_stats_[node].busy_total;
+    return idle > 0 ? idle : 0;
+  }
+  MsgStats msg_stats_total() const override { return msg_total_; }
+  void reset_msg_stats() override { msg_total_ = MsgStats{}; }
+  SchedStats sched_stats() const override { return sched_total_; }
+
+  bool lossy() const override { return false; }
+
+  // Stores the policy; the coordinator enforces phase_deadline itself and
+  // forwards the config to each worker's inner pool, so an intra-worker
+  // wedge aborts the worker and surfaces as a reported peer death.
+  bool arm_watchdog(const WatchdogConfig& cfg) override {
+    watchdog_cfg_ = cfg;
+    return true;
+  }
+
+  void set_wire_codec(HandlerId handler, WireCodec codec) override;
+  void set_span_source(
+      std::function<void(std::vector<PhaseSpan>&)> fn) override {
+    span_source_ = std::move(fn);
+  }
+  void add_phase_span(PhaseSpan span) override;
+  void remove_phase_span(const void* addr) override;
+
+  std::vector<std::string> collect_epilogues(std::uint32_t nodes) override;
+  std::string phase_diagnostics() const override { return diagnostics_; }
+  WireStatsTotal wire_stats_total() const override { return wire_total_; }
+
+  // Whether the last run_phase() completed cleanly (false after a worker
+  // death — phase_diagnostics() says which).
+  bool last_phase_ok() const { return !phase_failed_; }
+
+ private:
+  struct HandlerEntry {
+    std::string name;
+    Handler fn;
+  };
+
+  // One worker's data link to a peer process: a duplex socketpair end
+  // speaking the frame codec, wrapped in the reliability protocol. `mu`
+  // serializes sends from concurrent inner-pool workers against the pump
+  // loop; `sent` counts application payloads (not retransmissions) for
+  // the termination protocol, `recv` counts post-dedup deliveries.
+  struct PeerLink {
+    std::mutex mu;
+    std::unique_ptr<transport::PipeChannel> pipe;
+    std::unique_ptr<transport::ReliableChannel> rel;
+    std::atomic<std::uint64_t> sent{0};
+    std::uint64_t recv = 0;
+    std::atomic<bool> rel_gave_up{false};  // retry exhaustion (on_peer_dead)
+    bool death_reported = false;
+  };
+
+  enum class Role : std::uint8_t { kCoordinator, kWorker };
+
+  void spawn_workers();
+  [[noreturn]] void worker_main(std::uint32_t self);
+  [[noreturn]] void worker_finalize(
+      transport::PipeChannel& ctl, const std::vector<NodeId>& owned,
+      const std::vector<std::vector<std::uint8_t>>& pristine,
+      const std::vector<NodeStats>& acc, const MsgStats& msg_acc,
+      const SchedStats& sched_acc, std::uint64_t tasks_acc);
+  void coordinator_loop();
+  // Applies one control payload from worker `from` (ctl delivery callback).
+  void coordinator_apply(std::uint32_t from, std::uint16_t tag,
+                         const std::vector<std::uint8_t>& bytes,
+                         void* cur_report, bool* bye);
+  void fail_phase(const std::string& reason, std::int32_t dead_worker,
+                  pid_t dead_pid, int wait_status);
+  void kill_and_reap_all();
+  void write_flight_record(const std::string& reason,
+                           std::int32_t dead_worker, pid_t dead_pid,
+                           int wait_status);
+  std::vector<NodeId> nodes_owned_by(std::uint32_t worker) const;
+
+  const std::uint32_t num_nodes_;
+  Config config_;
+  std::uint32_t procs_;
+  Role role_ = Role::kCoordinator;
+
+  std::vector<std::unique_ptr<HandlerEntry>> handlers_;
+  std::vector<WireCodec> codecs_;  // indexed by HandlerId
+
+  std::function<void(std::vector<PhaseSpan>&)> span_source_;
+  std::vector<PhaseSpan> transient_spans_;  // app-registered, per step
+  std::vector<PhaseSpan> spans_;            // resolved per phase, pre-fork
+
+  // Coordinator staging between begin_phase and run_phase (pre-phase
+  // seeds from engine start()). Inherited copy-on-write by the workers.
+  std::vector<std::deque<Task>> staged_posts_;
+
+  // --- Coordinator-side per-phase state --------------------------------
+  std::vector<pid_t> pids_;
+  std::vector<std::array<int, 2>> ctl_fds_;  // [coordinator end, worker end]
+  // data_fds_[a][b] (a < b): [a's end, b's end] of the (a, b) socketpair.
+  std::vector<std::vector<std::array<int, 2>>> data_fds_;
+  std::vector<std::unique_ptr<transport::PipeChannel>> ctl_;
+  WatchdogConfig watchdog_cfg_;
+  bool phase_failed_ = false;
+  std::string diagnostics_;
+
+  // Merged results (valid after run_phase).
+  std::vector<NodeStats> node_stats_;
+  std::vector<std::string> epilogues_;
+  MsgStats msg_total_;
+  SchedStats sched_total_;
+  WireStatsTotal wire_total_;
+  std::uint64_t events_total_ = 0;
+  Time clock_ns_ = 0;
+
+  // --- Worker-side state (meaningful only after fork) ------------------
+  std::uint32_t self_ = 0;
+  std::unique_ptr<NativeBackend> inner_;
+  std::vector<std::unique_ptr<PeerLink>> links_;  // indexed by peer worker
+  // Inbound remote messages staged between sub-phases. Guarded: channel
+  // deliveries can run on inner-pool threads (a task's flush() pumps).
+  std::mutex inbound_mu_;
+  std::vector<std::pair<NodeId, Task>> pending_inbound_;
+  // Cross-process application-message accounting (merged into MsgStats).
+  std::atomic<std::uint64_t> remote_msgs_sent_{0};
+  std::atomic<std::uint64_t> remote_bytes_sent_{0};
+  std::uint64_t remote_msgs_recv_ = 0;
+  std::uint64_t remote_bytes_recv_ = 0;
+};
+
+}  // namespace dpa::exec

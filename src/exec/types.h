@@ -35,6 +35,7 @@ constexpr double to_micros(Time t) { return double(t) / double(kMicrosecond); }
 enum class BackendKind : std::uint8_t {
   kSim,     // deterministic discrete-event simulator (modeled time)
   kNative,  // M:N worker pool over the nodes, real monotonic time
+  kProc,    // worker processes over socketpairs, one NativeBackend each
 };
 
 // Where a charged nanosecond goes in the breakdown figures.

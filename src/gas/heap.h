@@ -36,6 +36,7 @@ class GlobalHeap {
     auto owner = std::make_unique<Holder<T>>(std::forward<Args>(args)...);
     T* raw = &owner->value;
     objects_.push_back(std::move(owner));
+    spans_.push_back(Span{raw, sizeof(T)});
     ++stats_[home].objects;
     stats_[home].bytes += sizeof(T);
     return GPtr<T>{raw, home};
@@ -68,6 +69,16 @@ class GlobalHeap {
   std::uint32_t num_nodes() const { return std::uint32_t(stats_.size()); }
   std::uint64_t total_objects() const { return objects_.size(); }
 
+  // One {address, size} record per live object, in allocation order — the
+  // multi-process backend's span source (every phase-visible write to a
+  // heap object is covered by its record). Addresses are stable: objects
+  // live until the heap dies and holders never move.
+  struct Span {
+    const void* addr = nullptr;
+    std::uint64_t bytes = 0;
+  };
+  const std::vector<Span>& object_spans() const { return spans_; }
+
  private:
   struct HolderBase {
     virtual ~HolderBase() = default;
@@ -80,6 +91,7 @@ class GlobalHeap {
   };
 
   std::vector<std::unique_ptr<HolderBase>> objects_;
+  std::vector<Span> spans_;
   std::vector<HeapNodeStats> stats_;
 };
 

@@ -78,7 +78,15 @@ struct Cluster {
   Cluster(std::uint32_t num_nodes, exec::BackendKind kind,
           sim::NetParams params = sim::NetParams{})
       : backend(exec::make_backend(kind, num_nodes, params)),
-        heap(num_nodes) {}
+        heap(num_nodes) {
+    // Multi-process backends snapshot/diff registered memory spans at the
+    // phase barrier; every global-heap object is such a span. No-op on
+    // single-process backends.
+    backend->set_span_source([h = &heap](std::vector<exec::PhaseSpan>& out) {
+      for (const gas::GlobalHeap::Span& s : h->object_spans())
+        out.push_back(exec::PhaseSpan{s.addr, s.bytes, exec::SpanMerge::kBytes});
+    });
+  }
 
   std::uint32_t num_nodes() const { return backend->num_nodes(); }
   exec::Backend& exec() { return *backend; }

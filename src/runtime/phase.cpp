@@ -1,6 +1,8 @@
 #include "runtime/phase.h"
 
+#include <cstring>
 #include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -17,6 +19,135 @@ double mean_component(const PhaseResult& r, Time NodeBreakdown::*field) {
   double sum = 0.0;
   for (const auto& n : r.nodes) sum += sim::to_seconds(n.*field);
   return sum / double(r.nodes.size());
+}
+
+// Byte-buffer helpers for the wire codecs and the epilogue blob (native
+// endianness: both ends are fork-related processes on one machine).
+void put_raw(std::vector<std::uint8_t>& b, const void* p, std::size_t n) {
+  const auto* c = static_cast<const std::uint8_t*>(p);
+  b.insert(b.end(), c, c + n);
+}
+template <class T>
+void put(std::vector<std::uint8_t>& b, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_raw(b, &v, sizeof(v));
+}
+template <class T>
+T get(const std::uint8_t*& p, const std::uint8_t* end) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v;
+  DPA_CHECK(std::size_t(end - p) >= sizeof(v)) << "truncated wire payload";
+  std::memcpy(&v, p, sizeof(v));
+  p += sizeof(v);
+  return v;
+}
+
+// The runtime's four wire payloads, flattened for the multi-process
+// backend. GlobalRef is trivially copyable (a host pointer + home + size;
+// the pointer stays valid across fork — same address space layout), so
+// ref vectors travel as raw arrays. AccumFn closures travel as their
+// inline capture bytes plus the ops-table pointer as a type token — only
+// trivially marshallable closures may cross (DPA_CHECKed at marshal).
+
+exec::WireCodec req_codec() {
+  return exec::WireCodec{
+      [](const void* data, std::uint32_t) {
+        const auto* req = static_cast<const ReqPayload*>(data);
+        std::vector<std::uint8_t> b;
+        put(b, req->rel_seq);
+        put(b, req->requester);
+        put(b, std::uint32_t(req->refs.size()));
+        put_raw(b, req->refs.data(), req->refs.size() * sizeof(GlobalRef));
+        return b;
+      },
+      [](const std::uint8_t* p, std::size_t len) -> std::shared_ptr<void> {
+        const std::uint8_t* end = p + len;
+        auto req = std::make_shared<ReqPayload>();
+        req->rel_seq = get<std::uint64_t>(p, end);
+        req->requester = get<NodeId>(p, end);
+        const auto count = get<std::uint32_t>(p, end);
+        req->refs.resize(count);
+        DPA_CHECK(std::size_t(end - p) == count * sizeof(GlobalRef));
+        std::memcpy(req->refs.data(), p, count * sizeof(GlobalRef));
+        return req;
+      }};
+}
+
+exec::WireCodec reply_codec() {
+  return exec::WireCodec{
+      [](const void* data, std::uint32_t) {
+        const auto* reply = static_cast<const ReplyPayload*>(data);
+        std::vector<std::uint8_t> b;
+        put(b, reply->rel_seq);
+        put(b, std::uint32_t(reply->refs.size()));
+        put_raw(b, reply->refs.data(),
+                reply->refs.size() * sizeof(GlobalRef));
+        return b;
+      },
+      [](const std::uint8_t* p, std::size_t len) -> std::shared_ptr<void> {
+        const std::uint8_t* end = p + len;
+        auto reply = std::make_shared<ReplyPayload>();
+        reply->rel_seq = get<std::uint64_t>(p, end);
+        const auto count = get<std::uint32_t>(p, end);
+        reply->refs.resize(count);
+        DPA_CHECK(std::size_t(end - p) == count * sizeof(GlobalRef));
+        std::memcpy(reply->refs.data(), p, count * sizeof(GlobalRef));
+        return reply;
+      }};
+}
+
+exec::WireCodec accum_codec() {
+  return exec::WireCodec{
+      [](const void* data, std::uint32_t) {
+        const auto* accum = static_cast<const AccumPayload*>(data);
+        std::vector<std::uint8_t> b;
+        put(b, accum->rel_seq);
+        put(b, accum->accum_seq);
+        put(b, std::uint32_t(accum->items.size()));
+        for (const auto& [ref, fn] : accum->items) {
+          DPA_CHECK(fn.is_trivially_marshallable())
+              << "accumulate closure captures non-trivial state and cannot "
+              << "cross a process boundary";
+          put(b, ref);
+          put(b, std::uint64_t(std::uintptr_t(fn.marshal_ops())));
+          put(b, std::uint32_t(fn.raw_size()));
+          put_raw(b, fn.raw_bytes(), fn.raw_size());
+        }
+        return b;
+      },
+      [](const std::uint8_t* p, std::size_t len) -> std::shared_ptr<void> {
+        const std::uint8_t* end = p + len;
+        auto accum = std::make_shared<AccumPayload>();
+        accum->rel_seq = get<std::uint64_t>(p, end);
+        accum->accum_seq = get<std::uint64_t>(p, end);
+        const auto count = get<std::uint32_t>(p, end);
+        accum->items.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          auto ref = get<GlobalRef>(p, end);
+          const auto ops = get<std::uint64_t>(p, end);
+          const auto size = get<std::uint32_t>(p, end);
+          DPA_CHECK(std::size_t(end - p) >= size);
+          AccumFn fn = AccumFn::adopt_raw(
+              reinterpret_cast<const void*>(std::uintptr_t(ops)), p, size);
+          p += size;
+          DPA_CHECK(bool(fn)) << "accumulate closure failed to rehydrate";
+          accum->items.emplace_back(ref, std::move(fn));
+        }
+        return accum;
+      }};
+}
+
+exec::WireCodec ack_codec() {
+  return exec::WireCodec{
+      [](const void* data, std::uint32_t) {
+        std::vector<std::uint8_t> b;
+        put(b, *static_cast<const AckPayload*>(data));
+        return b;
+      },
+      [](const std::uint8_t* p, std::size_t len) -> std::shared_ptr<void> {
+        const std::uint8_t* end = p + len;
+        return std::make_shared<AckPayload>(get<AckPayload>(p, end));
+      }};
 }
 }  // namespace
 
@@ -41,9 +172,9 @@ PhaseRunner::PhaseRunner(Cluster& cluster, RuntimeConfig cfg)
   // with deferred timers (the simulator) can run.
   DPA_CHECK(!cfg_.retry.enabled || cluster_.exec().supports_timers())
       << "retry/timeout reliability config needs a backend with deferred "
-      << "timers; --backend=native cannot honor it (its in-process fabric "
-      << "is lossless and has no timer wheel) — drop the retry config or "
-      << "run with --backend=sim";
+      << "timers; --backend=native and --backend=proc cannot honor it "
+      << "(their fabrics are lossless — proc's reliability lives inside "
+      << "the transport) — drop the retry config or run with --backend=sim";
   arenas_.reserve(cluster_.num_nodes());
   for (std::uint32_t i = 0; i < cluster_.num_nodes(); ++i)
     arenas_.push_back(std::make_unique<Arena>());
@@ -79,6 +210,13 @@ PhaseRunner::PhaseRunner(Cluster& cluster, RuntimeConfig cfg)
         auto* ack = static_cast<AckPayload*>(pkt.data.get());
         engines_[pkt.dst]->on_ack(cpu, *ack);
       });
+  // Byte codecs for the multi-process backend (no-ops elsewhere): how each
+  // payload crosses a process boundary when src and dst live in different
+  // workers.
+  backend.set_wire_codec(h_req_, req_codec());
+  backend.set_wire_codec(h_reply_, reply_codec());
+  backend.set_wire_codec(h_accum_, accum_codec());
+  backend.set_wire_codec(h_ack_, ack_codec());
 }
 
 std::unique_ptr<EngineBase> PhaseRunner::make_engine(NodeId node) {
@@ -117,6 +255,27 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
   for (NodeId i = 0; i < n; ++i) engines_.push_back(make_engine(i));
 
   auto& backend = cluster_.exec();
+
+  // The phase epilogue runs once per node after quiescence, *in the
+  // process that owns the node*: commit the staged accumulations in
+  // (src, accum_seq) order — the deterministic half of the two-level
+  // reduction, identical on every backend — then flatten the node's
+  // result (done flag, runtime stats, diagnostics) into a blob the
+  // multi-process backend can ship home. Installed before run_phase so
+  // forked workers inherit it.
+  backend.set_phase_epilogue([this](NodeId node) {
+    EngineBase& engine = *engines_[node];
+    engine.commit_accums();
+    const std::uint8_t done = engine.done() ? 1 : 0;
+    const std::string dump = done ? std::string() : engine.state_dump();
+    std::vector<std::uint8_t> b;
+    put(b, done);
+    put(b, engine.stats());
+    put(b, std::uint32_t(dump.size()));
+    put_raw(b, dump.data(), dump.size());
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  });
+
   const Time phase_start = backend.begin_phase();
   if (cluster_.obs != nullptr)
     cluster_.obs->tracer.phase_begin(name, phase_start);
@@ -129,18 +288,33 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
   if (cluster_.obs != nullptr)
     cluster_.obs->tracer.phase_end(name, phase_start + result.elapsed);
 
-  // The deterministic half of the two-level reduction: staged accumulation
-  // messages mutate their objects here, in (src, seq) order, after global
-  // quiescence — identical on both backends.
-  for (NodeId i = 0; i < n; ++i) engines_[i]->commit_accums();
-
+  // Collect the per-node epilogue blobs: computed inline right here on
+  // single-process backends, shipped from the owning workers on the
+  // multi-process one. An empty blob means the owning process died before
+  // the phase barrier.
+  const std::vector<std::string> blobs = backend.collect_epilogues(n);
   result.completed = true;
   std::ostringstream diag;
+  std::vector<RtNodeStats> node_rt(n);
   for (NodeId i = 0; i < n; ++i) {
-    if (!engines_[i]->done()) {
+    if (blobs[i].empty()) {
       result.completed = false;
-      diag << engines_[i]->state_dump() << "\n";
+      continue;
     }
+    const auto* p = reinterpret_cast<const std::uint8_t*>(blobs[i].data());
+    const std::uint8_t* end = p + blobs[i].size();
+    const bool done = get<std::uint8_t>(p, end) != 0;
+    node_rt[i] = get<RtNodeStats>(p, end);
+    const auto dump_len = get<std::uint32_t>(p, end);
+    if (!done) {
+      result.completed = false;
+      diag << std::string_view(reinterpret_cast<const char*>(p), dump_len)
+           << "\n";
+    }
+  }
+  if (const std::string bd = backend.phase_diagnostics(); !bd.empty()) {
+    result.completed = false;
+    diag << bd << "\n";
   }
   result.diagnostics = diag.str();
 
@@ -153,7 +327,7 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
     nb.comm = proc.busy[int(sim::Work::kComm)];
     nb.busy_total = proc.busy_total;
     nb.idle = backend.idle_time(i, result.elapsed);
-    result.rt.absorb(engines_[i]->stats());
+    result.rt.absorb(node_rt[i]);
   }
   if (sim::Machine* m = backend.sim_machine()) {
     result.net = m->network().stats();
@@ -177,6 +351,19 @@ PhaseResult PhaseRunner::run(std::vector<NodeWork> work,
     *m.counter("transport.acks_recv") += result.rt.acks_recv;
     *m.counter("transport.dup_msgs_dropped") += result.rt.dup_msgs_dropped;
     *m.counter("transport.trains_sent") += result.fm_total.trains_sent;
+    if (backend.kind() == exec::BackendKind::kProc) {
+      // Real bytes on the socketpair fabric, merged across all worker
+      // processes (frame codec + reliability decorator counters).
+      const exec::WireStatsTotal wt = backend.wire_stats_total();
+      *m.counter("transport.wire_frames_sent") += wt.frames_sent;
+      *m.counter("transport.wire_frames_recv") += wt.frames_recv;
+      *m.counter("transport.wire_bytes_sent") += wt.bytes_sent;
+      *m.counter("transport.wire_payloads_recv") += wt.payloads_recv;
+      *m.counter("transport.wire_retries") += wt.retries;
+      *m.counter("transport.wire_acks_sent") += wt.acks_sent;
+      *m.counter("transport.wire_acks_recv") += wt.acks_recv;
+      *m.counter("transport.wire_dup_dropped") += wt.dup_msgs_dropped;
+    }
     if (backend.is_sim()) {
       *m.counter("sim.events") += result.sim_events;
       *m.counter("net.messages") += result.net.messages;

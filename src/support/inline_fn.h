@@ -86,6 +86,43 @@ class InlineFn<R(Args...), N> {
   // True when the engaged target lives in the inline buffer (test hook).
   bool is_inline() const { return ops_ != nullptr && !ops_->heap; }
 
+  // True when the target is inline AND trivially copyable/destructible —
+  // i.e. the raw capture bytes are a complete, relocatable representation.
+  // The multi-process wire codec uses this to ship accumulation closures
+  // as byte blobs; closures capturing non-trivial state must not cross a
+  // process boundary and fail this check.
+  bool is_trivially_marshallable() const {
+    return ops_ != nullptr && !ops_->heap && ops_->trivial;
+  }
+
+  // Raw access to the inline capture bytes, for marshalling (valid only
+  // when is_trivially_marshallable()). `raw_size` is the stored target's
+  // size, not the buffer capacity. `marshal_ops` is the pointer to the
+  // target type's static ops table: under fork() the child shares the
+  // parent's address-space layout, so the pointer value itself is a valid
+  // type token on the other side of a cross-process wire.
+  const void* raw_bytes() const { return storage_; }
+  std::size_t raw_size() const { return ops_ != nullptr ? ops_->size : 0; }
+  const void* marshal_ops() const { return ops_; }
+
+  // Rehydrates a callable from (marshal_ops, raw_bytes, raw_size) produced
+  // by a fork-related process running the same binary. Returns an empty fn
+  // on any mismatch (non-trivial target, wrong size) — the caller decides
+  // whether that is fatal. A trivially copyable target is an
+  // implicit-lifetime type: copying its object representation into
+  // suitably aligned storage starts its lifetime.
+  static InlineFn adopt_raw(const void* ops, const void* bytes,
+                            std::size_t size) {
+    InlineFn fn;
+    const Ops* o = static_cast<const Ops*>(ops);
+    if (o == nullptr || o->heap || !o->trivial || o->size != size ||
+        size > sizeof(fn.storage_))
+      return fn;
+    __builtin_memcpy(fn.storage_, bytes, size);
+    fn.ops_ = o;
+    return fn;
+  }
+
   void reset() {
     if (ops_ != nullptr) {
       ops_->destroy(target());
@@ -101,6 +138,8 @@ class InlineFn<R(Args...), N> {
     void (*relocate)(void* from_storage, void* to_storage);
     void (*destroy)(void* obj);
     bool heap;
+    bool trivial;       // target is trivially copyable + destructible
+    std::size_t size;   // sizeof the stored target type
   };
 
   template <class F>
@@ -120,7 +159,10 @@ class InlineFn<R(Args...), N> {
       from->~F();
     }
     static void destroy(void* obj) { static_cast<F*>(obj)->~F(); }
-    static constexpr Ops ops{&invoke, &relocate, &destroy, /*heap=*/false};
+    static constexpr Ops ops{&invoke, &relocate, &destroy, /*heap=*/false,
+                             /*trivial=*/std::is_trivially_copyable_v<F> &&
+                                 std::is_trivially_destructible_v<F>,
+                             /*size=*/sizeof(F)};
   };
 
   template <class F>
@@ -133,7 +175,8 @@ class InlineFn<R(Args...), N> {
       ::new (to_storage) void*(*from);
     }
     static void destroy(void* obj) { delete static_cast<F*>(obj); }
-    static constexpr Ops ops{&invoke, &relocate, &destroy, /*heap=*/true};
+    static constexpr Ops ops{&invoke, &relocate, &destroy, /*heap=*/true,
+                             /*trivial=*/false, /*size=*/sizeof(F)};
   };
 
   template <class F, class Arg>

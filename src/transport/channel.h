@@ -48,6 +48,14 @@ struct ChannelCaps {
   bool buffered = false; // per-destination trains accumulate until flush
 };
 
+// Liveness of the peer on the other end of a channel. In-process fabrics
+// are always kOk; a byte-stream channel whose counterpart process died
+// (EPIPE/ECONNRESET on write, EOF on read) reports kPeerDown instead of
+// aborting, so a coordinator can detect the loss, name the dead peer, and
+// fail the phase cleanly. Once kPeerDown, a channel stays down: sends are
+// silently discarded and poll() makes no further progress.
+enum class ChannelStatus : std::uint8_t { kOk, kPeerDown };
+
 // One message entering a channel. See the header comment for why it
 // carries multiple representations.
 struct TrainItem {
@@ -93,6 +101,10 @@ class Channel {
   // Framed channels: installs the delivery callback (transport::Reliable
   // interposes here). Panics on channels that deliver synchronously.
   virtual void set_deliver(FrameDeliverFn fn);
+
+  // Peer liveness. poll() surfaces death passively: it returns 0 forever
+  // once the peer is gone, and this accessor says why.
+  virtual ChannelStatus status() const { return ChannelStatus::kOk; }
 
   // Trains handed off by src since construction / the last stats reset.
   virtual std::uint64_t trains_sent(NodeId src) const {

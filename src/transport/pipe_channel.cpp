@@ -33,9 +33,19 @@ PipeChannel::PipeChannel(std::uint32_t num_nodes, std::uint32_t train_max)
   set_nonblocking(fds_[1]);
 }
 
+PipeChannel::PipeChannel(std::uint32_t num_nodes, std::uint32_t train_max,
+                         Endpoint ep)
+    : train_max_(train_max), srcs_(num_nodes), fault_rng_(1) {
+  DPA_CHECK(train_max_ > 0);
+  DPA_CHECK(ep.fd >= 0) << "endpoint PipeChannel needs a valid fd";
+  for (auto& s : srcs_) s.train.resize(num_nodes);
+  fds_[0] = fds_[1] = ep.fd;  // duplex: write and read the same socket
+  set_nonblocking(ep.fd);
+}
+
 PipeChannel::~PipeChannel() {
   if (fds_[0] >= 0) close(fds_[0]);
-  if (fds_[1] >= 0) close(fds_[1]);
+  if (fds_[1] >= 0 && fds_[1] != fds_[0]) close(fds_[1]);
 }
 
 void PipeChannel::set_faults(const ChannelFaults& faults) {
@@ -66,7 +76,9 @@ void PipeChannel::flush_dest(NodeId src, NodeId dst) {
   ++s.trains;
   std::vector<std::uint8_t> frame;
   const std::uint16_t flags =
-      (tr.size() == 1 && tr[0].tag == 0xffff) ? kFrameFlagControl : 0;
+      (mark_control_ || (tr.size() == 1 && tr[0].tag == 0xffff))
+          ? kFrameFlagControl
+          : 0;
   encode_frame(src, dst, epoch_, flags, tr, &frame);
   tr.clear();
   transmit(std::move(frame));
@@ -119,18 +131,25 @@ void PipeChannel::enqueue_wire(std::vector<std::uint8_t> frame) {
 
 std::size_t PipeChannel::pump() {
   DPA_CHECK(!pumping_) << "re-entrant pump";
+  if (peer_down_) return 0;
   pumping_ = true;
   std::size_t delivered = 0;
   bool progress = true;
-  while (progress) {
+  while (progress && !peer_down_) {
     progress = false;
-    // Write side: push backlog until the kernel buffer is full.
+    // Write side: push backlog until the kernel buffer is full. send()
+    // with MSG_NOSIGNAL instead of raw write(): a dead peer must surface
+    // as EPIPE -> kPeerDown, not as a process-killing SIGPIPE.
     while (!tx_.empty()) {
       const auto& f = tx_.front();
-      const ssize_t n =
-          write(fds_[0], f.data() + tx_off_, f.size() - tx_off_);
+      const ssize_t n = send(fds_[0], f.data() + tx_off_,
+                             f.size() - tx_off_, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (errno == EPIPE || errno == ECONNRESET) {
+          peer_down_ = true;
+          break;
+        }
         DPA_CHECK(errno == EAGAIN || errno == EWOULDBLOCK)
             << "pipe write: " << std::strerror(errno);
         break;
@@ -142,17 +161,25 @@ std::size_t PipeChannel::pump() {
         tx_off_ = 0;
       }
     }
-    // Read side: drain the socket into the reassembly buffer.
-    for (;;) {
+    // Read side: drain the socket into the reassembly buffer. EOF means
+    // the peer closed its half — also kPeerDown, never an abort.
+    while (!peer_down_) {
       std::uint8_t buf[65536];
       const ssize_t n = read(fds_[1], buf, sizeof(buf));
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (errno == ECONNRESET) {
+          peer_down_ = true;
+          break;
+        }
         DPA_CHECK(errno == EAGAIN || errno == EWOULDBLOCK)
             << "pipe read: " << std::strerror(errno);
         break;
       }
-      DPA_CHECK(n != 0) << "pipe peer closed";
+      if (n == 0) {
+        peer_down_ = true;
+        break;
+      }
       progress = true;
       rx_.insert(rx_.end(), buf, buf + n);
     }
@@ -194,8 +221,10 @@ void PipeChannel::drain() {
   if (!held_.empty()) enqueue_wire(std::exchange(held_, {}));
   // Every pump with a non-empty backlog makes progress (a full kernel
   // buffer is drained by our own read side in the same call), so this
-  // terminates once the wire is quiet and all deliveries ran.
-  while (pump() > 0 || !tx_.empty()) {
+  // terminates once the wire is quiet and all deliveries ran. A dead peer
+  // ends the loop too — nothing we still hold can ever depart, and
+  // spinning on an undeliverable backlog would hang the caller.
+  while (!peer_down_ && (pump() > 0 || !tx_.empty())) {
   }
 }
 

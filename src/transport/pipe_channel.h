@@ -59,10 +59,25 @@ class PipeChannel final : public Channel {
   };
 
   PipeChannel(std::uint32_t num_nodes, std::uint32_t train_max);
+
+  // Endpoint mode: adopt one duplex fd (our half of a socketpair whose
+  // other half lives in a different process). Writes and reads both use
+  // `fd`; the channel owns it and closes it on destruction. This is the
+  // multi-process transport: each worker holds one PipeChannel per peer.
+  struct Endpoint {
+    int fd = -1;
+  };
+  PipeChannel(std::uint32_t num_nodes, std::uint32_t train_max, Endpoint ep);
+
   ~PipeChannel() override;
 
   // Frames carry the phase epoch; the phase driver stamps it.
   void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }
+  // Marks every frame this channel sends as a control frame
+  // (kFrameFlagControl) — used by the multi-process coordinator's
+  // termination-protocol channel, whose traffic a prioritizing transport
+  // must tell apart from data without decoding bodies.
+  void set_control(bool control) { mark_control_ = control; }
   // Arms (or disarms, with {}) the fault schedule. Faulted delivery is
   // only exactly-once under a ReliableChannel wrapper.
   void set_faults(const ChannelFaults& faults);
@@ -86,8 +101,13 @@ class PipeChannel final : public Channel {
   bool flush(exec::Cpu* cpu, NodeId src) override;
 
   // Writes backlog / reads / decodes / delivers; returns payloads
-  // delivered by this call.
+  // delivered by this call. Once the peer is down this returns 0 forever
+  // (status() says why) instead of aborting — see ChannelStatus.
   std::size_t poll() override { return pump(); }
+
+  ChannelStatus status() const override {
+    return peer_down_ ? ChannelStatus::kPeerDown : ChannelStatus::kOk;
+  }
 
   std::uint64_t trains_sent(NodeId src) const override {
     return srcs_[src].trains;
@@ -101,6 +121,10 @@ class PipeChannel final : public Channel {
 
   const WireStats& wire_stats() const { return stats_; }
   std::size_t tx_backlog() const { return tx_.size(); }
+
+  // The fd arrivals land on — what a multi-process event loop hands to
+  // poll(2) to sleep until this channel has bytes to read.
+  int wire_fd() const { return fds_[1]; }
 
  private:
   struct SrcState {
@@ -118,10 +142,15 @@ class PipeChannel final : public Channel {
 
   std::uint32_t train_max_;
   std::uint64_t epoch_ = 0;
+  bool mark_control_ = false;
   std::vector<SrcState> srcs_;
   FrameDeliverFn deliver_;
 
-  int fds_[2] = {-1, -1};  // [0] write end, [1] read end (one direction)
+  // Loopback mode: [0] write end, [1] read end of an in-process
+  // socketpair. Endpoint mode: both entries hold the one adopted duplex
+  // fd (guarded against double-close in the destructor).
+  int fds_[2] = {-1, -1};
+  bool peer_down_ = false;  // EPIPE/ECONNRESET on write or EOF on read
   std::deque<std::vector<std::uint8_t>> tx_;  // encoded frames awaiting write
   std::size_t tx_off_ = 0;                    // partial-write offset in front
   std::vector<std::uint8_t> rx_;              // reassembly buffer

@@ -10,11 +10,28 @@ const Reliable::Pending* Reliable::retry(std::uint64_t seq) {
   auto it = pending_.find(seq);
   if (it == pending_.end()) return nullptr;  // ack raced the timer
   Pending& p = it->second;
+  if (p.attempts >= policy_.max_retries) {
+    // Give the message up: max_retries retransmissions (plus the original
+    // send) went unacked. Drop the entry first so the callback sees a
+    // consistent in-flight table, then let the owner decide what that
+    // means — the default is the historical abort, a multi-process
+    // coordinator turns it into a peer-dead report. `sends` counts actual
+    // transmissions (1 + p.attempts), not p.attempts + the increment the
+    // old message double-counted.
+    const NodeId dst = p.dst;
+    const std::uint32_t sends = 1 + p.attempts;
+    pending_.erase(seq);
+    if (on_peer_dead_) {
+      on_peer_dead_(dst, seq, sends);
+      return nullptr;
+    }
+    DPA_PANIC("node " << self_ << " gave up on seq " << seq << " to node "
+                      << dst << " after " << sends << " sends (1 original + "
+                      << (sends - 1)
+                      << " retransmissions) — fabric unusable or the "
+                      << "reliability layer is broken");
+  }
   ++p.attempts;
-  DPA_CHECK(p.attempts <= policy_.max_retries)
-      << "node " << self_ << " gave up on seq " << seq << " to node " << p.dst
-      << " after " << p.attempts << " attempts — fabric unusable or the "
-      << "reliability layer is broken";
   // Exponential backoff, capped: attempt n waits timeout * backoff^n.
   p.timeout = std::min<Time>(Time(double(p.timeout) * policy_.backoff),
                              policy_.max_timeout_ns);

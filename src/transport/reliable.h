@@ -27,11 +27,15 @@
 //   * accept() is exactly-once per (src, seq): the first copy is
 //     delivered, every later copy reports false and must be dropped.
 //   * retry() applies capped exponential backoff (attempt n waits
-//     timeout * backoff^n) and dies loudly after max_retries — an
-//     undeliverable fabric is a bug, not a steady state.
+//     timeout * backoff^n); after max_retries retransmissions it gives the
+//     message up through on_peer_dead. The default callback dies loudly —
+//     on a single-process fabric an undeliverable message is a bug, not a
+//     steady state — but a multi-process coordinator overrides it so one
+//     lost worker becomes a reported error instead of a crash.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -113,9 +117,19 @@ class Reliable {
     return pending_.find(seq) != pending_.end();
   }
 
-  // A retransmit deadline fired: bumps the attempt count (fatal past
-  // max_retries), applies backoff, and returns the record the caller must
-  // re-send — or null if the ack raced the timer. The pointer is into the
+  // Invoked when a message exhausts max_retries: (dst, seq, sends) where
+  // `sends` counts every transmission attempted — 1 original plus
+  // max_retries retransmissions. The pending entry is already erased when
+  // this runs; the callback decides what giving up means (the default
+  // panics, a multi-process coordinator reports the peer dead).
+  using PeerDeadFn =
+      std::function<void(NodeId dst, std::uint64_t seq, std::uint32_t sends)>;
+  void set_on_peer_dead(PeerDeadFn fn) { on_peer_dead_ = std::move(fn); }
+
+  // A retransmit deadline fired: bumps the attempt count, applies backoff,
+  // and returns the record the caller must re-send — or null if the ack
+  // raced the timer, or if max_retries was exhausted (the entry is dropped
+  // and on_peer_dead runs before returning). The pointer is into the
   // pending table: invalidated by the next track/retry/on_ack.
   const Pending* retry(std::uint64_t seq);
 
@@ -141,6 +155,7 @@ class Reliable {
   NodeId self_ = 0;
   RetryPolicy policy_;
   std::uint64_t next_seq_ = 0;
+  PeerDeadFn on_peer_dead_;  // empty = the default abort in retry()
   FlatMap<std::uint64_t, Pending> pending_;
   // Per-source sets of delivered sequence numbers (receiver-side dedup).
   std::vector<FlatSet<std::uint64_t>> seen_;

@@ -64,7 +64,12 @@ std::size_t ReliableChannel::pump(Time now) {
       continue;
     }
     const Reliable::Pending* p = rel_[t.src].retry(t.seq);
-    DPA_DCHECK(p != nullptr);
+    if (p == nullptr) {
+      // max_retries exhausted: the entry was dropped (and on_peer_dead
+      // already ran). The timer lapses — nothing left to re-arm.
+      ++stats_.gave_up;
+      continue;
+    }
     ++stats_.retries;
     TrainItem item;
     item.tag = p->handler;

@@ -40,6 +40,7 @@ class ReliableChannel final : public Channel {
     std::uint64_t acks_sent = 0;
     std::uint64_t acks_recv = 0;
     std::uint64_t dup_msgs_dropped = 0;
+    std::uint64_t gave_up = 0;  // messages abandoned after max_retries
   };
 
   // `inner` must be framed (DPA_CHECKed); the decorator installs itself as
@@ -67,6 +68,14 @@ class ReliableChannel final : public Channel {
     return inner_.flush(cpu, src);
   }
   std::size_t poll() override { return inner_.poll(); }
+  ChannelStatus status() const override { return inner_.status(); }
+
+  // Installs one give-up handler across every sending node's protocol
+  // instance (the callbacks run with the pending entry already erased).
+  // Unset, a message that exhausts max_retries aborts the process.
+  void set_on_peer_dead(Reliable::PeerDeadFn fn) {
+    for (Reliable& r : rel_) r.set_on_peer_dead(fn);
+  }
   std::uint64_t trains_sent(NodeId src) const override {
     return inner_.trains_sent(src);
   }

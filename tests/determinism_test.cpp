@@ -24,6 +24,7 @@
 #include "apps/olden/treeadd.h"
 #include "exec/backend.h"
 #include "exec/native_backend.h"
+#include "exec/proc_backend.h"
 #include "obs/session.h"
 #include "runtime/config.h"
 #include "sim/fault.h"
@@ -346,6 +347,81 @@ TEST(SimVsNative, WorkerPoolSizeNeverPerturbsPhysics) {
       append_doubles(got, native.e_values.data(), native.e_values.size());
       append_doubles(got, native.h_values.data(), native.h_values.size());
       EXPECT_EQ(oracle, got) << "engine " << engine << " workers " << workers;
+    }
+  }
+}
+
+// ---------- sim vs native vs proc: the three-way oracle ----------
+//
+// The multi-process backend's headline claim, extending SimVsNative: the
+// same program computes the same bits whether it runs on the simulator,
+// on one process full of threads, or partitioned across worker *processes*
+// that exchange encoded frames over socketpairs. Remote accumulations
+// commit (src, seq)-sorted in the owning worker; replies carry fork-time
+// (= phase-start) object state; span merges are disjoint by ownership.
+
+// Sets the process-wide ProcBackend config for a scope, restoring the
+// previous default on exit (mirrors exec::ScopedDefaultTuning).
+class ScopedProcConfig {
+ public:
+  explicit ScopedProcConfig(const exec::ProcBackend::Config& cfg)
+      : saved_(exec::ProcBackend::default_config()) {
+    exec::ProcBackend::set_default_config(cfg);
+  }
+  ~ScopedProcConfig() { exec::ProcBackend::set_default_config(saved_); }
+
+ private:
+  exec::ProcBackend::Config saved_;
+};
+
+TEST(ProcEquivalence, PhysicsAreByteIdenticalAcrossAllThreeBackends) {
+  exec::ProcBackend::Config cfg;
+  cfg.procs = 2;
+  const ScopedProcConfig guard(cfg);
+  for (std::size_t engine = 0; engine < kEngines; ++engine) {
+    for (std::size_t app = 0; app < 3; ++app) {
+      const std::string sim =
+          physics_snapshot(engine, app, exec::BackendKind::kSim);
+      const std::string native =
+          physics_snapshot(engine, app, exec::BackendKind::kNative);
+      const std::string proc =
+          physics_snapshot(engine, app, exec::BackendKind::kProc);
+      EXPECT_EQ(sim, native) << "engine " << engine << " app " << app;
+      EXPECT_EQ(sim, proc) << "engine " << engine << " app " << app;
+    }
+  }
+}
+
+TEST(ProcEquivalence, ProcessCountNeverPerturbsPhysics) {
+  // Quantified over the partition: 8-node em3d must compute the same bits
+  // whether one process owns all nodes, or they are split 2/4/8 ways (8 =
+  // every node its own process, maximum cross-process traffic).
+  apps::em3d::Em3dConfig cfg;
+  cfg.e_per_node = 32;
+  cfg.h_per_node = 32;
+  cfg.remote_prob = 0.5;
+  cfg.iters = 2;
+  const apps::em3d::Em3dApp em(cfg, 8);
+  for (std::size_t engine = 0; engine < kEngines; ++engine) {
+    const auto rcfg = equivalence_config(engine);
+    const auto sim =
+        em.run(net(false), rcfg, nullptr, exec::BackendKind::kSim);
+    ASSERT_TRUE(sim.all_completed()) << "engine " << engine;
+    std::string oracle;
+    append_doubles(oracle, sim.e_values.data(), sim.e_values.size());
+    append_doubles(oracle, sim.h_values.data(), sim.h_values.size());
+    for (const std::uint32_t procs : {1u, 2u, 4u, 8u}) {
+      exec::ProcBackend::Config pcfg;
+      pcfg.procs = procs;
+      const ScopedProcConfig guard(pcfg);
+      const auto proc =
+          em.run(net(false), rcfg, nullptr, exec::BackendKind::kProc);
+      ASSERT_TRUE(proc.all_completed())
+          << "engine " << engine << " procs " << procs;
+      std::string got;
+      append_doubles(got, proc.e_values.data(), proc.e_values.size());
+      append_doubles(got, proc.h_values.data(), proc.h_values.size());
+      EXPECT_EQ(oracle, got) << "engine " << engine << " procs " << procs;
     }
   }
 }

@@ -14,11 +14,14 @@
 // pipe + reliability — any difference means the transport perturbed
 // physics.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "support/rng.h"
@@ -291,6 +294,131 @@ TEST(PipeChannel, ControlFramesCarryTheControlFlag) {
   EXPECT_EQ(rc.stats().acks_sent, 1u);
   EXPECT_EQ(rc.stats().acks_recv, 1u);
   EXPECT_EQ(rc.stats().retries, 0u);
+}
+
+// ---------- endpoint mode + peer death ----------
+//
+// The multi-process configuration: each side of a socketpair lives in a
+// different channel (in production, a different process). A dead peer must
+// surface as ChannelStatus::kPeerDown — never a SIGPIPE, never an abort —
+// because the coordinator turns it into a reported error.
+
+std::pair<std::unique_ptr<PipeChannel>, std::unique_ptr<PipeChannel>>
+make_endpoint_pair(std::uint32_t num_nodes, std::uint32_t train_max) {
+  int sv[2] = {-1, -1};
+  EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  auto a = std::make_unique<PipeChannel>(num_nodes, train_max,
+                                         PipeChannel::Endpoint{sv[0]});
+  auto b = std::make_unique<PipeChannel>(num_nodes, train_max,
+                                         PipeChannel::Endpoint{sv[1]});
+  return {std::move(a), std::move(b)};
+}
+
+TEST(PipeEndpoint, TwoChannelsRoundTripOverOneSocketpair) {
+  auto [a, b] = make_endpoint_pair(2, /*train_max=*/4);
+  std::vector<std::vector<std::uint8_t>> got;
+  b->set_deliver([&](const FrameHeader& h, const FramePayload& p) {
+    EXPECT_EQ(h.src, 0u);
+    EXPECT_EQ(h.dst, 1u);
+    got.push_back(p.bytes);
+  });
+  a->set_deliver([](const FrameHeader&, const FramePayload&) {
+    FAIL() << "nothing was sent toward side A";
+  });
+
+  TrainItem item;
+  item.tag = 7;
+  item.wire = {1, 2, 3, 4};
+  a->send_train(nullptr, 0, 1, std::move(item));
+  a->flush(nullptr, 0);
+  for (int i = 0; i < 100 && got.empty(); ++i) b->poll();
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(a->status(), ChannelStatus::kOk);
+  EXPECT_EQ(b->status(), ChannelStatus::kOk);
+}
+
+TEST(PipeEndpoint, PeerCloseSurfacesAsPeerDownOnRead) {
+  auto [a, b] = make_endpoint_pair(2, /*train_max=*/4);
+  b.reset();  // peer vanishes: its destructor closes the other half
+  a->set_deliver([](const FrameHeader&, const FramePayload&) {});
+  EXPECT_EQ(a->poll(), 0u);  // EOF, not a crash
+  EXPECT_EQ(a->status(), ChannelStatus::kPeerDown);
+  // The condition is sticky and polling a dead channel stays a no-op.
+  EXPECT_EQ(a->poll(), 0u);
+  EXPECT_EQ(a->status(), ChannelStatus::kPeerDown);
+}
+
+TEST(PipeEndpoint, WriteToDeadPeerIsPeerDownNotSigpipe) {
+  auto [a, b] = make_endpoint_pair(2, /*train_max=*/4);
+  b.reset();
+  a->set_deliver([](const FrameHeader&, const FramePayload&) {});
+  // A raw write() here would raise SIGPIPE and kill the process; the
+  // channel sends with MSG_NOSIGNAL and maps EPIPE to kPeerDown. Reaching
+  // the assertions below IS the no-SIGPIPE proof.
+  TrainItem item;
+  item.tag = 7;
+  item.wire.assign(4096, 0xAB);
+  a->send_train(nullptr, 0, 1, std::move(item));
+  a->flush(nullptr, 0);
+  a->poll();
+  EXPECT_EQ(a->status(), ChannelStatus::kPeerDown);
+}
+
+TEST(PipeEndpoint, DrainReturnsInsteadOfSpinningOnADeadPeer) {
+  auto [a, b] = make_endpoint_pair(2, /*train_max=*/4);
+  b.reset();
+  a->set_deliver([](const FrameHeader&, const FramePayload&) {});
+  // Queue more than a kernel buffer could absorb unanswered, then drain:
+  // the "until no progress" loop must bail on peer-down rather than wait
+  // forever for the dead side to read.
+  for (int i = 0; i < 64; ++i) {
+    TrainItem item;
+    item.tag = 7;
+    item.wire.assign(65536, std::uint8_t(i));
+    a->send_train(nullptr, 0, 1, std::move(item));
+  }
+  a->flush(nullptr, 0);
+  a->drain();  // must return (the test would hang here on a regression)
+  EXPECT_EQ(a->status(), ChannelStatus::kPeerDown);
+}
+
+TEST(PipeEndpoint, ReliableChannelReportsGaveUpInsteadOfAborting) {
+  // The full multi-process data-link stack over a dead peer: Reliable's
+  // retransmissions all hit the closed socket, max_retries exhausts, and
+  // the channel reports gave_up through the peer-dead callback instead of
+  // crashing the process.
+  auto [a, b] = make_endpoint_pair(2, /*train_max=*/4);
+  b.reset();
+  RetryPolicy policy;
+  policy.timeout_ns = 1'000'000;
+  policy.max_retries = 5;
+  ReliableChannel rc(*a, 2, policy);
+  rc.set_deliver([](const FrameHeader&, const FramePayload&) {});
+  std::vector<std::pair<NodeId, std::uint32_t>> dead;
+  rc.set_on_peer_dead([&](NodeId dst, std::uint64_t, std::uint32_t sends) {
+    dead.push_back({dst, sends});
+  });
+
+  TrainItem item;
+  item.tag = 7;
+  item.wire = {9, 9, 9};
+  rc.send_train(nullptr, 0, 1, std::move(item));
+  rc.flush(nullptr, 0);
+
+  Time now = 0;
+  std::uint32_t rounds = 0;
+  while (rc.in_flight() > 0) {
+    ASSERT_LT(++rounds, 1000u) << "give-up never fired";
+    rc.poll();
+    rc.pump(now += 10'000'000);
+  }
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].first, 1u);
+  EXPECT_EQ(dead[0].second, 1u + policy.max_retries);
+  EXPECT_EQ(rc.stats().gave_up, 1u);
+  EXPECT_EQ(a->status(), ChannelStatus::kPeerDown);
 }
 
 }  // namespace
